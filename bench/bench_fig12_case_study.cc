@@ -1,0 +1,51 @@
+// Reproduces Fig 12: the JOB17 case study — the optimized plans of RelGo,
+// GRainDB and the Umbra-like optimizer side by side, plus measured
+// execution times. RelGo's plan expands from the filtered keyword scan
+// through the graph index; the relational baselines order joins without
+// the graph view and (partially) miss the predefined joins.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace relgo;
+  using optimizer::OptimizerMode;
+  auto args = bench::ParseArgs(argc, argv, 0.5);
+  bench::Banner("Fig 12", "JOB17 case study: optimized plans");
+
+  Database* db = bench::MakeImdb(args.scale);
+  auto all = workload::JobQueries(*db);
+  const workload::WorkloadQuery* job17 = nullptr;
+  for (const auto& wq : all) {
+    if (wq.query.name == "JOB17") job17 = &wq;
+  }
+  if (job17 == nullptr) {
+    std::fprintf(stderr, "JOB17 not found\n");
+    return 1;
+  }
+
+  for (OptimizerMode mode : {OptimizerMode::kRelGo, OptimizerMode::kGRainDB,
+                             OptimizerMode::kUmbraLike}) {
+    auto explain = db->Explain(job17->query, mode);
+    if (!explain.ok()) {
+      std::printf("%s: %s\n", optimizer::ModeName(mode),
+                  explain.status().ToString().c_str());
+      continue;
+    }
+    std::printf("--- %s plan ---\n%s\n", optimizer::ModeName(mode),
+                explain->c_str());
+  }
+
+  workload::Harness harness(db, bench::BenchExecOptions(), args.reps);
+  auto runs = harness.RunGrid(
+      {*job17}, {OptimizerMode::kRelGo, OptimizerMode::kGRainDB,
+                 OptimizerMode::kUmbraLike});
+  std::printf("execution time (ms):\n%s\n",
+              workload::Harness::FormatTable(runs, false).c_str());
+  std::printf(
+      "Shape check (paper): RelGo 4.3x over GRainDB and 1.8x over Umbra on\n"
+      "JOB17; RelGo's plan is a chain of EXPANDs from the keyword scan.\n");
+  delete db;
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Fig 4a: optimizer search-space size, graph-agnostic vs
+// graph-aware, for path patterns with m = 1..10 edges (Sec 3.1.3 /
+// Theorem 1). Exact enumeration, no execution involved.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "pattern/search_space.h"
+#include "pattern/shapes.h"
+
+int main() {
+  using namespace relgo;
+  bench::Banner("Fig 4a", "search space: graph-agnostic vs graph-aware");
+
+  std::printf("%-6s %18s %18s %14s\n", "edges", "Graph-Agnostic",
+              "Graph-Aware", "Agnostic/Aware");
+  for (int m = 1; m <= 10; ++m) {
+    pattern::PatternGraph p = pattern::MakePathPattern(m, 0, 0);
+    auto agnostic = pattern::CountAgnosticSearchSpace(p);
+    auto aware = pattern::CountAwareSearchSpace(p);
+    if (!agnostic.ok() || !aware.ok()) {
+      std::printf("%-6d enumeration failed\n", m);
+      continue;
+    }
+    std::printf("%-6d %18.3e %18.3e %14.3e\n", m, *agnostic, *aware,
+                *agnostic / *aware);
+  }
+  std::printf(
+      "\nShape check (paper): agnostic reaches ~1e15 at m=10 and the ratio\n"
+      "grows exponentially with m.\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+// google-benchmark micro-benchmarks for the physical building blocks:
+// graph index construction, EXPAND (index vs hash), EXPAND_INTERSECT,
+// pattern hash join, and the naive matcher, on a fixed LDBC-like dataset.
+
+#include <benchmark/benchmark.h>
+
+#include "exec/executor.h"
+#include "exec/naive_matcher.h"
+#include "workload/ldbc.h"
+
+namespace {
+
+using namespace relgo;
+
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    workload::LdbcOptions options;
+    options.scale_factor = 0.3;
+    Status st = workload::GenerateLdbc(d, options);
+    if (!st.ok()) std::abort();
+    return d;
+  }();
+  return db;
+}
+
+exec::ExecutionContext MakeContext(Database* db) {
+  exec::ExecutionOptions options;
+  options.max_total_rows = 500'000'000;
+  return exec::ExecutionContext(&db->catalog(), &db->mapping(), &db->index(),
+                                options);
+}
+
+void BM_GraphIndexBuild(benchmark::State& state) {
+  Database* db = SharedDb();
+  for (auto _ : state) {
+    graph::GraphIndex index;
+    Status st = index.Build(db->catalog(), db->mapping());
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(index.MemoryBytes());
+  }
+}
+BENCHMARK(BM_GraphIndexBuild)->Unit(benchmark::kMillisecond);
+
+std::unique_ptr<plan::PhysicalOp> KnowsExpandPlan(Database* db,
+                                                  bool use_index) {
+  int person = db->mapping().FindVertexLabel("Person");
+  int knows = db->mapping().FindEdgeLabel("knows");
+  auto scan = std::make_unique<plan::PhysScanVertex>();
+  scan->vertex_label = person;
+  scan->var = "a";
+  auto expand = std::make_unique<plan::PhysExpand>();
+  expand->edge_label = knows;
+  expand->dir = graph::Direction::kOut;
+  expand->from_var = "a";
+  expand->to_var = "b";
+  expand->use_index = use_index;
+  expand->children.push_back(std::move(scan));
+  return expand;
+}
+
+void BM_ExpandIndexed(benchmark::State& state) {
+  Database* db = SharedDb();
+  auto plan = KnowsExpandPlan(db, true);
+  for (auto _ : state) {
+    auto ctx = MakeContext(db);
+    auto result = exec::Executor::Run(*plan, &ctx);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize((*result)->num_rows());
+  }
+}
+BENCHMARK(BM_ExpandIndexed)->Unit(benchmark::kMillisecond);
+
+void BM_ExpandHash(benchmark::State& state) {
+  Database* db = SharedDb();
+  auto plan = KnowsExpandPlan(db, false);
+  for (auto _ : state) {
+    auto ctx = MakeContext(db);
+    auto result = exec::Executor::Run(*plan, &ctx);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize((*result)->num_rows());
+  }
+}
+BENCHMARK(BM_ExpandHash)->Unit(benchmark::kMillisecond);
+
+void BM_ExpandIntersectTriangle(benchmark::State& state) {
+  Database* db = SharedDb();
+  int knows = db->mapping().FindEdgeLabel("knows");
+  auto base = KnowsExpandPlan(db, true);
+  auto ei = std::make_unique<plan::PhysExpandIntersect>();
+  ei->edge_labels = {knows, knows};
+  ei->dirs = {graph::Direction::kOut, graph::Direction::kOut};
+  ei->from_vars = {"a", "b"};
+  ei->edge_vars = {"", ""};
+  ei->to_var = "c";
+  ei->children.push_back(std::move(base));
+  for (auto _ : state) {
+    auto ctx = MakeContext(db);
+    auto result = exec::Executor::Run(*ei, &ctx);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize((*result)->num_rows());
+  }
+}
+BENCHMARK(BM_ExpandIntersectTriangle)->Unit(benchmark::kMillisecond);
+
+void BM_TriangleViaExpandVerify(benchmark::State& state) {
+  Database* db = SharedDb();
+  int knows = db->mapping().FindEdgeLabel("knows");
+  auto base = KnowsExpandPlan(db, true);
+  auto expand = std::make_unique<plan::PhysExpand>();
+  expand->edge_label = knows;
+  expand->dir = graph::Direction::kOut;
+  expand->from_var = "b";
+  expand->to_var = "c";
+  expand->children.push_back(std::move(base));
+  auto verify = std::make_unique<plan::PhysEdgeVerify>();
+  verify->edge_label = knows;
+  verify->dir = graph::Direction::kOut;
+  verify->src_var = "a";
+  verify->dst_var = "c";
+  verify->children.push_back(std::move(expand));
+  for (auto _ : state) {
+    auto ctx = MakeContext(db);
+    auto result = exec::Executor::Run(*verify, &ctx);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize((*result)->num_rows());
+  }
+}
+BENCHMARK(BM_TriangleViaExpandVerify)->Unit(benchmark::kMillisecond);
+
+void BM_PatternHashJoin(benchmark::State& state) {
+  Database* db = SharedDb();
+  for (auto _ : state) {
+    auto left = KnowsExpandPlan(db, true);
+    auto right = KnowsExpandPlan(db, true);
+    // Rename right side vars to join on the shared "a".
+    auto* right_expand = static_cast<plan::PhysExpand*>(right.get());
+    right_expand->to_var = "c";
+    auto join = std::make_unique<plan::PhysPatternJoin>();
+    join->common_vars = {"a"};
+    join->children.push_back(std::move(left));
+    join->children.push_back(std::move(right));
+    auto ctx = MakeContext(db);
+    auto result = exec::Executor::Run(*join, &ctx);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize((*result)->num_rows());
+  }
+}
+BENCHMARK(BM_PatternHashJoin)->Unit(benchmark::kMillisecond);
+
+void BM_NaiveMatchTriangle(benchmark::State& state) {
+  Database* db = SharedDb();
+  auto pattern = db->ParsePattern(
+      "(a:Person)-[:knows]->(b:Person)-[:knows]->(c:Person), "
+      "(a)-[:knows]->(c)");
+  if (!pattern.ok()) {
+    state.SkipWithError("pattern parse failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto ctx = MakeContext(db);
+    auto result = exec::NaiveMatch(*pattern, &ctx);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize((*result)->num_rows());
+  }
+}
+BENCHMARK(BM_NaiveMatchTriangle)->Unit(benchmark::kMillisecond);
+
+void BM_GloguBuild(benchmark::State& state) {
+  Database* db = SharedDb();
+  graph::GraphStats stats;
+  (void)stats.Build(db->catalog(), db->mapping(), db->index());
+  for (auto _ : state) {
+    optimizer::Glogue glogue;
+    Status st = glogue.Build(db->catalog(), db->mapping(), db->index(), stats,
+                             {});
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(glogue.size());
+  }
+}
+BENCHMARK(BM_GloguBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

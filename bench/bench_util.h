@@ -1,0 +1,85 @@
+#ifndef RELGO_BENCH_BENCH_UTIL_H_
+#define RELGO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workload/harness.h"
+#include "workload/imdb.h"
+#include "workload/ldbc.h"
+
+namespace relgo {
+namespace bench {
+
+/// Shared CLI convention for the figure benches:
+///   --scale <f>   dataset scale factor (default per bench)
+///   --reps <n>    timed repetitions per query (default 2)
+struct BenchArgs {
+  double scale = 1.0;
+  int reps = 2;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv, double default_scale) {
+  BenchArgs args;
+  args.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--scale" && i + 1 < argc) {
+      args.scale = std::atof(argv[++i]);
+    } else if (a == "--reps" && i + 1 < argc) {
+      args.reps = std::atoi(argv[++i]);
+    }
+  }
+  return args;
+}
+
+inline void Banner(const char* figure, const char* what) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("=============================================================\n");
+}
+
+inline Database* MakeLdbc(double scale) {
+  auto* db = new Database();
+  workload::LdbcOptions options;
+  options.scale_factor = scale;
+  Status st = workload::GenerateLdbc(db, options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "LDBC generation failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("LDBC-like dataset, scale %.2f: %llu tuples total\n", scale,
+              static_cast<unsigned long long>(db->catalog().TotalRows()));
+  return db;
+}
+
+inline Database* MakeImdb(double scale) {
+  auto* db = new Database();
+  workload::ImdbOptions options;
+  options.scale_factor = scale;
+  Status st = workload::GenerateImdb(db, options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "IMDB generation failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("IMDB-like dataset, scale %.2f: %llu tuples total\n", scale,
+              static_cast<unsigned long long>(db->catalog().TotalRows()));
+  return db;
+}
+
+/// Bench-wide execution limits: a 30s per-query timeout (the paper used 10
+/// minutes at server scale; timeouts are reported as OT) and the default
+/// row budget.
+inline exec::ExecutionOptions BenchExecOptions() {
+  exec::ExecutionOptions options;
+  options.timeout_ms = 30'000.0;
+  return options;
+}
+
+}  // namespace bench
+}  // namespace relgo
+
+#endif  // RELGO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,126 @@
+#ifndef RELGO_COMMON_STATUS_H_
+#define RELGO_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace relgo {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// convention of status-based error handling: no exceptions cross public
+/// API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,     ///< Execution exceeded the configured memory budget.
+  kTimeout,         ///< Execution exceeded the configured wall-clock budget.
+  kNotImplemented,
+  kInternal,
+};
+
+/// A lightweight status object carrying an error code and message.
+///
+/// All fallible public operations in RelGo return either `Status` or
+/// `Result<T>`. Successful statuses are cheap to construct and copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad column".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is a value-or-status union, analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access to the contained value; undefined if !ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define RELGO_RETURN_NOT_OK(expr)          \
+  do {                                     \
+    ::relgo::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+#define RELGO_CONCAT_IMPL(a, b) a##b
+#define RELGO_CONCAT(a, b) RELGO_CONCAT_IMPL(a, b)
+
+#define RELGO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+/// Assigns the value of a Result expression or propagates its error.
+#define RELGO_ASSIGN_OR_RETURN(lhs, expr) \
+  RELGO_ASSIGN_OR_RETURN_IMPL(RELGO_CONCAT(_res_, __LINE__), lhs, expr)
+
+}  // namespace relgo
+
+#endif  // RELGO_COMMON_STATUS_H_

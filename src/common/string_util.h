@@ -1,0 +1,29 @@
+#ifndef RELGO_COMMON_STRING_UTIL_H_
+#define RELGO_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace relgo {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True if `s` begins with `prefix` (used by STARTS WITH predicates).
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// True if `s` contains `needle` (used by CONTAINS predicates).
+bool Contains(const std::string& s, const std::string& needle);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...);
+
+}  // namespace relgo
+
+#endif  // RELGO_COMMON_STRING_UTIL_H_

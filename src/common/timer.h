@@ -1,0 +1,31 @@
+#ifndef RELGO_COMMON_TIMER_H_
+#define RELGO_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace relgo {
+
+/// Monotonic wall-clock timer used for optimization/execution measurements
+/// and for enforcing query timeouts.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace relgo
+
+#endif  // RELGO_COMMON_TIMER_H_

@@ -1,0 +1,168 @@
+#include "common/value.h"
+
+#include <cstdio>
+#include <functional>
+
+namespace relgo {
+
+const char* LogicalTypeName(LogicalType type) {
+  switch (type) {
+    case LogicalType::kNull:
+      return "null";
+    case LogicalType::kBool:
+      return "bool";
+    case LogicalType::kInt64:
+      return "int64";
+    case LogicalType::kDouble:
+      return "double";
+    case LogicalType::kString:
+      return "string";
+    case LogicalType::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+const int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+// Days from 1970-01-01 to the start of `year`.
+int64_t DaysToYear(int year) {
+  int64_t days = 0;
+  if (year >= 1970) {
+    for (int y = 1970; y < year; ++y) days += IsLeapYear(y) ? 366 : 365;
+  } else {
+    for (int y = year; y < 1970; ++y) days -= IsLeapYear(y) ? 366 : 365;
+  }
+  return days;
+}
+
+}  // namespace
+
+Result<int32_t> ParseDate(const std::string& iso) {
+  int year = 0, month = 0, day = 0;
+  if (std::sscanf(iso.c_str(), "%d-%d-%d", &year, &month, &day) != 3 ||
+      month < 1 || month > 12 || day < 1 || day > 31) {
+    return Status::InvalidArgument("bad date literal: " + iso);
+  }
+  int64_t days = DaysToYear(year);
+  for (int m = 0; m < month - 1; ++m) {
+    days += kDaysInMonth[m];
+    if (m == 1 && IsLeapYear(year)) days += 1;
+  }
+  days += day - 1;
+  return static_cast<int32_t>(days);
+}
+
+std::string FormatDate(int32_t days) {
+  int year = 1970;
+  int64_t remaining = days;
+  while (true) {
+    int in_year = IsLeapYear(year) ? 366 : 365;
+    if (remaining >= in_year) {
+      remaining -= in_year;
+      ++year;
+    } else if (remaining < 0) {
+      --year;
+      remaining += IsLeapYear(year) ? 366 : 365;
+    } else {
+      break;
+    }
+  }
+  int month = 0;
+  while (true) {
+    int in_month = kDaysInMonth[month] + (month == 1 && IsLeapYear(year) ? 1 : 0);
+    if (remaining >= in_month) {
+      remaining -= in_month;
+      ++month;
+    } else {
+      break;
+    }
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month + 1,
+                static_cast<int>(remaining) + 1);
+  return buf;
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  // Numeric promotion across int64/double/date.
+  auto numeric = [](const Value& v, double* out) {
+    switch (v.type_) {
+      case LogicalType::kInt64:
+      case LogicalType::kDate:
+        *out = static_cast<double>(std::get<int64_t>(v.data_));
+        return true;
+      case LogicalType::kDouble:
+        *out = std::get<double>(v.data_);
+        return true;
+      case LogicalType::kBool:
+        *out = std::get<bool>(v.data_) ? 1.0 : 0.0;
+        return true;
+      default:
+        return false;
+    }
+  };
+  double a = 0, b = 0;
+  if (numeric(*this, &a) && numeric(other, &b)) {
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type_ == LogicalType::kString && other.type_ == LogicalType::kString) {
+    return string_value().compare(other.string_value()) < 0
+               ? -1
+               : (string_value() == other.string_value() ? 0 : 1);
+  }
+  // Incomparable types: order by type tag for determinism.
+  return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case LogicalType::kNull:
+      return "NULL";
+    case LogicalType::kBool:
+      return bool_value() ? "true" : "false";
+    case LogicalType::kInt64:
+      return std::to_string(int_value());
+    case LogicalType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_value());
+      return buf;
+    }
+    case LogicalType::kString:
+      return string_value();
+    case LogicalType::kDate:
+      return FormatDate(date_value());
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case LogicalType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case LogicalType::kBool:
+      return std::hash<bool>()(bool_value());
+    case LogicalType::kInt64:
+    case LogicalType::kDate:
+      return std::hash<int64_t>()(std::get<int64_t>(data_));
+    case LogicalType::kDouble:
+      return std::hash<double>()(double_value());
+    case LogicalType::kString:
+      return std::hash<std::string>()(string_value());
+  }
+  return 0;
+}
+
+}  // namespace relgo

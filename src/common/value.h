@@ -1,0 +1,92 @@
+#ifndef RELGO_COMMON_VALUE_H_
+#define RELGO_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace relgo {
+
+/// Logical data types supported by the relational substrate.
+///
+/// The set intentionally mirrors the columns needed by the LDBC SNB and
+/// JOB/IMDB workloads: 64-bit integers (ids, counts), doubles, strings,
+/// and dates (stored as days since 1970-01-01).
+enum class LogicalType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+};
+
+/// Returns a stable lowercase name for a logical type ("int64", "date", ...).
+const char* LogicalTypeName(LogicalType type);
+
+/// Parses an ISO "YYYY-MM-DD" date into days since the Unix epoch.
+Result<int32_t> ParseDate(const std::string& iso);
+
+/// Formats days-since-epoch as "YYYY-MM-DD".
+std::string FormatDate(int32_t days);
+
+/// A dynamically typed scalar value.
+///
+/// Values appear at API boundaries (predicates, query parameters, result
+/// inspection). Hot execution paths operate on typed column vectors instead
+/// (see storage/column.h), so Value is optimized for convenience.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : type_(LogicalType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(LogicalType::kBool, v); }
+  static Value Int(int64_t v) { return Value(LogicalType::kInt64, v); }
+  static Value Double(double v) { return Value(LogicalType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(LogicalType::kString, std::move(v));
+  }
+  /// Days since epoch carried with date type tag.
+  static Value Date(int32_t days) {
+    return Value(LogicalType::kDate, static_cast<int64_t>(days));
+  }
+
+  LogicalType type() const { return type_; }
+  bool is_null() const { return type_ == LogicalType::kNull; }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+  int32_t date_value() const {
+    return static_cast<int32_t>(std::get<int64_t>(data_));
+  }
+
+  /// Total ordering used by comparison predicates and ORDER BY.
+  /// NULLs sort first; cross-type numeric comparison promotes to double.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Human-readable rendering for debugging and result printing.
+  std::string ToString() const;
+
+  /// Hash consistent with operator== for join/aggregate keys.
+  size_t Hash() const;
+
+ private:
+  template <typename T>
+  Value(LogicalType type, T v) : type_(type), data_(std::move(v)) {}
+
+  LogicalType type_;
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+}  // namespace relgo
+
+#endif  // RELGO_COMMON_VALUE_H_

@@ -1,0 +1,90 @@
+#include "core/database.h"
+
+#include "common/timer.h"
+
+namespace relgo {
+
+Status Database::Finalize(optimizer::GlogueOptions glogue_options) {
+  RELGO_RETURN_NOT_OK(mapping_.Validate(catalog_));
+  RELGO_RETURN_NOT_OK(index_.Build(catalog_, mapping_));
+  RELGO_RETURN_NOT_OK(graph_stats_.Build(catalog_, mapping_, index_));
+  RELGO_RETURN_NOT_OK(glogue_.Build(catalog_, mapping_, index_, graph_stats_,
+                                    glogue_options));
+  optimizer_ = std::make_unique<optimizer::QueryOptimizer>(
+      &catalog_, &mapping_, &graph_stats_, &glogue_, &table_stats_);
+  finalized_ = true;
+  return Status::OK();
+}
+
+Result<optimizer::OptimizeResult> Database::Optimize(
+    const plan::SpjmQuery& query, optimizer::OptimizerMode mode) const {
+  if (!finalized_) {
+    return Status::InvalidArgument("call Finalize() before Optimize()");
+  }
+  return optimizer_->Optimize(query, mode);
+}
+
+Result<storage::TablePtr> Database::Execute(
+    const plan::PhysicalOp& op, exec::ExecutionOptions options) const {
+  exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
+  return exec::Executor::Run(op, &ctx);
+}
+
+Result<QueryRunResult> Database::Run(const plan::SpjmQuery& query,
+                                     optimizer::OptimizerMode mode,
+                                     exec::ExecutionOptions options) const {
+  QueryRunResult result;
+  RELGO_ASSIGN_OR_RETURN(auto optimized, Optimize(query, mode));
+  result.optimization_ms = optimized.optimization_ms;
+  Timer timer;
+  RELGO_ASSIGN_OR_RETURN(result.table, Execute(*optimized.plan, options));
+  result.execution_ms = timer.ElapsedMillis();
+  return result;
+}
+
+Result<std::string> Database::Explain(const plan::SpjmQuery& query,
+                                      optimizer::OptimizerMode mode) const {
+  RELGO_ASSIGN_OR_RETURN(auto optimized, Optimize(query, mode));
+  return plan::PrintPlan(*optimized.plan);
+}
+
+namespace {
+
+void RenderAnalyzed(const plan::PhysicalOp& op,
+                    const exec::QueryProfile& profile, int indent,
+                    std::string* out) {
+  for (int i = 0; i < indent; ++i) *out += "  ";
+  *out += op.Describe();
+  auto it = profile.find(&op);
+  if (it != profile.end()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  [est=%.0f act=%llu rows, %.2f ms]",
+                  op.estimated_cardinality,
+                  static_cast<unsigned long long>(it->second.rows),
+                  it->second.subtree_ms);
+    *out += buf;
+  }
+  *out += "\n";
+  for (const auto& child : op.children) {
+    RenderAnalyzed(*child, profile, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+Result<std::string> Database::ExplainAnalyze(
+    const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
+    exec::ExecutionOptions options) const {
+  RELGO_ASSIGN_OR_RETURN(auto optimized, Optimize(query, mode));
+  exec::QueryProfile profile;
+  exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
+  ctx.EnableProfiling(&profile);
+  RELGO_ASSIGN_OR_RETURN(auto table,
+                         exec::Executor::Run(*optimized.plan, &ctx));
+  (void)table;
+  std::string out;
+  RenderAnalyzed(*optimized.plan, profile, 0, &out);
+  return out;
+}
+
+}  // namespace relgo

@@ -1,0 +1,123 @@
+#ifndef RELGO_CORE_DATABASE_H_
+#define RELGO_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/context.h"
+#include "exec/executor.h"
+#include "optimizer/query_optimizer.h"
+#include "pattern/parser.h"
+
+namespace relgo {
+
+/// Result of Database::Run — the materialized table plus the timing split
+/// the paper's experiments report (optimization vs execution).
+struct QueryRunResult {
+  storage::TablePtr table;
+  double optimization_ms = 0.0;
+  double execution_ms = 0.0;
+};
+
+/// The top-level handle of the RelGo library: owns the relational catalog,
+/// the RGMapping and graph index, all statistics (low-order + GLogue), and
+/// the optimizer front door.
+///
+/// Typical lifecycle (see examples/quickstart.cc):
+///
+///   relgo::Database db;
+///   db.CreateTable("Person", {...});                    // + load rows
+///   db.AddVertexTable("Person", "id");                  // RGMapping
+///   db.AddEdgeTable("Knows", "Person", "p1", "Person", "p2");
+///   db.Finalize();                                      // index + stats
+///   auto pattern = db.ParsePattern("(a:Person)-[:Knows]->(b:Person)");
+///   auto query = plan::SpjmQueryBuilder("demo").Match(*pattern)...Build();
+///   auto result = db.Run(query, optimizer::OptimizerMode::kRelGo);
+class Database {
+ public:
+  Database() : table_stats_(&catalog_) {}
+
+  // Non-copyable (owns large state and internal pointers).
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  storage::Catalog& catalog() { return catalog_; }
+  const storage::Catalog& catalog() const { return catalog_; }
+
+  /// Creates an empty base table.
+  Result<storage::TablePtr> CreateTable(const std::string& name,
+                                        storage::Schema schema) {
+    return catalog_.CreateTable(name, std::move(schema));
+  }
+
+  /// RGMapping declarations (Sec 2.1). Label defaults to the table name.
+  Status AddVertexTable(const std::string& table,
+                        const std::string& key_column,
+                        const std::string& label = "") {
+    return mapping_.AddVertexTable(table, key_column, label);
+  }
+  Status AddEdgeTable(const std::string& table, const std::string& src_label,
+                      const std::string& src_key, const std::string& dst_label,
+                      const std::string& dst_key,
+                      const std::string& label = "") {
+    return mapping_.AddEdgeTable(table, src_label, src_key, dst_label,
+                                 dst_key, label);
+  }
+
+  const graph::RgMapping& mapping() const { return mapping_; }
+  const graph::GraphIndex& index() const { return index_; }
+  const graph::GraphStats& graph_stats() const { return graph_stats_; }
+  const optimizer::Glogue& glogue() const { return glogue_; }
+  const optimizer::TableStats& table_stats() const { return table_stats_; }
+
+  /// Validates the mapping, builds the graph index (EV + VE), low-order
+  /// statistics, and GLogue. Call after all data is loaded.
+  Status Finalize(optimizer::GlogueOptions glogue_options = {});
+
+  /// Parses a SQL/PGQ-style MATCH pattern against the mapping.
+  Result<pattern::PatternGraph> ParsePattern(const std::string& text) const {
+    return pattern::ParsePattern(text, mapping_);
+  }
+
+  /// Optimizes `query` under the given mode; the plan is independent of
+  /// execution state and can be printed with plan::PrintPlan.
+  Result<optimizer::OptimizeResult> Optimize(
+      const plan::SpjmQuery& query, optimizer::OptimizerMode mode) const;
+
+  /// Executes a physical plan under resource limits.
+  Result<storage::TablePtr> Execute(
+      const plan::PhysicalOp& op,
+      exec::ExecutionOptions options = {}) const;
+
+  /// Optimize + execute, reporting both timings.
+  Result<QueryRunResult> Run(const plan::SpjmQuery& query,
+                             optimizer::OptimizerMode mode,
+                             exec::ExecutionOptions options = {}) const;
+
+  /// Renders the optimized plan (Fig 6 / Fig 12 style).
+  Result<std::string> Explain(const plan::SpjmQuery& query,
+                              optimizer::OptimizerMode mode) const;
+
+  /// EXPLAIN ANALYZE: optimizes, executes with per-operator profiling, and
+  /// renders the plan annotated with actual rows and subtree times next to
+  /// the optimizer's estimates.
+  Result<std::string> ExplainAnalyze(
+      const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
+      exec::ExecutionOptions options = {}) const;
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  storage::Catalog catalog_;
+  graph::RgMapping mapping_;
+  graph::GraphIndex index_;
+  graph::GraphStats graph_stats_;
+  optimizer::Glogue glogue_;
+  optimizer::TableStats table_stats_;
+  std::unique_ptr<optimizer::QueryOptimizer> optimizer_;
+  bool finalized_ = false;
+};
+
+}  // namespace relgo
+
+#endif  // RELGO_CORE_DATABASE_H_

@@ -1,0 +1,105 @@
+#ifndef RELGO_EXEC_CONTEXT_H_
+#define RELGO_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "graph/graph_index.h"
+#include "graph/rg_mapping.h"
+#include "storage/catalog.h"
+
+namespace relgo {
+namespace exec {
+
+/// Per-operator runtime measurements collected when profiling is enabled
+/// (EXPLAIN ANALYZE): cumulative subtree wall time and actual output rows.
+struct OperatorProfile {
+  uint64_t rows = 0;
+  double subtree_ms = 0.0;
+};
+
+using QueryProfile = std::unordered_map<const void*, OperatorProfile>;
+
+/// Resource limits for one query execution, mirroring the paper's
+/// experimental protocol: a wall-clock timeout (10 minutes in the paper)
+/// and a memory budget whose exhaustion is reported as OOM (e.g.
+/// RelGoNoEI on the 4-clique query QC3).
+struct ExecutionOptions {
+  /// Total intermediate + output tuples a query may materialize before the
+  /// executor aborts with kOutOfMemory.
+  uint64_t max_total_rows = 80'000'000;
+  /// Wall-clock limit; kTimeout past this.
+  double timeout_ms = 600'000.0;
+};
+
+/// Everything an operator needs to run: the base relations, the RGMapping
+/// (vertex/edge label resolution), the graph index (may be absent for
+/// index-free baselines), and the resource accounting state.
+class ExecutionContext {
+ public:
+  ExecutionContext(const storage::Catalog* catalog,
+                   const graph::RgMapping* mapping,
+                   const graph::GraphIndex* index,
+                   ExecutionOptions options = {})
+      : catalog_(catalog),
+        mapping_(mapping),
+        index_(index),
+        options_(options) {}
+
+  const storage::Catalog& catalog() const { return *catalog_; }
+  const graph::RgMapping& mapping() const { return *mapping_; }
+  bool has_index() const { return index_ != nullptr && index_->built(); }
+  const graph::GraphIndex& index() const { return *index_; }
+  const ExecutionOptions& options() const { return options_; }
+
+  /// Accounts for `rows` newly materialized tuples; kOutOfMemory when the
+  /// budget is exceeded, kTimeout when the clock ran out.
+  Status ChargeRows(uint64_t rows) {
+    rows_produced_ += rows;
+    if (rows_produced_ > options_.max_total_rows) {
+      return Status::OutOfMemory(
+          "intermediate results exceeded " +
+          std::to_string(options_.max_total_rows) + " rows");
+    }
+    return CheckTimeout();
+  }
+
+  Status CheckTimeout() const {
+    if (timer_.ElapsedMillis() > options_.timeout_ms) {
+      return Status::Timeout("query exceeded " +
+                             std::to_string(options_.timeout_ms) + " ms");
+    }
+    return Status::OK();
+  }
+
+  uint64_t rows_produced() const { return rows_produced_; }
+  double elapsed_ms() const { return timer_.ElapsedMillis(); }
+
+  /// Enables per-operator profiling; measurements land in `profile`.
+  void EnableProfiling(QueryProfile* profile) { profile_ = profile; }
+  QueryProfile* profile() const { return profile_; }
+
+  /// Resolves the base table behind a vertex label.
+  Result<storage::TablePtr> VertexTable(int vertex_label) const {
+    return catalog_->GetTable(mapping_->vertex_mapping(vertex_label).table);
+  }
+  /// Resolves the base table behind an edge label.
+  Result<storage::TablePtr> EdgeTable(int edge_label) const {
+    return catalog_->GetTable(mapping_->edge_mapping(edge_label).table);
+  }
+
+ private:
+  const storage::Catalog* catalog_;
+  const graph::RgMapping* mapping_;
+  const graph::GraphIndex* index_;
+  ExecutionOptions options_;
+  Timer timer_;
+  uint64_t rows_produced_ = 0;
+  QueryProfile* profile_ = nullptr;
+};
+
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_CONTEXT_H_

@@ -1,0 +1,42 @@
+#ifndef RELGO_EXEC_EXECUTOR_H_
+#define RELGO_EXEC_EXECUTOR_H_
+
+#include <memory>
+
+#include "exec/context.h"
+#include "plan/physical_plan.h"
+#include "storage/table.h"
+
+namespace relgo {
+namespace exec {
+
+/// Interprets a physical plan tree, materializing each operator's output
+/// (operator-at-a-time execution). Binding-table operators (SCAN / EXPAND /
+/// EXPAND_INTERSECT / PATTERN_JOIN / ...) produce tables whose int64
+/// columns are row ids keyed by pattern variable; relational operators
+/// produce ordinary attribute tables.
+///
+/// Execution enforces the context's row budget and timeout, returning
+/// kOutOfMemory / kTimeout errors that benchmark harnesses report as
+/// OOM / OT, exactly as the paper's evaluation does.
+class Executor {
+ public:
+  /// Runs `op` to completion and returns the materialized result.
+  static Result<storage::TablePtr> Run(const plan::PhysicalOp& op,
+                                       ExecutionContext* ctx);
+};
+
+/// Hash-joins two materialized tables on int64 key columns (names resolved
+/// in each side's schema). Output schema: all left columns followed by all
+/// right columns except `drop_right` (used by PATTERN_JOIN to drop
+/// duplicated shared variables).
+Result<storage::TablePtr> HashJoinTables(
+    const storage::Table& left, const storage::Table& right,
+    const std::vector<std::string>& left_keys,
+    const std::vector<std::string>& right_keys,
+    const std::vector<std::string>& drop_right, ExecutionContext* ctx);
+
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_EXECUTOR_H_

@@ -1,0 +1,31 @@
+#ifndef RELGO_EXEC_NAIVE_MATCHER_H_
+#define RELGO_EXEC_NAIVE_MATCHER_H_
+
+#include "exec/context.h"
+#include "pattern/pattern_graph.h"
+#include "storage/table.h"
+
+namespace relgo {
+namespace exec {
+
+/// Reference implementation of the matching operator M(P) by depth-first
+/// backtracking over the graph index (Ullmann-style, fixed edge order, no
+/// cost model, no worst-case-optimal intersection).
+///
+/// Two roles in this repository:
+///  * correctness oracle for the optimizer/executor property tests —
+///    every optimized plan must produce exactly this bag of bindings;
+///  * the execution engine of the `GdbmsSim` baseline, standing in for a
+///    research-prototype native graph DBMS (the paper compared Kùzu).
+///
+/// Output: a binding table with one int64 row-id column per pattern vertex
+/// (named PatternGraph::VertexVarName) followed by one per pattern edge
+/// (EdgeVarName); rows follow homomorphism bag semantics, with the
+/// pattern's distinct_pairs applied.
+Result<storage::TablePtr> NaiveMatch(const pattern::PatternGraph& p,
+                                     ExecutionContext* ctx);
+
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_NAIVE_MATCHER_H_

@@ -1,0 +1,45 @@
+#include "graph/graph_stats.h"
+
+#include <numeric>
+
+namespace relgo {
+namespace graph {
+
+Status GraphStats::Build(const storage::Catalog& catalog,
+                         const RgMapping& mapping, const GraphIndex& index) {
+  size_t nv = mapping.num_vertex_labels();
+  size_t ne = mapping.num_edge_labels();
+  vertex_counts_.assign(nv, 0);
+  edge_counts_.assign(ne, 0);
+  avg_out_degree_.assign(ne, 0.0);
+  avg_in_degree_.assign(ne, 0.0);
+
+  for (size_t v = 0; v < nv; ++v) {
+    RELGO_ASSIGN_OR_RETURN(
+        auto table, catalog.GetTable(mapping.vertex_mapping(v).table));
+    vertex_counts_[v] = table->num_rows();
+  }
+  for (size_t e = 0; e < ne; ++e) {
+    RELGO_ASSIGN_OR_RETURN(auto table,
+                           catalog.GetTable(mapping.edge_mapping(e).table));
+    edge_counts_[e] = table->num_rows();
+    avg_out_degree_[e] = index.AverageDegree(static_cast<int>(e),
+                                             Direction::kOut);
+    avg_in_degree_[e] =
+        index.AverageDegree(static_cast<int>(e), Direction::kIn);
+  }
+  return Status::OK();
+}
+
+uint64_t GraphStats::TotalVertices() const {
+  return std::accumulate(vertex_counts_.begin(), vertex_counts_.end(),
+                         uint64_t{0});
+}
+
+uint64_t GraphStats::TotalEdges() const {
+  return std::accumulate(edge_counts_.begin(), edge_counts_.end(),
+                         uint64_t{0});
+}
+
+}  // namespace graph
+}  // namespace relgo

@@ -1,0 +1,48 @@
+#ifndef RELGO_GRAPH_GRAPH_STATS_H_
+#define RELGO_GRAPH_GRAPH_STATS_H_
+
+#include <vector>
+
+#include "graph/graph_index.h"
+#include "graph/rg_mapping.h"
+#include "storage/catalog.h"
+
+namespace relgo {
+namespace graph {
+
+/// Low-order graph statistics: label cardinalities and average degrees.
+///
+/// These are the statistics available to every optimizer mode (including
+/// the graph-agnostic baselines). High-order sub-pattern statistics live in
+/// optimizer/glogue.h and are exclusive to the graph-aware modes.
+class GraphStats {
+ public:
+  Status Build(const storage::Catalog& catalog, const RgMapping& mapping,
+               const GraphIndex& index);
+
+  uint64_t NumVertices(int vertex_label) const {
+    return vertex_counts_[vertex_label];
+  }
+  uint64_t NumEdges(int edge_label) const { return edge_counts_[edge_label]; }
+
+  /// Average number of edges of `edge_label` per tuple of the source
+  /// (kOut) / target (kIn) vertex table.
+  double AverageDegree(int edge_label, Direction dir) const {
+    return dir == Direction::kOut ? avg_out_degree_[edge_label]
+                                  : avg_in_degree_[edge_label];
+  }
+
+  uint64_t TotalVertices() const;
+  uint64_t TotalEdges() const;
+
+ private:
+  std::vector<uint64_t> vertex_counts_;
+  std::vector<uint64_t> edge_counts_;
+  std::vector<double> avg_out_degree_;
+  std::vector<double> avg_in_degree_;
+};
+
+}  // namespace graph
+}  // namespace relgo
+
+#endif  // RELGO_GRAPH_GRAPH_STATS_H_

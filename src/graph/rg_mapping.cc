@@ -1,0 +1,129 @@
+#include "graph/rg_mapping.h"
+
+#include <sstream>
+
+namespace relgo {
+namespace graph {
+
+Status RgMapping::AddVertexTable(const std::string& table,
+                                 const std::string& key_column,
+                                 const std::string& label) {
+  std::string l = label.empty() ? table : label;
+  if (vertex_label_ids_.count(l)) {
+    return Status::AlreadyExists("vertex label '" + l + "' already mapped");
+  }
+  vertex_label_ids_[l] = static_cast<int>(vertex_mappings_.size());
+  vertex_mappings_.push_back({l, table, key_column});
+  return Status::OK();
+}
+
+Status RgMapping::AddEdgeTable(const std::string& table,
+                               const std::string& src_label,
+                               const std::string& src_key_column,
+                               const std::string& dst_label,
+                               const std::string& dst_key_column,
+                               const std::string& label) {
+  std::string l = label.empty() ? table : label;
+  if (edge_label_ids_.count(l)) {
+    return Status::AlreadyExists("edge label '" + l + "' already mapped");
+  }
+  if (!vertex_label_ids_.count(src_label)) {
+    return Status::NotFound("unknown source vertex label '" + src_label + "'");
+  }
+  if (!vertex_label_ids_.count(dst_label)) {
+    return Status::NotFound("unknown target vertex label '" + dst_label + "'");
+  }
+  edge_label_ids_[l] = static_cast<int>(edge_mappings_.size());
+  edge_mappings_.push_back(
+      {l, table, src_label, src_key_column, dst_label, dst_key_column});
+  return Status::OK();
+}
+
+int RgMapping::FindVertexLabel(const std::string& label) const {
+  auto it = vertex_label_ids_.find(label);
+  return it == vertex_label_ids_.end() ? -1 : it->second;
+}
+
+int RgMapping::FindEdgeLabel(const std::string& label) const {
+  auto it = edge_label_ids_.find(label);
+  return it == edge_label_ids_.end() ? -1 : it->second;
+}
+
+int RgMapping::EdgeSrcLabelId(int edge_label_id) const {
+  return FindVertexLabel(edge_mappings_[edge_label_id].src_label);
+}
+
+int RgMapping::EdgeDstLabelId(int edge_label_id) const {
+  return FindVertexLabel(edge_mappings_[edge_label_id].dst_label);
+}
+
+std::vector<int> RgMapping::IncidentEdgeLabels(int vertex_label_id,
+                                               Direction dir) const {
+  std::vector<int> out;
+  for (size_t e = 0; e < edge_mappings_.size(); ++e) {
+    int endpoint = dir == Direction::kOut
+                       ? EdgeSrcLabelId(static_cast<int>(e))
+                       : EdgeDstLabelId(static_cast<int>(e));
+    if (endpoint == vertex_label_id) out.push_back(static_cast<int>(e));
+  }
+  return out;
+}
+
+Status RgMapping::Validate(const storage::Catalog& catalog) const {
+  for (const auto& vm : vertex_mappings_) {
+    RELGO_ASSIGN_OR_RETURN(auto table, catalog.GetTable(vm.table));
+    int key = table->schema().FindColumn(vm.key_column);
+    if (key < 0) {
+      return Status::InvalidArgument("vertex table " + vm.table +
+                                     " lacks key column " + vm.key_column);
+    }
+    if (table->schema().column(key).type != LogicalType::kInt64) {
+      return Status::InvalidArgument("vertex key " + vm.key_column +
+                                     " must be int64");
+    }
+  }
+  for (const auto& em : edge_mappings_) {
+    RELGO_ASSIGN_OR_RETURN(auto table, catalog.GetTable(em.table));
+    for (const std::string* col : {&em.src_key_column, &em.dst_key_column}) {
+      int idx = table->schema().FindColumn(*col);
+      if (idx < 0) {
+        return Status::InvalidArgument("edge table " + em.table +
+                                       " lacks FK column " + *col);
+      }
+      if (table->schema().column(idx).type != LogicalType::kInt64) {
+        return Status::InvalidArgument("edge FK " + *col + " must be int64");
+      }
+    }
+    // Totality of the lambda functions: each FK value must resolve to a
+    // vertex tuple. Verified during index construction as well; here we
+    // sample-check the key indexes exist.
+    const VertexMapping& src = vertex_mappings_[FindVertexLabel(em.src_label)];
+    RELGO_ASSIGN_OR_RETURN(auto src_table, catalog.GetTable(src.table));
+    auto key_index = src_table->GetKeyIndex(src.key_column);
+    if (!key_index.ok()) return key_index.status();
+  }
+  return Status::OK();
+}
+
+std::string RgMapping::ToString() const {
+  std::ostringstream os;
+  os << "CREATE PROPERTY GRAPH\n  VERTEX TABLES (";
+  for (size_t i = 0; i < vertex_mappings_.size(); ++i) {
+    if (i) os << ", ";
+    os << vertex_mappings_[i].table << " KEY(" << vertex_mappings_[i].key_column
+       << ") LABEL " << vertex_mappings_[i].label;
+  }
+  os << ")\n  EDGE TABLES (";
+  for (size_t i = 0; i < edge_mappings_.size(); ++i) {
+    if (i) os << ", ";
+    const auto& em = edge_mappings_[i];
+    os << em.table << " SOURCE KEY(" << em.src_key_column << ") REFERENCES "
+       << em.src_label << " DESTINATION KEY(" << em.dst_key_column
+       << ") REFERENCES " << em.dst_label << " LABEL " << em.label;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace graph
+}  // namespace relgo

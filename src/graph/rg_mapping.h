@@ -1,0 +1,104 @@
+#ifndef RELGO_GRAPH_RG_MAPPING_H_
+#define RELGO_GRAPH_RG_MAPPING_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/catalog.h"
+
+namespace relgo {
+namespace graph {
+
+/// Direction of traversal along an edge relation.
+enum class Direction { kOut = 0, kIn = 1 };
+
+inline Direction Reverse(Direction d) {
+  return d == Direction::kOut ? Direction::kIn : Direction::kOut;
+}
+
+/// Mapping of one relational table to a vertex label (Sec 2.1).
+///
+/// Every tuple of `table` becomes one vertex whose identifier is the tuple's
+/// row id; `key_column` is the primary key through which edge tables
+/// reference it (the codomain of the lambda functions).
+struct VertexMapping {
+  std::string label;
+  std::string table;
+  std::string key_column;
+};
+
+/// Mapping of one relational table to an edge label.
+///
+/// `src_key_column`/`dst_key_column` are the foreign-key attributes realizing
+/// the total functions lambda_s / lambda_t from edge tuples to source/target
+/// vertex tuples.
+struct EdgeMapping {
+  std::string label;
+  std::string table;
+  std::string src_label;
+  std::string src_key_column;
+  std::string dst_label;
+  std::string dst_key_column;
+};
+
+/// RGMapping: the relations-to-graph mapping defined in Sec 2.1 of the
+/// paper, equivalent to a SQL/PGQ `CREATE PROPERTY GRAPH` statement.
+///
+/// Labels are assigned dense integer ids (vertex and edge label spaces are
+/// separate) used throughout the pattern/optimizer layers.
+class RgMapping {
+ public:
+  /// Declares a vertex table. The label defaults to the table name.
+  Status AddVertexTable(const std::string& table,
+                        const std::string& key_column,
+                        const std::string& label = "");
+
+  /// Declares an edge table connecting two previously declared vertex labels.
+  Status AddEdgeTable(const std::string& table,
+                      const std::string& src_label,
+                      const std::string& src_key_column,
+                      const std::string& dst_label,
+                      const std::string& dst_key_column,
+                      const std::string& label = "");
+
+  size_t num_vertex_labels() const { return vertex_mappings_.size(); }
+  size_t num_edge_labels() const { return edge_mappings_.size(); }
+
+  const VertexMapping& vertex_mapping(int label_id) const {
+    return vertex_mappings_[label_id];
+  }
+  const EdgeMapping& edge_mapping(int label_id) const {
+    return edge_mappings_[label_id];
+  }
+
+  /// Label-id lookups; -1 when unknown.
+  int FindVertexLabel(const std::string& label) const;
+  int FindEdgeLabel(const std::string& label) const;
+
+  /// Dense label id of an edge's endpoint labels.
+  int EdgeSrcLabelId(int edge_label_id) const;
+  int EdgeDstLabelId(int edge_label_id) const;
+
+  /// Edge labels whose source (kOut) or target (kIn) vertex label is
+  /// `vertex_label_id`; used by the optimizer to enumerate expansions.
+  std::vector<int> IncidentEdgeLabels(int vertex_label_id,
+                                      Direction dir) const;
+
+  /// Verifies that all referenced tables/columns exist with usable types and
+  /// that every FK value resolves (totality of lambda_s / lambda_t).
+  Status Validate(const storage::Catalog& catalog) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<VertexMapping> vertex_mappings_;
+  std::vector<EdgeMapping> edge_mappings_;
+  std::unordered_map<std::string, int> vertex_label_ids_;
+  std::unordered_map<std::string, int> edge_label_ids_;
+};
+
+}  // namespace graph
+}  // namespace relgo
+
+#endif  // RELGO_GRAPH_RG_MAPPING_H_

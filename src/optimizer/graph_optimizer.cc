@@ -1,0 +1,449 @@
+#include "optimizer/graph_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace relgo {
+namespace optimizer {
+
+using graph::Direction;
+using pattern::Bit;
+using pattern::PatternGraph;
+using pattern::PopCount;
+using pattern::VSet;
+using plan::PhysicalOp;
+using plan::PhysicalOpPtr;
+
+namespace {
+
+/// How one pattern edge connects a removed vertex back to the remaining
+/// sub-pattern.
+struct Link {
+  int edge;             ///< pattern edge index
+  int rest_vertex;      ///< endpoint inside the remaining mask
+  Direction dir;        ///< kOut: rest_vertex is the edge's source
+};
+
+/// The decomposition decision recorded per DP state.
+struct Choice {
+  enum class Kind { kScan, kStar, kJoin } kind = Kind::kScan;
+  int removed_vertex = -1;  ///< kStar
+  VSet s1 = 0, s2 = 0;      ///< kJoin
+};
+
+struct DpEntry {
+  double cost = std::numeric_limits<double>::infinity();
+  Choice choice;
+};
+
+class PlanSearch {
+ public:
+  PlanSearch(const PatternGraph& p, const std::set<int>& needed_edges,
+             const GraphOptimizerOptions& options,
+             const graph::RgMapping* mapping,
+             const storage::Catalog* catalog,
+             const graph::GraphStats* gstats, const Glogue* glogue,
+             const TableStats* tstats)
+      : p_(p),
+        needed_edges_(needed_edges),
+        options_(options),
+        mapping_(mapping),
+        gstats_(gstats),
+        estimator_(&p, glogue, gstats, mapping, catalog, tstats,
+                   {options.use_high_order, 1024}) {}
+
+  Result<GraphPlanResult> Run() {
+    VSet all = p_.AllVertices();
+    RELGO_RETURN_NOT_OK(Solve(all));
+    GraphPlanResult result;
+    result.estimated_cardinality = estimator_.Estimate(all);
+    result.estimated_cost = dp_[all].cost;
+    RELGO_ASSIGN_OR_RETURN(result.root, Emit(all, {}));
+    return result;
+  }
+
+ private:
+  std::vector<Link> LinksOf(int v, VSet rest) const {
+    std::vector<Link> links;
+    for (int e : p_.IncidentEdges(v)) {
+      const auto& pe = p_.edge(e);
+      int other = pe.src == v ? pe.dst : pe.src;
+      if (other == v || !(rest & Bit(other))) continue;
+      links.push_back(
+          {e, other, pe.src == v ? Direction::kIn : Direction::kOut});
+    }
+    return links;
+  }
+
+  double AvgDegree(const Link& link) const {
+    return std::max(1e-3,
+                    gstats_->AverageDegree(p_.edge(link.edge).label, link.dir));
+  }
+
+  /// Cost of implementing the star/EI/join transition (Sec 4.2.1).
+  double TransitionCost(VSet mask, VSet rest,
+                        const std::vector<Link>& links) const {
+    double card_rest = estimator_.Estimate(rest);
+    double card_mask = estimator_.Estimate(mask);
+    if (!options_.use_index) {
+      // Hash joins throughout: probe/build the edge relation per link.
+      double cost = 0.0;
+      double intermediate = card_rest;
+      for (size_t i = 0; i < links.size(); ++i) {
+        double edges = static_cast<double>(
+            gstats_->NumEdges(p_.edge(links[i].edge).label));
+        if (i == 0) {
+          intermediate = card_rest * AvgDegree(links[0]);
+        } else {
+          double nv = std::max(
+              1.0, static_cast<double>(gstats_->NumVertices(
+                       p_.vertex(p_.edge(links[i].edge).src ==
+                                         links[i].rest_vertex
+                                     ? p_.edge(links[i].edge).dst
+                                     : p_.edge(links[i].edge).src)
+                           .label)));
+          intermediate *= std::min(1.0, AvgDegree(links[i]) / nv);
+        }
+        cost += edges + intermediate;
+      }
+      return cost + card_mask;
+    }
+    if (links.size() == 1) {
+      // EXPAND(+GET_VERTEX): |M(P_l)| * avg degree.
+      return card_rest * AvgDegree(links[0]) + card_mask;
+    }
+    if (options_.use_expand_intersect) {
+      // EXPAND_INTERSECT: per-row work bounded by the smallest list.
+      double min_d = std::numeric_limits<double>::infinity();
+      for (const Link& l : links) min_d = std::min(min_d, AvgDegree(l));
+      return card_rest * min_d + card_mask;
+    }
+    // Expand then verify each remaining leaf ("traditional multiple join").
+    double cost = card_rest * AvgDegree(links[0]);
+    double intermediate = card_rest * AvgDegree(links[0]);
+    for (size_t i = 1; i < links.size(); ++i) {
+      cost += intermediate;  // probing every intermediate row
+      double nv = std::max(
+          1.0,
+          static_cast<double>(gstats_->NumVertices(
+              p_.vertex(p_.edge(links[i].edge).src == links[i].rest_vertex
+                            ? p_.edge(links[i].edge).dst
+                            : p_.edge(links[i].edge).src)
+                  .label)));
+      intermediate *= std::min(1.0, AvgDegree(links[i]) / nv);
+    }
+    return cost + card_mask;
+  }
+
+  Status Solve(VSet root_mask) {
+    if (p_.num_vertices() > options_.max_pattern_vertices) {
+      return Status::InvalidArgument("pattern too large for plan search");
+    }
+    // Bottom-up over all masks (only connected induced ones get entries).
+    VSet all = root_mask;
+    for (VSet mask = 1; mask <= all; ++mask) {
+      if ((mask & all) != mask) continue;
+      if (!p_.IsConnectedInduced(mask)) continue;
+      DpEntry entry;
+      int n = PopCount(mask);
+      if (n == 1) {
+        int v = __builtin_ctz(mask);
+        entry.cost = static_cast<double>(
+            gstats_->NumVertices(p_.vertex(v).label));
+        entry.choice.kind = Choice::Kind::kScan;
+        dp_[mask] = entry;
+        continue;
+      }
+      // Star removals.
+      for (int v = 0; v < p_.num_vertices(); ++v) {
+        if (!(mask & Bit(v))) continue;
+        VSet rest = mask & ~Bit(v);
+        if (rest == 0 || !p_.IsConnectedInduced(rest)) continue;
+        auto it = dp_.find(rest);
+        if (it == dp_.end()) continue;
+        std::vector<Link> links = LinksOf(v, rest);
+        if (links.empty()) continue;
+        double cost = it->second.cost + TransitionCost(mask, rest, links);
+        if (cost < entry.cost) {
+          entry.cost = cost;
+          entry.choice.kind = Choice::Kind::kStar;
+          entry.choice.removed_vertex = v;
+        }
+      }
+      // Binary joins: overlapping connected induced covers.
+      if (n >= 3) {
+        double card_mask = estimator_.Estimate(mask);
+        for (VSet s1 = (mask - 1) & mask; s1 != 0; s1 = (s1 - 1) & mask) {
+          auto it1 = dp_.find(s1);
+          if (it1 == dp_.end()) continue;
+          VSet rest = mask & ~s1;
+          if (rest == 0) continue;
+          for (VSet t = s1; t != 0; t = (t - 1) & s1) {
+            VSet s2 = rest | t;
+            if (s2 == mask) continue;
+            auto it2 = dp_.find(s2);
+            if (it2 == dp_.end()) continue;
+            if (!EdgesCovered(mask, s1, s2)) continue;
+            double c1 = estimator_.Estimate(s1);
+            double c2 = estimator_.Estimate(s2);
+            double cost =
+                it1->second.cost + it2->second.cost + c1 * c2 + card_mask;
+            if (cost < entry.cost) {
+              entry.cost = cost;
+              entry.choice.kind = Choice::Kind::kJoin;
+              entry.choice.s1 = s1;
+              entry.choice.s2 = s2;
+            }
+          }
+        }
+      }
+      if (!std::isfinite(entry.cost)) {
+        return Status::Internal("no decomposition found for sub-pattern");
+      }
+      dp_[mask] = entry;
+    }
+    return Status::OK();
+  }
+
+  bool EdgesCovered(VSet mask, VSet s1, VSet s2) const {
+    for (int e : p_.InducedEdges(mask)) {
+      VSet ends = Bit(p_.edge(e).src) | Bit(p_.edge(e).dst);
+      if ((ends & s1) != ends && (ends & s2) != ends) return false;
+    }
+    return true;
+  }
+
+  /// True when the binding of pattern edge `e` must exist in the output of
+  /// the node for `mask` (pi-hat projection, edge predicate handling, or a
+  /// parent join on shared edges).
+  bool EdgeBindingNeeded(int e, const std::set<int>& extra) const {
+    if (!options_.fuse_expand) return true;
+    if (needed_edges_.count(e)) return true;
+    if (extra.count(e)) return true;
+    return false;
+  }
+
+  /// Wraps `op` with NOT_EQUAL filters for distinct pairs that become
+  /// jointly bound at `mask` (and were not inside `child_masks`).
+  PhysicalOpPtr ApplyDistinct(PhysicalOpPtr op, VSet mask,
+                              std::vector<VSet> child_masks) const {
+    for (const auto& [a, b] : p_.distinct_pairs()) {
+      VSet pair = Bit(a) | Bit(b);
+      if ((mask & pair) != pair) continue;
+      bool in_child = false;
+      for (VSet child : child_masks) {
+        if ((child & pair) == pair) in_child = true;
+      }
+      if (in_child) continue;
+      auto ne = std::make_unique<plan::PhysNotEqual>();
+      ne->var_a = p_.VertexVarName(a);
+      ne->var_b = p_.VertexVarName(b);
+      ne->children.push_back(std::move(op));
+      op = std::move(ne);
+    }
+    return op;
+  }
+
+  /// Recursively materializes the physical plan for `mask`.
+  /// `required_edges` are edges whose bindings a parent join consumes.
+  Result<PhysicalOpPtr> Emit(VSet mask,
+                             const std::set<int>& required_edges) const {
+    const DpEntry& entry = dp_.at(mask);
+    double card = const_cast<CardinalityEstimator&>(estimator_).Estimate(mask);
+
+    switch (entry.choice.kind) {
+      case Choice::Kind::kScan: {
+        int v = __builtin_ctz(mask);
+        auto scan = std::make_unique<plan::PhysScanVertex>();
+        scan->vertex_label = p_.vertex(v).label;
+        scan->var = p_.VertexVarName(v);
+        scan->filter = p_.vertex(v).predicate;
+        scan->estimated_cardinality = card;
+        return PhysicalOpPtr(std::move(scan));
+      }
+      case Choice::Kind::kStar: {
+        int v = entry.choice.removed_vertex;
+        VSet rest = mask & ~Bit(v);
+        std::vector<Link> links = LinksOf(v, rest);
+        // Pass down edge requirements that live inside `rest`.
+        std::set<int> child_required;
+        for (int e : required_edges) {
+          VSet ends = Bit(p_.edge(e).src) | Bit(p_.edge(e).dst);
+          if ((ends & rest) == ends) child_required.insert(e);
+        }
+        RELGO_ASSIGN_OR_RETURN(auto child, Emit(rest, child_required));
+        PhysicalOpPtr op;
+        std::string to_var = p_.VertexVarName(v);
+
+        if (links.size() == 1 ||
+            (!options_.use_expand_intersect && options_.use_index) ||
+            !options_.use_index) {
+          // Single-edge expansion, then verify any remaining links.
+          const Link& first = links[0];
+          const auto& pe = p_.edge(first.edge);
+          bool need_edge = EdgeBindingNeeded(first.edge, required_edges) ||
+                           pe.predicate != nullptr;
+          if (options_.use_index && need_edge) {
+            auto ee = std::make_unique<plan::PhysExpandEdge>();
+            ee->edge_label = pe.label;
+            ee->dir = first.dir;
+            ee->from_var = p_.VertexVarName(first.rest_vertex);
+            ee->edge_var = p_.EdgeVarName(first.edge);
+            ee->edge_filter = pe.predicate;
+            ee->children.push_back(std::move(child));
+            auto gv = std::make_unique<plan::PhysGetVertex>();
+            gv->edge_label = pe.label;
+            gv->dir = first.dir;
+            gv->edge_var = p_.EdgeVarName(first.edge);
+            gv->to_var = to_var;
+            gv->vertex_filter = p_.vertex(v).predicate;
+            gv->children.push_back(std::move(ee));
+            gv->estimated_cardinality = card;
+            op = std::move(gv);
+          } else {
+            auto ex = std::make_unique<plan::PhysExpand>();
+            ex->edge_label = pe.label;
+            ex->dir = first.dir;
+            ex->from_var = p_.VertexVarName(first.rest_vertex);
+            ex->to_var = to_var;
+            ex->edge_var = need_edge ? p_.EdgeVarName(first.edge) : "";
+            ex->vertex_filter = p_.vertex(v).predicate;
+            ex->use_index = options_.use_index;
+            ex->children.push_back(std::move(child));
+            ex->estimated_cardinality = card;
+            op = std::move(ex);
+            if (pe.predicate) {
+              auto vf = std::make_unique<plan::PhysVertexFilter>();
+              vf->var = p_.EdgeVarName(first.edge);
+              vf->is_edge = true;
+              vf->label = pe.label;
+              vf->predicate = pe.predicate;
+              vf->children.push_back(std::move(op));
+              op = std::move(vf);
+            }
+          }
+          for (size_t i = 1; i < links.size(); ++i) {
+            const auto& pe_i = p_.edge(links[i].edge);
+            bool need_e = EdgeBindingNeeded(links[i].edge, required_edges) ||
+                          pe_i.predicate != nullptr;
+            auto ev = std::make_unique<plan::PhysEdgeVerify>();
+            ev->edge_label = pe_i.label;
+            ev->dir = links[i].dir;
+            ev->src_var = p_.VertexVarName(links[i].rest_vertex);
+            ev->dst_var = to_var;
+            ev->edge_var = need_e ? p_.EdgeVarName(links[i].edge) : "";
+            ev->use_index = options_.use_index;
+            ev->children.push_back(std::move(op));
+            op = std::move(ev);
+            if (pe_i.predicate) {
+              auto vf = std::make_unique<plan::PhysVertexFilter>();
+              vf->var = p_.EdgeVarName(links[i].edge);
+              vf->is_edge = true;
+              vf->label = pe_i.label;
+              vf->predicate = pe_i.predicate;
+              vf->children.push_back(std::move(op));
+              op = std::move(vf);
+            }
+          }
+        } else {
+          // EXPAND_INTERSECT over all links.
+          auto ei = std::make_unique<plan::PhysExpandIntersect>();
+          ei->to_var = to_var;
+          ei->vertex_filter = p_.vertex(v).predicate;
+          std::vector<std::pair<int, storage::ExprPtr>> edge_preds;
+          for (const Link& l : links) {
+            const auto& pe = p_.edge(l.edge);
+            ei->edge_labels.push_back(pe.label);
+            ei->dirs.push_back(l.dir);
+            ei->from_vars.push_back(p_.VertexVarName(l.rest_vertex));
+            bool need_e = EdgeBindingNeeded(l.edge, required_edges) ||
+                          pe.predicate != nullptr;
+            ei->edge_vars.push_back(need_e ? p_.EdgeVarName(l.edge) : "");
+            if (pe.predicate) {
+              edge_preds.emplace_back(l.edge, pe.predicate);
+            }
+          }
+          ei->children.push_back(std::move(child));
+          ei->estimated_cardinality = card;
+          op = std::move(ei);
+          for (auto& [e, pred] : edge_preds) {
+            auto vf = std::make_unique<plan::PhysVertexFilter>();
+            vf->var = p_.EdgeVarName(e);
+            vf->is_edge = true;
+            vf->label = p_.edge(e).label;
+            vf->predicate = pred;
+            vf->children.push_back(std::move(op));
+            op = std::move(vf);
+          }
+        }
+        op->estimated_cardinality = card;
+        return ApplyDistinct(std::move(op), mask, {rest});
+      }
+      case Choice::Kind::kJoin: {
+        VSet s1 = entry.choice.s1, s2 = entry.choice.s2;
+        VSet overlap = s1 & s2;
+        // Shared elements: overlap vertices plus overlap-induced edges
+        // (Eq 2 joins on Vo and Eo) — children must bind those edges.
+        std::vector<int> shared_edges = p_.InducedEdges(overlap);
+        std::set<int> req1, req2;
+        for (int e : shared_edges) {
+          req1.insert(e);
+          req2.insert(e);
+        }
+        for (int e : required_edges) {
+          VSet ends = Bit(p_.edge(e).src) | Bit(p_.edge(e).dst);
+          if ((ends & s1) == ends) {
+            req1.insert(e);
+          } else {
+            req2.insert(e);
+          }
+        }
+        RELGO_ASSIGN_OR_RETURN(auto left, Emit(s1, req1));
+        RELGO_ASSIGN_OR_RETURN(auto right, Emit(s2, req2));
+        auto join = std::make_unique<plan::PhysPatternJoin>();
+        for (int v = 0; v < p_.num_vertices(); ++v) {
+          if (overlap & Bit(v)) {
+            join->common_vars.push_back(p_.VertexVarName(v));
+          }
+        }
+        for (int e : shared_edges) {
+          join->common_vars.push_back(p_.EdgeVarName(e));
+        }
+        join->children.push_back(std::move(left));
+        join->children.push_back(std::move(right));
+        join->estimated_cardinality = card;
+        return ApplyDistinct(PhysicalOpPtr(std::move(join)), mask, {s1, s2});
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  const PatternGraph& p_;
+  std::set<int> needed_edges_;
+  GraphOptimizerOptions options_;
+  const graph::RgMapping* mapping_;
+  const graph::GraphStats* gstats_;
+  mutable CardinalityEstimator estimator_;
+  std::unordered_map<VSet, DpEntry> dp_;
+};
+
+}  // namespace
+
+Result<GraphPlanResult> GraphOptimizer::Optimize(
+    const PatternGraph& p, const std::set<int>& needed_edges,
+    const GraphOptimizerOptions& options) const {
+  if (p.num_vertices() == 0) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  if (!p.IsConnectedInduced(p.AllVertices())) {
+    return Status::InvalidArgument("pattern must be connected");
+  }
+  PlanSearch search(p, needed_edges, options, mapping_, catalog_, gstats_,
+                    glogue_, tstats_);
+  return search.Run();
+}
+
+}  // namespace optimizer
+}  // namespace relgo

@@ -1,0 +1,109 @@
+#include "optimizer/rules.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace relgo {
+namespace optimizer {
+
+using plan::SpjmQuery;
+using storage::Expr;
+using storage::ExprPtr;
+
+int ApplyFilterIntoMatchRule(SpjmQuery* query) {
+  if (!query->where) return 0;
+
+  // Output name -> (pattern var, raw column).
+  std::unordered_map<std::string, std::pair<std::string, std::string>> origin;
+  for (const auto& proj : query->graph_projections) {
+    origin[proj.output_name] = {proj.var, proj.column};
+  }
+
+  std::vector<ExprPtr> conjuncts;
+  Expr::SplitConjuncts(query->where, &conjuncts);
+
+  std::vector<ExprPtr> kept;
+  int pushed = 0;
+  for (const auto& conjunct : conjuncts) {
+    std::vector<std::string> cols;
+    conjunct->CollectColumns(&cols);
+    std::string var;
+    bool single_var = !cols.empty();
+    for (const auto& col : cols) {
+      auto it = origin.find(col);
+      if (it == origin.end()) {
+        single_var = false;
+        break;
+      }
+      if (var.empty()) {
+        var = it->second.first;
+      } else if (var != it->second.first) {
+        single_var = false;
+        break;
+      }
+    }
+    if (!single_var) {
+      kept.push_back(conjunct);
+      continue;
+    }
+    // Rewrite projected names to the element's raw attribute names and
+    // attach as a pattern constraint.
+    std::unordered_map<std::string, std::string> rename;
+    for (const auto& col : cols) rename[col] = origin[col].second;
+    ExprPtr constraint = conjunct->CloneRenamed(rename);
+    if (query->pattern.AddConstraint(var, constraint).ok()) {
+      ++pushed;
+    } else {
+      kept.push_back(conjunct);
+    }
+  }
+  query->where = kept.empty() ? nullptr : Expr::And(kept);
+  return pushed;
+}
+
+int ApplyTrimRule(SpjmQuery* query) {
+  std::unordered_set<std::string> used;
+  auto add = [&](const std::string& name) { used.insert(name); };
+  for (const auto& [src, _] : query->select) add(src);
+  for (const auto& g : query->group_by) add(g);
+  for (const auto& a : query->aggregates) {
+    if (!a.input_column.empty()) add(a.input_column);
+  }
+  for (const auto& k : query->order_by) add(k.column);
+  for (const auto& j : query->joins) add(j.left_column);
+  if (query->where) {
+    std::vector<std::string> cols;
+    query->where->CollectColumns(&cols);
+    for (const auto& c : cols) add(c);
+  }
+
+  int trimmed = 0;
+  std::vector<plan::GraphProjection> survivors;
+  for (auto& proj : query->graph_projections) {
+    if (used.count(proj.output_name)) {
+      survivors.push_back(std::move(proj));
+    } else {
+      ++trimmed;
+    }
+  }
+  // COUNT(*)-style queries consume no attribute at all; keep one projection
+  // so the flattened graph relation retains its row multiplicity.
+  if (survivors.empty() && !query->graph_projections.empty()) {
+    survivors.push_back(std::move(query->graph_projections.front()));
+    --trimmed;
+  }
+  query->graph_projections = std::move(survivors);
+  return trimmed;
+}
+
+std::set<int> NeededEdgeBindings(const SpjmQuery& query) {
+  std::set<int> needed;
+  for (const auto& proj : query.graph_projections) {
+    int e = query.pattern.FindEdge(proj.var);
+    if (e >= 0) needed.insert(e);
+  }
+  return needed;
+}
+
+}  // namespace optimizer
+}  // namespace relgo

@@ -1,0 +1,37 @@
+#ifndef RELGO_OPTIMIZER_RULES_H_
+#define RELGO_OPTIMIZER_RULES_H_
+
+#include <set>
+
+#include "plan/spjm_query.h"
+
+namespace relgo {
+namespace optimizer {
+
+/// FilterIntoMatchRule (Sec 4.2.3): moves selection conjuncts that only
+/// reference pi-hat projections of a single pattern element into that
+/// element's constraint set, so the graph optimizer can exploit them
+/// during cost recalculation (sigma_Psi(pi-hat M(P)) ==
+/// sigma_Psi'(pi-hat M((P, {d_v})))).
+///
+/// Returns the number of conjuncts pushed.
+int ApplyFilterIntoMatchRule(plan::SpjmQuery* query);
+
+/// The field-trim half of TrimAndFuseRule (Sec 4.2.3): removes pi-hat
+/// projections whose output is consumed by no downstream operator (final
+/// select, aggregates, grouping, ordering, relational join keys, or the
+/// residual selection). Returns the number of projections trimmed.
+///
+/// The fuse half (EXPAND_EDGE + GET_VERTEX -> EXPAND) is applied by the
+/// graph optimizer during physical emission, driven by the edge-binding
+/// need set computed by NeededEdgeBindings.
+int ApplyTrimRule(plan::SpjmQuery* query);
+
+/// Pattern edge indexes whose bindings must survive into the graph plan's
+/// output: edges named by surviving pi-hat projections.
+std::set<int> NeededEdgeBindings(const plan::SpjmQuery& query);
+
+}  // namespace optimizer
+}  // namespace relgo
+
+#endif  // RELGO_OPTIMIZER_RULES_H_

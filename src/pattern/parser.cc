@@ -1,0 +1,145 @@
+#include "pattern/parser.h"
+
+#include <cctype>
+
+namespace relgo {
+namespace pattern {
+
+namespace {
+
+/// Minimal recursive-descent scanner over the pattern text.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Peek(const std::string& token) {
+    SkipSpace();
+    return text_.compare(pos_, token.size(), token) == 0;
+  }
+
+  bool Consume(const std::string& token) {
+    if (!Peek(token)) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  /// Reads an identifier [A-Za-z0-9_]*; may be empty.
+  std::string Identifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  size_t position() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Status ParseError(const Scanner& s, const std::string& what) {
+  return Status::InvalidArgument("pattern parse error at offset " +
+                                 std::to_string(s.position()) + ": " + what);
+}
+
+}  // namespace
+
+Result<PatternGraph> ParsePattern(const std::string& text,
+                                  const graph::RgMapping& mapping) {
+  PatternGraph pg;
+  Scanner s(text);
+
+  // Parses "(name:Label)" and returns the vertex position.
+  auto parse_vertex = [&]() -> Result<int> {
+    if (!s.Consume("(")) return ParseError(s, "expected '('");
+    std::string name = s.Identifier();
+    std::string label;
+    if (s.Consume(":")) label = s.Identifier();
+    if (!s.Consume(")")) return ParseError(s, "expected ')'");
+
+    if (!name.empty()) {
+      int existing = pg.FindVertex(name);
+      if (existing >= 0) {
+        if (!label.empty()) {
+          int lid = mapping.FindVertexLabel(label);
+          if (lid != pg.vertex(existing).label) {
+            return ParseError(s, "vertex '" + name + "' re-declared with a "
+                                 "different label");
+          }
+        }
+        return existing;
+      }
+    }
+    if (label.empty()) {
+      return ParseError(s, "new vertex '" + name + "' needs a label");
+    }
+    int lid = mapping.FindVertexLabel(label);
+    if (lid < 0) return ParseError(s, "unknown vertex label '" + label + "'");
+    return pg.AddVertex(lid, name);
+  };
+
+  while (true) {
+    RELGO_ASSIGN_OR_RETURN(int current, parse_vertex());
+    // Chain of edges.
+    while (s.Peek("-") || s.Peek("<-")) {
+      bool backward = false;
+      if (s.Consume("<-[")) {
+        backward = true;
+      } else if (s.Consume("-[")) {
+        backward = false;
+      } else {
+        return ParseError(s, "expected '-[' or '<-['");
+      }
+      std::string ename = s.Identifier();
+      std::string elabel;
+      if (s.Consume(":")) elabel = s.Identifier();
+      if (elabel.empty()) return ParseError(s, "edge needs a ':Label'");
+      int elid = mapping.FindEdgeLabel(elabel);
+      if (elid < 0) return ParseError(s, "unknown edge label '" + elabel + "'");
+      if (backward) {
+        if (!s.Consume("]-")) return ParseError(s, "expected ']-'");
+      } else {
+        if (!s.Consume("]->")) return ParseError(s, "expected ']->'");
+      }
+      RELGO_ASSIGN_OR_RETURN(int next, parse_vertex());
+
+      int src = backward ? next : current;
+      int dst = backward ? current : next;
+      const auto& em = mapping.edge_mapping(elid);
+      if (pg.vertex(src).label != mapping.FindVertexLabel(em.src_label) ||
+          pg.vertex(dst).label != mapping.FindVertexLabel(em.dst_label)) {
+        return ParseError(s, "edge label '" + elabel +
+                                 "' does not connect these vertex labels");
+      }
+      pg.AddEdge(elid, src, dst, ename);
+      current = next;
+    }
+    if (!s.Consume(",")) break;
+  }
+  if (!s.AtEnd()) return ParseError(s, "trailing input");
+  if (pg.num_vertices() == 0) return ParseError(s, "empty pattern");
+  if (!pg.IsConnectedInduced(pg.AllVertices())) {
+    return Status::InvalidArgument("pattern must be connected");
+  }
+  return pg;
+}
+
+}  // namespace pattern
+}  // namespace relgo

@@ -1,0 +1,36 @@
+#ifndef RELGO_PATTERN_PARSER_H_
+#define RELGO_PATTERN_PARSER_H_
+
+#include <string>
+
+#include "graph/rg_mapping.h"
+#include "pattern/pattern_graph.h"
+
+namespace relgo {
+namespace pattern {
+
+/// Parses a SQL/PGQ-style MATCH pattern into a PatternGraph.
+///
+/// Grammar (whitespace-insensitive):
+///
+///   pattern := path ("," path)*
+///   path    := vertex (edge vertex)*
+///   vertex  := "(" [name] [":" Label] ")"
+///   edge    := "-[" [name] [":" Label] "]->"      (forward)
+///            | "<-[" [name] [":" Label] "]-"      (backward)
+///
+/// Example:
+///   (p1:Person)-[:Knows]->(p2:Person), (p1)-[:Likes]->(m:Message),
+///   (p2)-[:Likes]->(m)
+///
+/// A vertex mentioned again by name refers to the same pattern position;
+/// its label may be omitted on later mentions. Labels resolve through the
+/// RGMapping. Anonymous edges are allowed; anonymous vertices must carry a
+/// label.
+Result<PatternGraph> ParsePattern(const std::string& text,
+                                  const graph::RgMapping& mapping);
+
+}  // namespace pattern
+}  // namespace relgo
+
+#endif  // RELGO_PATTERN_PARSER_H_

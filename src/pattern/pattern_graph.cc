@@ -1,0 +1,175 @@
+#include "pattern/pattern_graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace relgo {
+namespace pattern {
+
+int PatternGraph::AddVertex(int label, std::string name) {
+  int pos = static_cast<int>(vertices_.size());
+  vertices_.push_back({label, std::move(name), nullptr});
+  incident_.emplace_back();
+  return pos;
+}
+
+int PatternGraph::AddEdge(int label, int src, int dst, std::string name) {
+  int idx = static_cast<int>(edges_.size());
+  edges_.push_back({label, src, dst, std::move(name), nullptr});
+  incident_[src].push_back(idx);
+  if (dst != src) incident_[dst].push_back(idx);
+  return idx;
+}
+
+int PatternGraph::FindVertex(const std::string& name) const {
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (!vertices_[i].name.empty() && vertices_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int PatternGraph::FindEdge(const std::string& name) const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (!edges_[i].name.empty() && edges_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status PatternGraph::AddConstraint(const std::string& element_name,
+                                   storage::ExprPtr e) {
+  int v = FindVertex(element_name);
+  if (v >= 0) {
+    vertices_[v].predicate = vertices_[v].predicate
+                                 ? storage::Expr::And(vertices_[v].predicate,
+                                                      std::move(e))
+                                 : std::move(e);
+    return Status::OK();
+  }
+  int edge = FindEdge(element_name);
+  if (edge >= 0) {
+    edges_[edge].predicate =
+        edges_[edge].predicate
+            ? storage::Expr::And(edges_[edge].predicate, std::move(e))
+            : std::move(e);
+    return Status::OK();
+  }
+  return Status::NotFound("no pattern element named '" + element_name + "'");
+}
+
+std::vector<int> PatternGraph::InducedEdges(VSet vertices) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if ((vertices & Bit(edges_[i].src)) && (vertices & Bit(edges_[i].dst))) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+bool PatternGraph::IsConnectedInduced(VSet vertices) const {
+  if (vertices == 0) return false;
+  int start = __builtin_ctz(vertices);
+  VSet visited = Bit(start);
+  std::vector<int> stack = {start};
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    for (int e : incident_[v]) {
+      int other = edges_[e].src == v ? edges_[e].dst : edges_[e].src;
+      if ((vertices & Bit(other)) && !(visited & Bit(other))) {
+        visited |= Bit(other);
+        stack.push_back(other);
+      }
+    }
+  }
+  return visited == vertices;
+}
+
+PatternGraph PatternGraph::Induced(VSet vertices,
+                                   std::vector<int>* old_to_new) const {
+  PatternGraph sub;
+  std::vector<int> remap(vertices_.size(), -1);
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (vertices & Bit(v)) {
+      remap[v] = sub.AddVertex(vertices_[v].label, vertices_[v].name);
+      sub.vertices_[remap[v]].predicate = vertices_[v].predicate;
+    }
+  }
+  for (const auto& e : edges_) {
+    if ((vertices & Bit(e.src)) && (vertices & Bit(e.dst))) {
+      int idx = sub.AddEdge(e.label, remap[e.src], remap[e.dst], e.name);
+      sub.edges_[idx].predicate = e.predicate;
+    }
+  }
+  for (const auto& [a, b] : distinct_pairs_) {
+    if ((vertices & Bit(a)) && (vertices & Bit(b))) {
+      sub.AddDistinctPair(remap[a], remap[b]);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(remap);
+  return sub;
+}
+
+std::string PatternGraph::CanonicalCode() const {
+  int n = num_vertices();
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  std::string best;
+  do {
+    // perm[i] = new position of old vertex i.
+    std::ostringstream os;
+    // Vertex labels in new order.
+    std::vector<int> labels(n);
+    for (int old = 0; old < n; ++old) labels[perm[old]] = vertices_[old].label;
+    for (int v = 0; v < n; ++v) os << "v" << labels[v] << ";";
+    // Sorted edge triples.
+    std::vector<std::string> edge_codes;
+    for (const auto& e : edges_) {
+      std::ostringstream ec;
+      ec << perm[e.src] << ">" << perm[e.dst] << ":" << e.label;
+      edge_codes.push_back(ec.str());
+    }
+    std::sort(edge_codes.begin(), edge_codes.end());
+    for (const auto& ec : edge_codes) os << ec << ";";
+    std::string code = os.str();
+    if (best.empty() || code < best) best = std::move(code);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+std::string PatternGraph::ToString(const graph::RgMapping* mapping) const {
+  std::ostringstream os;
+  auto vertex_str = [&](int v) {
+    std::string label = mapping != nullptr
+                            ? mapping->vertex_mapping(vertices_[v].label).label
+                            : std::to_string(vertices_[v].label);
+    std::string name =
+        vertices_[v].name.empty() ? "_" + std::to_string(v) : vertices_[v].name;
+    return "(" + name + ":" + label + ")";
+  };
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i) os << ", ";
+    const auto& e = edges_[i];
+    std::string elabel = mapping != nullptr
+                             ? mapping->edge_mapping(e.label).label
+                             : std::to_string(e.label);
+    os << vertex_str(e.src) << "-[" << e.name << ":" << elabel << "]->"
+       << vertex_str(e.dst);
+  }
+  if (edges_.empty()) {
+    for (int v = 0; v < num_vertices(); ++v) {
+      if (v) os << ", ";
+      os << vertex_str(v);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pattern
+}  // namespace relgo

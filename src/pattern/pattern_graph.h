@@ -1,0 +1,134 @@
+#ifndef RELGO_PATTERN_PATTERN_GRAPH_H_
+#define RELGO_PATTERN_PATTERN_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/rg_mapping.h"
+#include "storage/expression.h"
+
+namespace relgo {
+namespace pattern {
+
+/// A set of pattern-vertex positions, as a bitmask. Patterns are bounded to
+/// 32 vertices, far above anything in the SQL/PGQ workloads (LDBC/JOB
+/// patterns have <= 8).
+using VSet = uint32_t;
+
+inline int PopCount(VSet s) { return __builtin_popcount(s); }
+inline VSet Bit(int i) { return VSet{1} << i; }
+
+/// A typed pattern vertex. `predicate` carries constraints pushed in by
+/// FilterIntoMatchRule (Sec 4.2.3), expressed over the columns of the
+/// vertex's underlying relational table.
+struct PatternVertex {
+  int label = -1;            ///< vertex label id from RgMapping
+  std::string name;          ///< variable name bound in the query ("p1")
+  storage::ExprPtr predicate;  ///< optional constraint (may be null)
+};
+
+/// A typed, directed pattern edge between two pattern-vertex positions.
+struct PatternEdge {
+  int label = -1;  ///< edge label id from RgMapping
+  int src = -1;    ///< source pattern-vertex position
+  int dst = -1;    ///< target pattern-vertex position
+  std::string name;  ///< variable name; empty when the edge is anonymous
+  storage::ExprPtr predicate;
+};
+
+/// A connected pattern graph P(V_P, E_P) as defined in Sec 2.2.
+///
+/// Pattern matching uses homomorphism semantics: two pattern vertices may
+/// map to the same data vertex. Vertices and edges are identified by their
+/// positions (indexes), which the optimizer manipulates as bitmasks.
+class PatternGraph {
+ public:
+  /// Adds a vertex; returns its position.
+  int AddVertex(int label, std::string name = "");
+
+  /// Adds a directed edge from position `src` to `dst`; returns its index.
+  int AddEdge(int label, int src, int dst, std::string name = "");
+
+  int num_vertices() const { return static_cast<int>(vertices_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const PatternVertex& vertex(int i) const { return vertices_[i]; }
+  PatternVertex& vertex(int i) { return vertices_[i]; }
+  const PatternEdge& edge(int i) const { return edges_[i]; }
+  PatternEdge& edge(int i) { return edges_[i]; }
+
+  /// Position of the vertex named `name`, or -1.
+  int FindVertex(const std::string& name) const;
+  /// Index of the edge named `name`, or -1.
+  int FindEdge(const std::string& name) const;
+
+  /// Stable variable name of vertex `i`: its declared name, or "_v<i>".
+  /// All plan layers (naive matcher, graph plans, agnostic flattening) use
+  /// these names, so their outputs are comparable column-for-column.
+  std::string VertexVarName(int i) const {
+    return vertices_[i].name.empty() ? "_v" + std::to_string(i)
+                                     : vertices_[i].name;
+  }
+  /// Stable variable name of edge `i`: its declared name, or "_e<i>".
+  std::string EdgeVarName(int i) const {
+    return edges_[i].name.empty() ? "_e" + std::to_string(i)
+                                  : edges_[i].name;
+  }
+
+  /// Declares that two pattern vertices may not map to the same data vertex
+  /// (the paper's all-distinct operator, Sec 3.1, restricted to a pair).
+  void AddDistinctPair(int a, int b) { distinct_pairs_.emplace_back(a, b); }
+  const std::vector<std::pair<int, int>>& distinct_pairs() const {
+    return distinct_pairs_;
+  }
+
+  /// Attaches a constraint to a named vertex or edge (used by
+  /// FilterIntoMatchRule and by query construction). The expression is
+  /// ANDed with any existing predicate.
+  Status AddConstraint(const std::string& element_name, storage::ExprPtr e);
+
+  /// Edge indexes incident to vertex position `v`.
+  const std::vector<int>& IncidentEdges(int v) const {
+    return incident_[v];
+  }
+
+  /// All edges whose endpoints both lie in `vertices` — the edge set of the
+  /// induced sub-pattern on `vertices`.
+  std::vector<int> InducedEdges(VSet vertices) const;
+
+  /// Whether the induced sub-pattern on `vertices` is connected (treating
+  /// edges as undirected). The empty set is not connected.
+  bool IsConnectedInduced(VSet vertices) const;
+
+  /// Full-vertex mask of this pattern.
+  VSet AllVertices() const {
+    return num_vertices() >= 32 ? ~VSet{0}
+                                : (VSet{1} << num_vertices()) - 1;
+  }
+
+  /// Builds the induced sub-pattern on `vertices`. `old_to_new` (optional)
+  /// receives the position remapping, indexed by old position (-1 if
+  /// dropped).
+  PatternGraph Induced(VSet vertices, std::vector<int>* old_to_new = nullptr)
+      const;
+
+  /// Canonical string code invariant under vertex renumbering; usable as a
+  /// GLogue key. Cost is O(n! * m); intended for small n (GLogue uses
+  /// n <= 3, optimizer sub-patterns n <= 8).
+  std::string CanonicalCode() const;
+
+  /// A human-readable rendering, e.g. "(p1:Person)-[:Knows]->(p2:Person)".
+  std::string ToString(const graph::RgMapping* mapping = nullptr) const;
+
+ private:
+  std::vector<PatternVertex> vertices_;
+  std::vector<PatternEdge> edges_;
+  std::vector<std::vector<int>> incident_;
+  std::vector<std::pair<int, int>> distinct_pairs_;
+};
+
+}  // namespace pattern
+}  // namespace relgo
+
+#endif  // RELGO_PATTERN_PATTERN_GRAPH_H_

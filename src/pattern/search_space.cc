@@ -1,0 +1,242 @@
+#include "pattern/search_space.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace relgo {
+namespace pattern {
+
+namespace {
+
+/// Lemma-1 join graph: one node per pattern vertex (its vertex relation)
+/// and one node per pattern edge (its edge relation); an edge relation is
+/// joinable with the relations of its two endpoints (the EVJoins of Eq 3).
+struct JoinGraph {
+  int num_nodes = 0;
+  std::vector<std::vector<int>> adj;
+
+  explicit JoinGraph(const PatternGraph& p) {
+    int n = p.num_vertices();
+    int m = p.num_edges();
+    num_nodes = n + m;
+    adj.assign(num_nodes, {});
+    for (int e = 0; e < m; ++e) {
+      int enode = n + e;
+      adj[enode].push_back(p.edge(e).src);
+      adj[p.edge(e).src].push_back(enode);
+      if (p.edge(e).dst != p.edge(e).src) {
+        adj[enode].push_back(p.edge(e).dst);
+        adj[p.edge(e).dst].push_back(enode);
+      }
+    }
+  }
+
+  /// Orders nodes along the chain when the join graph is a path; empty
+  /// otherwise.
+  std::vector<int> ChainOrder() const {
+    std::vector<int> degree(num_nodes, 0);
+    int endpoints = 0, start = -1;
+    for (int i = 0; i < num_nodes; ++i) {
+      degree[i] = static_cast<int>(adj[i].size());
+      if (degree[i] > 2) return {};
+      if (degree[i] <= 1) {
+        ++endpoints;
+        if (start < 0) start = i;
+      }
+    }
+    if (num_nodes == 1) return {0};
+    if (endpoints != 2) return {};  // a cycle or disconnected
+    std::vector<int> order;
+    order.reserve(num_nodes);
+    int prev = -1, cur = start;
+    while (order.size() < static_cast<size_t>(num_nodes)) {
+      order.push_back(cur);
+      int next = -1;
+      for (int nb : adj[cur]) {
+        if (nb != prev) {
+          next = nb;
+          break;
+        }
+      }
+      if (next < 0) break;
+      prev = cur;
+      cur = next;
+    }
+    return order.size() == static_cast<size_t>(num_nodes) ? order
+                                                          : std::vector<int>{};
+  }
+};
+
+/// Interval DP over a chain join graph: plans(i,j) counts ordered binary
+/// join trees over relations i..j; both operand orders are distinct plans.
+double CountChainPlans(int n) {
+  std::vector<std::vector<double>> dp(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) dp[i][i] = 1.0;
+  for (int len = 2; len <= n; ++len) {
+    for (int i = 0; i + len - 1 < n; ++i) {
+      int j = i + len - 1;
+      double total = 0.0;
+      for (int k = i; k < j; ++k) {
+        total += 2.0 * dp[i][k] * dp[k + 1][j];
+      }
+      dp[i][j] = total;
+    }
+  }
+  return dp[0][n - 1];
+}
+
+/// Generic bitmask DP for arbitrary join graphs (bounded node count).
+class GenericJoinCounter {
+ public:
+  explicit GenericJoinCounter(const JoinGraph& jg) : jg_(jg) {}
+
+  double Count() {
+    uint32_t all = (jg_.num_nodes >= 31) ? 0 : ((1u << jg_.num_nodes) - 1);
+    return CountSet(all);
+  }
+
+ private:
+  bool Connected(uint32_t set) const {
+    if (set == 0) return false;
+    int start = __builtin_ctz(set);
+    uint32_t visited = 1u << start;
+    std::vector<int> stack = {start};
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int nb : jg_.adj[v]) {
+        if ((set >> nb & 1u) && !(visited >> nb & 1u)) {
+          visited |= 1u << nb;
+          stack.push_back(nb);
+        }
+      }
+    }
+    return visited == set;
+  }
+
+  bool HasJoinEdge(uint32_t a, uint32_t b) const {
+    for (int v = 0; v < jg_.num_nodes; ++v) {
+      if (!(a >> v & 1u)) continue;
+      for (int nb : jg_.adj[v]) {
+        if (b >> nb & 1u) return true;
+      }
+    }
+    return false;
+  }
+
+  double CountSet(uint32_t set) {
+    if (__builtin_popcount(set) == 1) return 1.0;
+    auto it = memo_.find(set);
+    if (it != memo_.end()) return it->second;
+    double total = 0.0;
+    // Enumerate proper non-empty submasks; ordered pairs arise naturally
+    // since both (s, set\s) and (set\s, s) are visited.
+    for (uint32_t s = (set - 1) & set; s != 0; s = (s - 1) & set) {
+      uint32_t rest = set ^ s;
+      if (!Connected(s) || !Connected(rest)) continue;
+      if (!HasJoinEdge(s, rest)) continue;  // no cross products
+      total += CountSet(s) * CountSet(rest);
+    }
+    memo_[set] = total;
+    return total;
+  }
+
+  const JoinGraph& jg_;
+  std::unordered_map<uint32_t, double> memo_;
+};
+
+/// Counts decomposition trees for the graph-aware transformation.
+///
+/// Non-leaf tree nodes are connected *induced* sub-patterns. Two kinds of
+/// decomposition steps exist (Sec 3.1.2):
+///  * star removal — the right child is a complete star MMC (which may be
+///    a non-induced sub-pattern, but only as a leaf; cf. Fig 3's note that
+///    the wedge P2 cannot be an intermediate node);
+///  * binary join of two connected induced proper sub-patterns whose edge
+///    sets partition the parent's edges (shared vertices form the join
+///    key). Shared-edge overlaps would duplicate work the star MMC already
+///    expresses, so they are not part of the enumerated space.
+class AwareCounter {
+ public:
+  explicit AwareCounter(const PatternGraph& p) : p_(p) {}
+
+  double Count() { return CountMask(p_.AllVertices()); }
+
+ private:
+  double CountMask(VSet mask) {
+    if (PopCount(mask) == 1) return 1.0;
+    auto it = memo_.find(mask);
+    if (it != memo_.end()) return it->second;
+    double total = 0.0;
+
+    // Option A: remove a vertex v; the right child is the complete star
+    // rooted at v with leaves N(v) within mask (an MMC leaf), the left
+    // child is the induced sub-pattern on mask \ {v}.
+    for (int v = 0; v < p_.num_vertices(); ++v) {
+      if (!(mask & Bit(v))) continue;
+      VSet rest = mask & ~Bit(v);
+      if (rest == 0) continue;
+      if (!p_.IsConnectedInduced(rest)) continue;
+      total += CountMask(rest);
+    }
+
+    // Option B: binary join with edge-disjoint induced children. Since
+    // children are induced, edge-disjointness means the vertex overlap is
+    // an independent set of the parent pattern.
+    std::vector<int> mask_edges = p_.InducedEdges(mask);
+    for (VSet s1 = (mask - 1) & mask; s1 != 0; s1 = (s1 - 1) & mask) {
+      if (!p_.IsConnectedInduced(s1)) continue;
+      VSet rest = mask & ~s1;
+      if (rest == 0) continue;  // s1 == mask excluded by the loop bounds
+      for (VSet t = s1; t != 0; t = (t - 1) & s1) {
+        VSet s2 = rest | t;
+        if (s2 == mask) continue;
+        if (!p_.IsConnectedInduced(s2)) continue;
+        bool valid = true;
+        for (int e : mask_edges) {
+          VSet ends = Bit(p_.edge(e).src) | Bit(p_.edge(e).dst);
+          bool in1 = (ends & s1) == ends;
+          bool in2 = (ends & s2) == ends;
+          if (in1 == in2) {  // uncovered or shared edge
+            valid = false;
+            break;
+          }
+        }
+        if (!valid) continue;
+        total += CountMask(s1) * CountMask(s2);
+      }
+    }
+    memo_[mask] = total;
+    return total;
+  }
+
+  const PatternGraph& p_;
+  std::unordered_map<VSet, double> memo_;
+};
+
+}  // namespace
+
+Result<double> CountAgnosticSearchSpace(const PatternGraph& p) {
+  JoinGraph jg(p);
+  std::vector<int> chain = jg.ChainOrder();
+  if (!chain.empty()) return CountChainPlans(jg.num_nodes);
+  if (jg.num_nodes > 20) {
+    return Status::InvalidArgument(
+        "graph-agnostic search space enumeration bounded to 20 relations "
+        "for non-chain join graphs");
+  }
+  GenericJoinCounter counter(jg);
+  return counter.Count();
+}
+
+Result<double> CountAwareSearchSpace(const PatternGraph& p) {
+  if (p.num_vertices() > 20) {
+    return Status::InvalidArgument("pattern too large to enumerate");
+  }
+  AwareCounter counter(p);
+  return counter.Count();
+}
+
+}  // namespace pattern
+}  // namespace relgo

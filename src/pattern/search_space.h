@@ -1,0 +1,35 @@
+#ifndef RELGO_PATTERN_SEARCH_SPACE_H_
+#define RELGO_PATTERN_SEARCH_SPACE_H_
+
+#include "pattern/pattern_graph.h"
+
+namespace relgo {
+namespace pattern {
+
+/// Exact enumerators for the optimizer search-space comparison of
+/// Sec 3.1.3 / Fig 4a (Theorem 1).
+///
+/// Graph-agnostic space: the matching operator is flattened via Lemma 1
+/// into a join over n vertex relations and m edge relations; the space is
+/// the number of bushy join trees without cross products, counting
+/// commutative variants (what a Volcano-style planner enumerates).
+///
+/// Graph-aware space: the number of valid decomposition trees, where every
+/// tree node is a connected *induced* sub-pattern and leaves are MMCs
+/// (single vertex or complete star rooted at a removed vertex).
+///
+/// Counts are returned as double: the agnostic space exceeds 10^15 for
+/// 10-edge paths, matching the paper's Fig 4a scale.
+
+/// Number of join trees explored by the graph-agnostic transformation.
+/// Uses an O(n^3) interval DP when the Lemma-1 join graph is a chain
+/// (e.g. path patterns); otherwise a bitmask DP bounded to 20 relations.
+Result<double> CountAgnosticSearchSpace(const PatternGraph& p);
+
+/// Number of decomposition trees explored by the graph-aware approach.
+Result<double> CountAwareSearchSpace(const PatternGraph& p);
+
+}  // namespace pattern
+}  // namespace relgo
+
+#endif  // RELGO_PATTERN_SEARCH_SPACE_H_

@@ -1,0 +1,54 @@
+#include "pattern/shapes.h"
+
+namespace relgo {
+namespace pattern {
+
+PatternGraph MakePathPattern(int m, int vertex_label, int edge_label) {
+  PatternGraph p;
+  int prev = p.AddVertex(vertex_label, "v0");
+  for (int i = 1; i <= m; ++i) {
+    int next = p.AddVertex(vertex_label, "v" + std::to_string(i));
+    p.AddEdge(edge_label, prev, next);
+    prev = next;
+  }
+  return p;
+}
+
+PatternGraph MakeCyclePattern(int k, int vertex_label, int edge_label) {
+  PatternGraph p;
+  std::vector<int> vs;
+  for (int i = 0; i < k; ++i) {
+    vs.push_back(p.AddVertex(vertex_label, "v" + std::to_string(i)));
+  }
+  for (int i = 0; i < k; ++i) {
+    p.AddEdge(edge_label, vs[i], vs[(i + 1) % k]);
+  }
+  return p;
+}
+
+PatternGraph MakeCliquePattern(int k, int vertex_label, int edge_label) {
+  PatternGraph p;
+  std::vector<int> vs;
+  for (int i = 0; i < k; ++i) {
+    vs.push_back(p.AddVertex(vertex_label, "v" + std::to_string(i)));
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      p.AddEdge(edge_label, vs[i], vs[j]);
+    }
+  }
+  return p;
+}
+
+PatternGraph MakeStarPattern(int k, int vertex_label, int edge_label) {
+  PatternGraph p;
+  int root = p.AddVertex(vertex_label, "root");
+  for (int i = 0; i < k; ++i) {
+    int leaf = p.AddVertex(vertex_label, "leaf" + std::to_string(i));
+    p.AddEdge(edge_label, root, leaf);
+  }
+  return p;
+}
+
+}  // namespace pattern
+}  // namespace relgo

@@ -1,0 +1,30 @@
+#ifndef RELGO_PATTERN_SHAPES_H_
+#define RELGO_PATTERN_SHAPES_H_
+
+#include "pattern/pattern_graph.h"
+
+namespace relgo {
+namespace pattern {
+
+/// Factory helpers for the pattern shapes used throughout the paper's
+/// micro-benchmarks: paths (Fig 4a), and the cyclic shapes of QC1..3
+/// (triangle, square, 4-clique) over a single self-referencing edge label
+/// such as Person-Knows->Person.
+
+/// A path with `m` edges (m+1 vertices), all with `vertex_label`, connected
+/// by `edge_label` edges oriented forward.
+PatternGraph MakePathPattern(int m, int vertex_label, int edge_label);
+
+/// A directed cycle with `k` vertices.
+PatternGraph MakeCyclePattern(int k, int vertex_label, int edge_label);
+
+/// A complete directed graph on `k` vertices (i<j edges), e.g. 4-clique.
+PatternGraph MakeCliquePattern(int k, int vertex_label, int edge_label);
+
+/// A star with one root and `k` leaves (root -> leaf edges).
+PatternGraph MakeStarPattern(int k, int vertex_label, int edge_label);
+
+}  // namespace pattern
+}  // namespace relgo
+
+#endif  // RELGO_PATTERN_SHAPES_H_

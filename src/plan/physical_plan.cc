@@ -1,0 +1,228 @@
+#include "plan/physical_plan.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace relgo {
+namespace plan {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScanTable:
+      return "SCAN_TABLE";
+    case OpKind::kFilter:
+      return "FILTER";
+    case OpKind::kProject:
+      return "PROJECTION";
+    case OpKind::kHashJoin:
+      return "HASH_JOIN";
+    case OpKind::kRidLookupJoin:
+      return "RID_JOIN";
+    case OpKind::kRidExpandJoin:
+      return "RID_EXPAND_JOIN";
+    case OpKind::kHashAggregate:
+      return "HASH_AGGREGATE";
+    case OpKind::kOrderBy:
+      return "ORDER_BY";
+    case OpKind::kLimit:
+      return "LIMIT";
+    case OpKind::kScanVertex:
+      return "SCAN";
+    case OpKind::kExpandEdge:
+      return "EXPAND_EDGE";
+    case OpKind::kGetVertex:
+      return "GET_VERTEX";
+    case OpKind::kExpand:
+      return "EXPAND";
+    case OpKind::kExpandIntersect:
+      return "EXPAND_INTERSECT";
+    case OpKind::kEdgeVerify:
+      return "EDGE_VERIFY";
+    case OpKind::kPatternJoin:
+      return "PATTERN_JOIN";
+    case OpKind::kVertexFilter:
+      return "VERTEX_FILTER";
+    case OpKind::kNotEqual:
+      return "NOT_EQUAL";
+    case OpKind::kNaiveMatch:
+      return "NAIVE_MATCH";
+    case OpKind::kScanGraphTable:
+      return "SCAN_GRAPH_TABLE";
+  }
+  return "?";
+}
+
+std::string PrintPlan(const PhysicalOp& op, int indent) {
+  std::ostringstream os;
+  for (int i = 0; i < indent; ++i) os << "  ";
+  os << op.Describe();
+  if (op.estimated_cardinality >= 0) {
+    os << "  [est=" << StrFormat("%.0f", op.estimated_cardinality) << "]";
+  }
+  os << "\n";
+  for (const auto& child : op.children) {
+    os << PrintPlan(*child, indent + 1);
+  }
+  return os.str();
+}
+
+namespace {
+std::string DirArrow(graph::Direction dir) {
+  return dir == graph::Direction::kOut ? "->" : "<-";
+}
+}  // namespace
+
+std::string PhysScanTable::Describe() const {
+  std::string out = "SCAN_TABLE " + table;
+  if (alias != table && !alias.empty()) out += " AS " + alias;
+  if (filter) out += " (" + filter->ToString() + ")";
+  return out;
+}
+
+std::string PhysFilter::Describe() const {
+  return "FILTER (" + (predicate ? predicate->ToString() : "true") + ")";
+}
+
+std::string PhysProject::Describe() const {
+  std::string out = "PROJECTION ";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += ", ";
+    out += columns[i].first;
+    if (columns[i].second != columns[i].first) {
+      out += " AS " + columns[i].second;
+    }
+  }
+  return out;
+}
+
+std::string PhysHashJoin::Describe() const {
+  std::string out = "HASH_JOIN (";
+  for (size_t i = 0; i < left_keys.size(); ++i) {
+    if (i) out += " AND ";
+    out += left_keys[i] + " = " + right_keys[i];
+  }
+  return out + ")";
+}
+
+std::string PhysRidLookupJoin::Describe() const {
+  return "RID_JOIN " + edge_rowid_column + " " + DirArrow(dir) + " " +
+         vertex_alias +
+         (vertex_filter ? " (" + vertex_filter->ToString() + ")" : "");
+}
+
+std::string PhysRidExpandJoin::Describe() const {
+  return "RID_EXPAND_JOIN " + vertex_rowid_column + " " + DirArrow(dir) +
+         " " + edge_alias +
+         (edge_filter ? " (" + edge_filter->ToString() + ")" : "");
+}
+
+std::string PhysHashAggregate::Describe() const {
+  std::string out = "HASH_AGGREGATE ";
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    if (i) out += ", ";
+    switch (aggregates[i].func) {
+      case AggFunc::kCount:
+        out += "COUNT";
+        break;
+      case AggFunc::kMin:
+        out += "MIN";
+        break;
+      case AggFunc::kMax:
+        out += "MAX";
+        break;
+      case AggFunc::kSum:
+        out += "SUM";
+        break;
+    }
+    out += "(" + (aggregates[i].input_column.empty()
+                      ? "*"
+                      : aggregates[i].input_column) +
+           ")";
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY " + Join(group_by, ", ");
+  }
+  return out;
+}
+
+std::string PhysOrderBy::Describe() const {
+  std::string out = "ORDER_BY ";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i) out += ", ";
+    out += keys[i].column + (keys[i].ascending ? " ASC" : " DESC");
+  }
+  return out;
+}
+
+std::string PhysLimit::Describe() const {
+  return "LIMIT " + std::to_string(limit);
+}
+
+std::string PhysScanVertex::Describe() const {
+  return "SCAN " + var + (filter ? " (" + filter->ToString() + ")" : "");
+}
+
+std::string PhysExpandEdge::Describe() const {
+  return "EXPAND_EDGE " + from_var + " " + DirArrow(dir) + " [" + edge_var +
+         "]";
+}
+
+std::string PhysGetVertex::Describe() const {
+  return "GET_VERTEX [" + edge_var + "] " + DirArrow(dir) + " " + to_var +
+         (vertex_filter ? " (" + vertex_filter->ToString() + ")" : "");
+}
+
+std::string PhysExpand::Describe() const {
+  return std::string(use_index ? "EXPAND " : "EXPAND(hash) ") + from_var +
+         " " + DirArrow(dir) + " " + to_var +
+         (edge_var.empty() ? "" : " [" + edge_var + "]") +
+         (vertex_filter ? " (" + vertex_filter->ToString() + ")" : "");
+}
+
+std::string PhysExpandIntersect::Describe() const {
+  std::string out = "EXPAND_INTERSECT {";
+  for (size_t i = 0; i < from_vars.size(); ++i) {
+    if (i) out += ", ";
+    out += from_vars[i] + " " + DirArrow(dirs[i]);
+  }
+  return out + "} " + to_var;
+}
+
+std::string PhysEdgeVerify::Describe() const {
+  return "EDGE_VERIFY " + src_var + " " + DirArrow(dir) + " " + dst_var +
+         (edge_var.empty() ? "" : " [" + edge_var + "]");
+}
+
+std::string PhysPatternJoin::Describe() const {
+  return "PATTERN_JOIN on {" + Join(common_vars, ", ") + "}";
+}
+
+std::string PhysVertexFilter::Describe() const {
+  return "VERTEX_FILTER " + var + " (" +
+         (predicate ? predicate->ToString() : "true") + ")";
+}
+
+std::string PhysNotEqual::Describe() const {
+  return "NOT_EQUAL " + var_a + " <> " + var_b;
+}
+
+std::string PhysNaiveMatch::Describe() const {
+  return "NAIVE_MATCH " + pattern.ToString();
+}
+
+std::string PhysScanGraphTable::Describe() const {
+  std::string out = "SCAN_GRAPH_TABLE COLUMNS(";
+  for (size_t i = 0; i < projections.size(); ++i) {
+    if (i) out += ", ";
+    out += projections[i].var + "." + projections[i].column;
+    if (projections[i].output_name !=
+        projections[i].var + "." + projections[i].column) {
+      out += " AS " + projections[i].output_name;
+    }
+  }
+  return out + ")";
+}
+
+}  // namespace plan
+}  // namespace relgo

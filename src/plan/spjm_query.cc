@@ -1,0 +1,18 @@
+#include "plan/spjm_query.h"
+
+#include "storage/expression_parser.h"
+
+namespace relgo {
+namespace plan {
+
+SpjmQueryBuilder& SpjmQueryBuilder::Where(const std::string& predicate_text) {
+  auto parsed = storage::ParseExpression(predicate_text);
+  if (!parsed.ok()) {
+    if (status_.ok()) status_ = parsed.status();
+    return *this;
+  }
+  return Where(std::move(*parsed));
+}
+
+}  // namespace plan
+}  // namespace relgo

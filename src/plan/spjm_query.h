@@ -1,0 +1,150 @@
+#ifndef RELGO_PLAN_SPJM_QUERY_H_
+#define RELGO_PLAN_SPJM_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pattern/pattern_graph.h"
+#include "storage/expression.h"
+
+namespace relgo {
+namespace plan {
+
+/// One column of the graph-calibrated projection operator (pi-hat, Sec 2.3):
+/// extracts attribute `column` of the pattern element bound to `var` under
+/// the output name `output_name` (the SQL/PGQ COLUMNS clause).
+struct GraphProjection {
+  std::string var;          ///< pattern vertex/edge variable name
+  std::string column;       ///< attribute of the underlying table
+  std::string output_name;  ///< name in the projected relational schema
+};
+
+/// A relational join of the SPJ component: joins the accumulated result
+/// with table `table` (aliased `alias`) on `left_column = alias.right_column`.
+struct RelationalJoin {
+  std::string table;
+  std::string alias;
+  std::string left_column;   ///< column of the accumulated input schema
+  std::string right_column;  ///< raw column of `table`
+  storage::ExprPtr scan_filter;  ///< optional pushed filter on `table`
+};
+
+/// Aggregate functions supported by the evaluation workloads.
+enum class AggFunc { kCount, kMin, kMax, kSum };
+
+struct AggregateSpec {
+  AggFunc func;
+  std::string input_column;  ///< ignored for COUNT(*) (empty)
+  std::string output_name;
+};
+
+struct SortKey {
+  std::string column;
+  bool ascending = true;
+};
+
+/// The SPJM query skeleton of Eq. 1:
+///
+///   Q = pi_A ( sigma_Psi ( R1 JOIN ... JOIN Rm JOIN (pi-hat_A* M_G(P)) ) )
+///
+/// `pattern` is the matching operator's pattern P; `graph_projections` is
+/// pi-hat; `joins` are the relational joins R1..Rm; `where` is sigma_Psi
+/// evaluated over the joined schema; and the output clause is either
+/// `select` or `aggregates` (+ optional ORDER BY / LIMIT, which the LDBC
+/// interactive workload needs).
+///
+/// This struct *is* the logical plan in canonical SPJM form; optimizer
+/// rules (FilterIntoMatchRule) rewrite it in place before planning.
+struct SpjmQuery {
+  std::string name;  ///< for benchmark reporting, e.g. "IC5-2"
+
+  pattern::PatternGraph pattern;
+  std::vector<GraphProjection> graph_projections;
+  std::vector<RelationalJoin> joins;
+  storage::ExprPtr where;  ///< may be null
+
+  std::vector<std::pair<std::string, std::string>> select;  ///< (src, out)
+  std::vector<std::string> group_by;
+  std::vector<AggregateSpec> aggregates;
+  std::vector<SortKey> order_by;
+  int64_t limit = -1;  ///< -1 == no limit
+};
+
+/// Fluent builder producing SpjmQuery values; used by the workload suites
+/// and examples.
+class SpjmQueryBuilder {
+ public:
+  explicit SpjmQueryBuilder(std::string name) { query_.name = std::move(name); }
+
+  SpjmQueryBuilder& Match(pattern::PatternGraph pattern) {
+    query_.pattern = std::move(pattern);
+    return *this;
+  }
+  /// COLUMNS(var.column AS output_name)
+  SpjmQueryBuilder& Column(std::string var, std::string column,
+                           std::string output_name = "") {
+    if (output_name.empty()) output_name = var + "." + column;
+    query_.graph_projections.push_back(
+        {std::move(var), std::move(column), std::move(output_name)});
+    return *this;
+  }
+  SpjmQueryBuilder& Join(std::string table, std::string alias,
+                         std::string left_column, std::string right_column,
+                         storage::ExprPtr scan_filter = nullptr) {
+    query_.joins.push_back({std::move(table), std::move(alias),
+                            std::move(left_column), std::move(right_column),
+                            std::move(scan_filter)});
+    return *this;
+  }
+  SpjmQueryBuilder& Where(storage::ExprPtr predicate) {
+    query_.where = query_.where
+                       ? storage::Expr::And(query_.where, std::move(predicate))
+                       : std::move(predicate);
+    return *this;
+  }
+  /// Textual WHERE clause, parsed with storage::ParseExpression; see
+  /// expression_parser.h for the grammar. Parse failures are recorded in
+  /// status() and leave the query unchanged.
+  SpjmQueryBuilder& Where(const std::string& predicate_text);
+  SpjmQueryBuilder& Where(const char* predicate_text) {
+    return Where(std::string(predicate_text));
+  }
+  SpjmQueryBuilder& Select(std::string column, std::string out_name = "") {
+    if (out_name.empty()) out_name = column;
+    query_.select.emplace_back(std::move(column), std::move(out_name));
+    return *this;
+  }
+  SpjmQueryBuilder& GroupBy(std::string column) {
+    query_.group_by.push_back(std::move(column));
+    return *this;
+  }
+  SpjmQueryBuilder& Aggregate(AggFunc func, std::string input,
+                              std::string out_name) {
+    query_.aggregates.push_back(
+        {func, std::move(input), std::move(out_name)});
+    return *this;
+  }
+  SpjmQueryBuilder& OrderBy(std::string column, bool ascending = true) {
+    query_.order_by.push_back({std::move(column), ascending});
+    return *this;
+  }
+  SpjmQueryBuilder& Limit(int64_t n) {
+    query_.limit = n;
+    return *this;
+  }
+
+  SpjmQuery Build() { return std::move(query_); }
+
+  /// OK unless a textual clause failed to parse.
+  const Status& status() const { return status_; }
+
+ private:
+  SpjmQuery query_;
+  Status status_;
+};
+
+}  // namespace plan
+}  // namespace relgo
+
+#endif  // RELGO_PLAN_SPJM_QUERY_H_

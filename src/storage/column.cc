@@ -1,0 +1,127 @@
+#include "storage/column.h"
+
+namespace relgo {
+namespace storage {
+
+void Column::AppendNull() {
+  if (validity_.empty()) validity_.assign(size_, 1);
+  switch (type_) {
+    case LogicalType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case LogicalType::kString:
+      strings_.emplace_back();
+      break;
+    default:
+      ints_.push_back(0);
+      break;
+  }
+  validity_.push_back(0);
+  ++size_;
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case LogicalType::kBool:
+      if (v.type() != LogicalType::kBool) break;
+      AppendInt(v.bool_value() ? 1 : 0);
+      if (!validity_.empty()) validity_.push_back(1);
+      return Status::OK();
+    case LogicalType::kInt64:
+      if (v.type() != LogicalType::kInt64) break;
+      AppendInt(v.int_value());
+      if (!validity_.empty()) validity_.push_back(1);
+      return Status::OK();
+    case LogicalType::kDate:
+      if (v.type() != LogicalType::kDate && v.type() != LogicalType::kInt64)
+        break;
+      AppendInt(v.type() == LogicalType::kDate ? v.date_value()
+                                               : v.int_value());
+      if (!validity_.empty()) validity_.push_back(1);
+      return Status::OK();
+    case LogicalType::kDouble:
+      if (v.type() != LogicalType::kDouble && v.type() != LogicalType::kInt64)
+        break;
+      AppendDouble(v.type() == LogicalType::kDouble
+                       ? v.double_value()
+                       : static_cast<double>(v.int_value()));
+      if (!validity_.empty()) validity_.push_back(1);
+      return Status::OK();
+    case LogicalType::kString:
+      if (v.type() != LogicalType::kString) break;
+      AppendString(v.string_value());
+      if (!validity_.empty()) validity_.push_back(1);
+      return Status::OK();
+    case LogicalType::kNull:
+      break;
+  }
+  return Status::InvalidArgument(
+      std::string("type mismatch appending ") + LogicalTypeName(v.type()) +
+      " into column of " + LogicalTypeName(type_));
+}
+
+Value Column::GetValue(uint64_t i) const {
+  if (!is_valid(i)) return Value::Null();
+  switch (type_) {
+    case LogicalType::kBool:
+      return Value::Bool(ints_[i] != 0);
+    case LogicalType::kInt64:
+      return Value::Int(ints_[i]);
+    case LogicalType::kDate:
+      return Value::Date(static_cast<int32_t>(ints_[i]));
+    case LogicalType::kDouble:
+      return Value::Double(doubles_[i]);
+    case LogicalType::kString:
+      return Value::String(strings_[i]);
+    case LogicalType::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+Column Column::Gather(const std::vector<uint64_t>& indices) const {
+  Column out(type_);
+  out.Reserve(indices.size());
+  for (uint64_t idx : indices) out.AppendFrom(*this, idx);
+  return out;
+}
+
+void Column::AppendFrom(const Column& other, uint64_t row) {
+  if (!other.is_valid(row)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case LogicalType::kDouble:
+      AppendDouble(other.doubles_[row]);
+      break;
+    case LogicalType::kString:
+      AppendString(other.strings_[row]);
+      break;
+    default:
+      AppendInt(other.ints_[row]);
+      break;
+  }
+  if (!validity_.empty()) validity_.push_back(1);
+}
+
+void Column::Reserve(uint64_t n) {
+  switch (type_) {
+    case LogicalType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case LogicalType::kString:
+      strings_.reserve(n);
+      break;
+    default:
+      ints_.reserve(n);
+      break;
+  }
+}
+
+}  // namespace storage
+}  // namespace relgo

@@ -1,0 +1,77 @@
+#ifndef RELGO_STORAGE_COLUMN_H_
+#define RELGO_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace relgo {
+namespace storage {
+
+/// A typed, append-only column vector.
+///
+/// Integers, booleans and dates share a single int64 payload vector; doubles
+/// and strings use dedicated payloads. Nulls are tracked by an optional
+/// validity vector (empty means "all rows valid"), which keeps the common
+/// non-null path allocation-free.
+class Column {
+ public:
+  explicit Column(LogicalType type) : type_(type) {}
+
+  LogicalType type() const { return type_; }
+  uint64_t size() const { return size_; }
+
+  /// Appends a typed value; the fast paths below skip Value boxing.
+  void AppendInt(int64_t v) {
+    ints_.push_back(v);
+    ++size_;
+  }
+  void AppendDouble(double v) {
+    doubles_.push_back(v);
+    ++size_;
+  }
+  void AppendString(std::string v) {
+    strings_.push_back(std::move(v));
+    ++size_;
+  }
+  void AppendNull();
+
+  /// Appends a boxed value; must match the column type (or be NULL).
+  Status AppendValue(const Value& v);
+
+  /// Unchecked typed accessors for hot paths.
+  int64_t int_at(uint64_t i) const { return ints_[i]; }
+  double double_at(uint64_t i) const { return doubles_[i]; }
+  const std::string& string_at(uint64_t i) const { return strings_[i]; }
+
+  bool is_valid(uint64_t i) const {
+    return validity_.empty() || validity_[i] != 0;
+  }
+
+  /// Boxed accessor used by expression evaluation and result rendering.
+  Value GetValue(uint64_t i) const;
+
+  /// Builds a new column containing rows at `indices`, in order.
+  Column Gather(const std::vector<uint64_t>& indices) const;
+
+  /// Appends row `row` of `other` (same type) onto this column.
+  void AppendFrom(const Column& other, uint64_t row);
+
+  void Reserve(uint64_t n);
+
+ private:
+  LogicalType type_;
+  uint64_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> validity_;  // empty == all valid
+};
+
+}  // namespace storage
+}  // namespace relgo
+
+#endif  // RELGO_STORAGE_COLUMN_H_

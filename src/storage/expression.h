@@ -1,0 +1,126 @@
+#ifndef RELGO_STORAGE_EXPRESSION_H_
+#define RELGO_STORAGE_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace relgo {
+namespace storage {
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Comparison operators for scalar predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Scalar expression tree evaluated against one row of a Table.
+///
+/// Expressions reference attributes by name and are *bound* to a concrete
+/// schema before evaluation; binding resolves names to column indexes so the
+/// evaluation loop does no string lookups. The same expression object can be
+/// re-bound as it is pushed through the optimizer (filter pushdown,
+/// FilterIntoMatchRule).
+class Expr {
+ public:
+  enum class Kind {
+    kColumnRef,
+    kConstant,
+    kCompare,
+    kAnd,
+    kOr,
+    kNot,
+    kStartsWith,
+    kContains,
+    kInList,
+    kIsNull,
+  };
+
+  // -- Factories ------------------------------------------------------------
+
+  static ExprPtr Column(std::string name);
+  static ExprPtr Constant(Value v);
+  static ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(std::vector<ExprPtr> conjuncts);
+  static ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr inner);
+  static ExprPtr StartsWith(ExprPtr inner, std::string prefix);
+  static ExprPtr Contains(ExprPtr inner, std::string needle);
+  static ExprPtr InList(ExprPtr inner, std::vector<Value> values);
+  static ExprPtr IsNull(ExprPtr inner);
+
+  // Convenience comparison factories against a constant.
+  static ExprPtr Eq(std::string column, Value v) {
+    return Compare(CompareOp::kEq, Column(std::move(column)),
+                   Constant(std::move(v)));
+  }
+  static ExprPtr ColumnsEq(std::string left, std::string right) {
+    return Compare(CompareOp::kEq, Column(std::move(left)),
+                   Column(std::move(right)));
+  }
+
+  // -- Introspection ----------------------------------------------------------
+
+  Kind kind() const { return kind_; }
+  const std::string& column_name() const { return name_; }
+  const Value& constant() const { return value_; }
+  CompareOp compare_op() const { return compare_op_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const std::string& string_arg() const { return string_arg_; }
+  const std::vector<Value>& in_list() const { return in_list_; }
+
+  /// Resolves column references against `schema`. Fails when a referenced
+  /// attribute is absent (callers use this to test applicability of
+  /// pushdowns).
+  Status Bind(const Schema& schema);
+
+  /// True when every referenced attribute exists in `schema`.
+  bool BindsTo(const Schema& schema) const;
+
+  /// Evaluates against row `row` of `table`; Bind must have succeeded against
+  /// the table's schema.
+  Value Evaluate(const Table& table, uint64_t row) const;
+
+  /// Evaluates as a predicate; NULL results are treated as false (SQL
+  /// three-valued logic collapsed at the filter boundary).
+  bool EvaluateBool(const Table& table, uint64_t row) const;
+
+  /// Names of all attributes referenced anywhere in the tree.
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  /// Deep copy; used when a rule rewrites one branch of a shared plan.
+  ExprPtr Clone() const;
+
+  /// Deep copy with every column reference renamed through `rename`;
+  /// unmapped names are kept. Used when predicates are pushed across
+  /// projections that alias attributes.
+  ExprPtr CloneRenamed(
+      const std::unordered_map<std::string, std::string>& rename) const;
+
+  /// Flattens a conjunction into its leaves ((a AND b) AND c -> [a,b,c]).
+  static void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+  std::string ToString() const;
+
+ private:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string name_;        // kColumnRef
+  int bound_index_ = -1;    // kColumnRef after Bind
+  Value value_;             // kConstant
+  CompareOp compare_op_ = CompareOp::kEq;
+  std::string string_arg_;  // kStartsWith / kContains
+  std::vector<Value> in_list_;
+  std::vector<ExprPtr> children_;
+};
+
+}  // namespace storage
+}  // namespace relgo
+
+#endif  // RELGO_STORAGE_EXPRESSION_H_

@@ -1,0 +1,279 @@
+#include "storage/expression_parser.h"
+
+#include <cctype>
+
+namespace relgo {
+namespace storage {
+
+namespace {
+
+/// Token scanner over the predicate text.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  /// Case-insensitive keyword match at a word boundary.
+  bool ConsumeKeyword(const std::string& kw) {
+    SkipSpace();
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::toupper(static_cast<unsigned char>(kw[i]))) {
+        return false;
+      }
+    }
+    size_t after = pos_ + kw.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;  // part of a longer identifier
+    }
+    pos_ = after;
+    return true;
+  }
+
+  bool ConsumeSymbol(const std::string& sym) {
+    SkipSpace();
+    if (text_.compare(pos_, sym.size(), sym) != 0) return false;
+    pos_ += sym.size();
+    return true;
+  }
+
+  bool PeekSymbol(const std::string& sym) {
+    SkipSpace();
+    return text_.compare(pos_, sym.size(), sym) == 0;
+  }
+
+  /// Reads a (possibly dotted) identifier; empty when none.
+  std::string Identifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.' || text_[pos_] == '$')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Reads a single-quoted string literal (no escapes).
+  Result<std::string> StringLiteral() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '\'') {
+      return Status::InvalidArgument("expected string literal at offset " +
+                                     std::to_string(pos_));
+    }
+    size_t end = text_.find('\'', pos_ + 1);
+    if (end == std::string::npos) {
+      return Status::InvalidArgument("unterminated string literal");
+    }
+    std::string out = text_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+    return out;
+  }
+
+  /// Reads a numeric literal.
+  Result<Value> NumberLiteral() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_float = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      if (text_[pos_] == '.') is_float = true;
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected number at offset " +
+                                     std::to_string(start));
+    }
+    std::string tok = text_.substr(start, pos_ - start);
+    if (is_float) return Value::Double(std::stod(tok));
+    return Value::Int(std::stoll(tok));
+  }
+
+  bool PeekNumber() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '+';
+  }
+
+  bool PeekString() {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == '\'';
+  }
+
+  size_t position() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  Result<ExprPtr> Parse() {
+    RELGO_ASSIGN_OR_RETURN(auto e, ParseOr());
+    if (!lex_.AtEnd()) {
+      return Status::InvalidArgument(
+          "trailing input in predicate at offset " +
+          std::to_string(lex_.position()));
+    }
+    return e;
+  }
+
+ private:
+  Result<ExprPtr> ParseOr() {
+    RELGO_ASSIGN_OR_RETURN(auto lhs, ParseAnd());
+    while (lex_.ConsumeKeyword("OR")) {
+      RELGO_ASSIGN_OR_RETURN(auto rhs, ParseAnd());
+      lhs = Expr::Or(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    RELGO_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    while (lex_.ConsumeKeyword("AND")) {
+      RELGO_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+      lhs = Expr::And(lhs, rhs);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (lex_.ConsumeKeyword("NOT")) {
+      RELGO_ASSIGN_OR_RETURN(auto inner, ParseUnary());
+      return Expr::Not(inner);
+    }
+    if (lex_.ConsumeSymbol("(")) {
+      RELGO_ASSIGN_OR_RETURN(auto inner, ParseOr());
+      if (!lex_.ConsumeSymbol(")")) {
+        return Status::InvalidArgument("expected ')'");
+      }
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParseOperand() {
+    if (lex_.PeekString()) {
+      RELGO_ASSIGN_OR_RETURN(auto s, lex_.StringLiteral());
+      return Expr::Constant(Value::String(std::move(s)));
+    }
+    if (lex_.PeekNumber()) {
+      RELGO_ASSIGN_OR_RETURN(auto v, lex_.NumberLiteral());
+      return Expr::Constant(v);
+    }
+    if (lex_.ConsumeKeyword("DATE")) {
+      RELGO_ASSIGN_OR_RETURN(auto s, lex_.StringLiteral());
+      RELGO_ASSIGN_OR_RETURN(int32_t days, ParseDate(s));
+      return Expr::Constant(Value::Date(days));
+    }
+    if (lex_.ConsumeKeyword("TRUE")) {
+      return Expr::Constant(Value::Bool(true));
+    }
+    if (lex_.ConsumeKeyword("FALSE")) {
+      return Expr::Constant(Value::Bool(false));
+    }
+    if (lex_.ConsumeKeyword("NULL")) {
+      return Expr::Constant(Value::Null());
+    }
+    std::string ident = lex_.Identifier();
+    if (ident.empty()) {
+      return Status::InvalidArgument("expected operand at offset " +
+                                     std::to_string(lex_.position()));
+    }
+    return Expr::Column(std::move(ident));
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    RELGO_ASSIGN_OR_RETURN(auto lhs, ParseOperand());
+    if (lex_.ConsumeKeyword("STARTS")) {
+      if (!lex_.ConsumeKeyword("WITH")) {
+        return Status::InvalidArgument("expected WITH after STARTS");
+      }
+      RELGO_ASSIGN_OR_RETURN(auto s, lex_.StringLiteral());
+      return Expr::StartsWith(lhs, std::move(s));
+    }
+    if (lex_.ConsumeKeyword("CONTAINS")) {
+      RELGO_ASSIGN_OR_RETURN(auto s, lex_.StringLiteral());
+      return Expr::Contains(lhs, std::move(s));
+    }
+    if (lex_.ConsumeKeyword("IS")) {
+      bool negated = lex_.ConsumeKeyword("NOT");
+      if (!lex_.ConsumeKeyword("NULL")) {
+        return Status::InvalidArgument("expected NULL after IS");
+      }
+      ExprPtr test = Expr::IsNull(lhs);
+      return negated ? Expr::Not(test) : test;
+    }
+    if (lex_.ConsumeKeyword("IN")) {
+      if (!lex_.ConsumeSymbol("(")) {
+        return Status::InvalidArgument("expected '(' after IN");
+      }
+      std::vector<Value> values;
+      do {
+        RELGO_ASSIGN_OR_RETURN(auto operand, ParseOperand());
+        if (operand->kind() != Expr::Kind::kConstant) {
+          return Status::InvalidArgument("IN list must contain literals");
+        }
+        values.push_back(operand->constant());
+      } while (lex_.ConsumeSymbol(","));
+      if (!lex_.ConsumeSymbol(")")) {
+        return Status::InvalidArgument("expected ')' closing IN list");
+      }
+      return Expr::InList(lhs, std::move(values));
+    }
+    // Comparison operators; longest symbols first.
+    struct OpToken {
+      const char* symbol;
+      CompareOp op;
+    };
+    static const OpToken kOps[] = {
+        {"<>", CompareOp::kNe}, {"!=", CompareOp::kNe},
+        {"<=", CompareOp::kLe}, {">=", CompareOp::kGe},
+        {"=", CompareOp::kEq},  {"<", CompareOp::kLt},
+        {">", CompareOp::kGt},
+    };
+    for (const auto& t : kOps) {
+      if (lex_.ConsumeSymbol(t.symbol)) {
+        RELGO_ASSIGN_OR_RETURN(auto rhs, ParseOperand());
+        return Expr::Compare(t.op, lhs, rhs);
+      }
+    }
+    return Status::InvalidArgument("expected comparison at offset " +
+                                   std::to_string(lex_.position()));
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace storage
+}  // namespace relgo

@@ -1,0 +1,38 @@
+#ifndef RELGO_STORAGE_EXPRESSION_PARSER_H_
+#define RELGO_STORAGE_EXPRESSION_PARSER_H_
+
+#include <string>
+
+#include "storage/expression.h"
+
+namespace relgo {
+namespace storage {
+
+/// Parses a SQL-style scalar predicate into an expression tree.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   expr    := conj ("OR" conj)*
+///   conj    := unary ("AND" unary)*
+///   unary   := "NOT" unary | "(" expr ")" | predicate
+///   predicate := operand cmp operand
+///            | operand "STARTS" "WITH" string
+///            | operand "CONTAINS" string
+///            | operand "IS" "NULL"
+///            | operand "IN" "(" literal ("," literal)* ")"
+///   cmp     := "=" | "<>" | "!=" | "<" | "<=" | ">" | ">="
+///   operand := literal | column
+///   literal := integer | float | 'string' | DATE 'YYYY-MM-DD'
+///             | TRUE | FALSE | NULL
+///   column  := identifier ("." identifier)*      e.g.  p1.name
+///
+/// Examples:
+///   p.name = 'Tom' AND po.creationDate >= DATE '2012-01-01'
+///   cn.country_code = '[us]' OR t.production_year > 2000
+///   n.name STARTS WITH 'B'
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace storage
+}  // namespace relgo
+
+#endif  // RELGO_STORAGE_EXPRESSION_PARSER_H_

@@ -1,0 +1,47 @@
+#include "storage/schema.h"
+
+namespace relgo {
+namespace storage {
+
+Schema::Schema(std::vector<ColumnDef> columns) {
+  for (auto& c : columns) {
+    // Duplicate names in a constructor argument indicate a programming
+    // error in workload definitions; keep first occurrence.
+    (void)AddColumn(std::move(c));
+  }
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+Result<size_t> Schema::GetColumnIndex(const std::string& name) const {
+  int idx = FindColumn(name);
+  if (idx < 0) return Status::NotFound("no column named '" + name + "'");
+  return static_cast<size_t>(idx);
+}
+
+Status Schema::AddColumn(ColumnDef def) {
+  if (index_.count(def.name)) {
+    return Status::AlreadyExists("duplicate column '" + def.name + "'");
+  }
+  index_[def.name] = columns_.size();
+  columns_.push_back(std::move(def));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += LogicalTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace storage
+}  // namespace relgo

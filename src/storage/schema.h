@@ -1,0 +1,49 @@
+#ifndef RELGO_STORAGE_SCHEMA_H_
+#define RELGO_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace relgo {
+namespace storage {
+
+/// Definition of one attribute in a relational schema.
+struct ColumnDef {
+  std::string name;
+  LogicalType type;
+};
+
+/// An ordered collection of attributes (Sec 2.1 of the paper).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the attribute named `name`, or -1 when absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Like FindColumn but returns a Status on failure.
+  Result<size_t> GetColumnIndex(const std::string& name) const;
+
+  /// Appends an attribute; names must be unique within a schema.
+  Status AddColumn(ColumnDef def);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace storage
+}  // namespace relgo
+
+#endif  // RELGO_STORAGE_SCHEMA_H_

@@ -1,0 +1,169 @@
+#include "workload/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace relgo {
+namespace workload {
+
+std::string RunMeasurement::StatusOrMs(bool end_to_end) const {
+  if (out_of_memory) return "OOM";
+  if (timed_out) return "OT";
+  if (failed) return "ERR";
+  double ms = end_to_end ? TotalMs() : execution_ms;
+  return StrFormat("%.2f", ms);
+}
+
+RunMeasurement Harness::Run(const WorkloadQuery& wq,
+                            optimizer::OptimizerMode mode) const {
+  RunMeasurement m;
+  m.query = wq.query.name;
+  m.mode = optimizer::ModeName(mode);
+
+  double total_opt = 0.0, total_exec = 0.0;
+  // Warm-up + timed repetitions; a failure on any run is terminal.
+  for (int rep = -1; rep < repetitions_; ++rep) {
+    auto result = db_->Run(wq.query, mode, exec_options_);
+    if (!result.ok()) {
+      m.out_of_memory = result.status().code() == StatusCode::kOutOfMemory;
+      m.timed_out = result.status().code() == StatusCode::kTimeout;
+      m.failed = !m.out_of_memory && !m.timed_out;
+      m.error = result.status().ToString();
+      return m;
+    }
+    if (rep >= 0) {
+      total_opt += result->optimization_ms;
+      total_exec += result->execution_ms;
+      m.result_rows = result->table->num_rows();
+    }
+  }
+  m.optimization_ms = total_opt / repetitions_;
+  m.execution_ms = total_exec / repetitions_;
+  return m;
+}
+
+std::vector<RunMeasurement> Harness::RunGrid(
+    const std::vector<WorkloadQuery>& queries,
+    const std::vector<optimizer::OptimizerMode>& modes) const {
+  std::vector<RunMeasurement> out;
+  for (const auto& wq : queries) {
+    for (auto mode : modes) {
+      out.push_back(Run(wq, mode));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> OrderedQueries(
+    const std::vector<RunMeasurement>& runs) {
+  std::vector<std::string> queries;
+  for (const auto& r : runs) {
+    if (std::find(queries.begin(), queries.end(), r.query) == queries.end()) {
+      queries.push_back(r.query);
+    }
+  }
+  return queries;
+}
+
+std::vector<std::string> OrderedModes(
+    const std::vector<RunMeasurement>& runs) {
+  std::vector<std::string> modes;
+  for (const auto& r : runs) {
+    if (std::find(modes.begin(), modes.end(), r.mode) == modes.end()) {
+      modes.push_back(r.mode);
+    }
+  }
+  return modes;
+}
+
+const RunMeasurement* Find(const std::vector<RunMeasurement>& runs,
+                           const std::string& query,
+                           const std::string& mode) {
+  for (const auto& r : runs) {
+    if (r.query == query && r.mode == mode) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string Harness::FormatTable(const std::vector<RunMeasurement>& runs,
+                                 bool end_to_end) {
+  auto queries = OrderedQueries(runs);
+  auto modes = OrderedModes(runs);
+  std::ostringstream os;
+  os << StrFormat("%-10s", "query");
+  for (const auto& m : modes) os << StrFormat("%14s", m.c_str());
+  os << "\n";
+  for (const auto& q : queries) {
+    os << StrFormat("%-10s", q.c_str());
+    for (const auto& m : modes) {
+      const RunMeasurement* r = Find(runs, q, m);
+      os << StrFormat("%14s",
+                      r ? r->StatusOrMs(end_to_end).c_str() : "-");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Harness::FormatSpeedups(const std::vector<RunMeasurement>& runs,
+                                    const std::string& baseline_mode) {
+  auto queries = OrderedQueries(runs);
+  auto modes = OrderedModes(runs);
+  std::ostringstream os;
+  os << StrFormat("%-10s", "query");
+  for (const auto& m : modes) {
+    if (m != baseline_mode) os << StrFormat("%14s", m.c_str());
+  }
+  os << "\n";
+  for (const auto& q : queries) {
+    const RunMeasurement* base = Find(runs, q, baseline_mode);
+    os << StrFormat("%-10s", q.c_str());
+    for (const auto& m : modes) {
+      if (m == baseline_mode) continue;
+      const RunMeasurement* r = Find(runs, q, m);
+      if (base == nullptr || r == nullptr || base->failed || r->failed ||
+          r->timed_out || r->out_of_memory) {
+        os << StrFormat("%14s", r && r->out_of_memory ? "OOM"
+                                : r && r->timed_out   ? "OT"
+                                                      : "-");
+      } else if (base->timed_out || base->out_of_memory) {
+        os << StrFormat("%14s", ">inf");
+      } else {
+        os << StrFormat("%13.2fx", base->execution_ms /
+                                       std::max(r->execution_ms, 1e-3));
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+double Harness::AverageSpeedup(const std::vector<RunMeasurement>& runs,
+                               const std::string& baseline_mode,
+                               const std::string& mode) {
+  double log_sum = 0.0;
+  int n = 0;
+  for (const auto& q : OrderedQueries(runs)) {
+    const RunMeasurement* base = Find(runs, q, baseline_mode);
+    const RunMeasurement* r = Find(runs, q, mode);
+    if (base == nullptr || r == nullptr) continue;
+    if (base->failed || base->timed_out || base->out_of_memory) continue;
+    if (r->failed || r->timed_out || r->out_of_memory) continue;
+    log_sum += std::log(std::max(base->execution_ms, 1e-3) /
+                        std::max(r->execution_ms, 1e-3));
+    ++n;
+  }
+  return n == 0 ? 1.0 : std::exp(log_sum / n);
+}
+
+}  // namespace workload
+}  // namespace relgo

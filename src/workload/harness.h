@@ -1,0 +1,72 @@
+#ifndef RELGO_WORKLOAD_HARNESS_H_
+#define RELGO_WORKLOAD_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/ldbc.h"
+
+namespace relgo {
+namespace workload {
+
+/// Outcome of one (query, optimizer mode) measurement.
+struct RunMeasurement {
+  std::string query;
+  std::string mode;
+  double optimization_ms = 0.0;
+  double execution_ms = 0.0;
+  uint64_t result_rows = 0;
+  bool timed_out = false;       ///< reported as OT, like the paper
+  bool out_of_memory = false;   ///< reported as OOM
+  bool failed = false;
+  std::string error;
+
+  double TotalMs() const { return optimization_ms + execution_ms; }
+  /// "OT" / "OOM" / formatted milliseconds.
+  std::string StatusOrMs(bool end_to_end) const;
+};
+
+/// Benchmark harness mirroring the paper's protocol: warm-up run, then
+/// `repetitions` timed runs averaged; OT/OOM handling; per-figure table
+/// rendering.
+class Harness {
+ public:
+  Harness(const Database* db, exec::ExecutionOptions exec_options = {},
+          int repetitions = 3)
+      : db_(db), exec_options_(exec_options), repetitions_(repetitions) {}
+
+  /// Runs one query under one mode, averaging timed repetitions.
+  RunMeasurement Run(const WorkloadQuery& wq,
+                     optimizer::OptimizerMode mode) const;
+
+  /// Runs a full (queries x modes) grid.
+  std::vector<RunMeasurement> RunGrid(
+      const std::vector<WorkloadQuery>& queries,
+      const std::vector<optimizer::OptimizerMode>& modes) const;
+
+  /// Renders a fixed-width table: one row per query, one column per mode,
+  /// values as milliseconds (end-to-end when `end_to_end`).
+  static std::string FormatTable(const std::vector<RunMeasurement>& runs,
+                                 bool end_to_end);
+
+  /// Renders speedups of each mode against `baseline_mode`
+  /// (Time(baseline) / Time(mode), the paper's Fig 11 metric).
+  static std::string FormatSpeedups(const std::vector<RunMeasurement>& runs,
+                                    const std::string& baseline_mode);
+
+  /// Geometric-mean speedup of `mode` vs `baseline_mode` over queries where
+  /// both completed.
+  static double AverageSpeedup(const std::vector<RunMeasurement>& runs,
+                               const std::string& baseline_mode,
+                               const std::string& mode);
+
+ private:
+  const Database* db_;
+  exec::ExecutionOptions exec_options_;
+  int repetitions_;
+};
+
+}  // namespace workload
+}  // namespace relgo
+
+#endif  // RELGO_WORKLOAD_HARNESS_H_

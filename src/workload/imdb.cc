@@ -1,0 +1,884 @@
+#include "workload/imdb.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace relgo {
+namespace workload {
+
+using plan::AggFunc;
+using plan::SpjmQueryBuilder;
+using storage::ColumnDef;
+using storage::CompareOp;
+using storage::Expr;
+using storage::ExprPtr;
+using storage::Schema;
+
+namespace {
+
+const char* kKindTypes[] = {"movie",    "tv series",      "video movie",
+                            "video game", "episode",      "tv movie",
+                            "tv mini series"};
+const char* kInfoTypes[] = {"budget",        "rating",       "release dates",
+                            "genres",        "votes",        "languages",
+                            "runtimes",      "countries",    "taglines",
+                            "trivia",        "top 250 rank", "height",
+                            "birth notes",   "mini biography"};
+const char* kCompanyTypes[] = {"production companies", "distributors",
+                               "special effects companies",
+                               "miscellaneous companies"};
+const char* kRoleTypes[] = {"actor",    "actress",  "producer", "writer",
+                            "director", "composer", "editor",
+                            "cinematographer"};
+const char* kLinkTypes[] = {"follows",        "followed by", "remake of",
+                            "remade as",      "references",  "referenced in",
+                            "spoofs",         "version of"};
+const char* kCountryCodes[] = {"[us]", "[gb]", "[de]", "[fr]", "[jp]",
+                               "[it]", "[in]", "[ca]", "[es]", "[se]"};
+const char* kGenres[] = {"Drama",  "Comedy",   "Action",      "Horror",
+                         "Sci-Fi", "Thriller", "Documentary", "Romance"};
+// The first keywords are the named ones JOB predicates use.
+const char* kNamedKeywords[] = {"character-name-in-title", "sequel",
+                                "superhero",               "blood",
+                                "violence",                "marvel-cinematic-universe"};
+
+int64_t ArrayLen(const char* const* arr, size_t bytes) {
+  (void)arr;
+  return static_cast<int64_t>(bytes / sizeof(const char*));
+}
+#define ARRAY_LEN(a) ArrayLen(a, sizeof(a))
+
+}  // namespace
+
+Status GenerateImdb(Database* db, const ImdbOptions& options) {
+  Rng rng(options.seed);
+  // Per-link-table permutations keep skewed marginals while decorrelating
+  // which titles/names are "popular" in each relationship.
+  Permutation ci_title_perm(options.titles(), options.seed + 1);
+  Permutation ci_name_perm(options.names(), options.seed + 2);
+  Permutation mc_title_perm(options.titles(), options.seed + 3);
+  Permutation mk_title_perm(options.titles(), options.seed + 4);
+  Permutation mi_title_perm(options.titles(), options.seed + 5);
+  Permutation midx_title_perm(options.titles(), options.seed + 6);
+  Permutation an_name_perm(options.names(), options.seed + 7);
+  Permutation pi_name_perm(options.names(), options.seed + 8);
+  Permutation ml_title_perm(options.titles(), options.seed + 9);
+
+  // ---- Dimension tables ------------------------------------------------------
+  auto make_enum_table = [&](const char* name, const char* col,
+                             const char* const* values,
+                             int64_t n) -> Status {
+    RELGO_ASSIGN_OR_RETURN(
+        auto t, db->CreateTable(
+                    name, Schema({ColumnDef{"id", LogicalType::kInt64},
+                                  {col, LogicalType::kString}})));
+    for (int64_t i = 0; i < n; ++i) {
+      RELGO_RETURN_NOT_OK(
+          t->AppendRow({Value::Int(i), Value::String(values[i])}));
+    }
+    return Status::OK();
+  };
+  RELGO_RETURN_NOT_OK(make_enum_table("kind_type", "kind", kKindTypes,
+                                      ARRAY_LEN(kKindTypes)));
+  RELGO_RETURN_NOT_OK(make_enum_table("info_type", "info", kInfoTypes,
+                                      ARRAY_LEN(kInfoTypes)));
+  RELGO_RETURN_NOT_OK(make_enum_table("company_type", "kind", kCompanyTypes,
+                                      ARRAY_LEN(kCompanyTypes)));
+  RELGO_RETURN_NOT_OK(make_enum_table("role_type", "role", kRoleTypes,
+                                      ARRAY_LEN(kRoleTypes)));
+  RELGO_RETURN_NOT_OK(make_enum_table("link_type", "link", kLinkTypes,
+                                      ARRAY_LEN(kLinkTypes)));
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto keyword,
+      db->CreateTable("keyword",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"keyword", LogicalType::kString}})));
+  for (int64_t i = 0; i < options.keywords(); ++i) {
+    std::string kw = i < ARRAY_LEN(kNamedKeywords)
+                         ? kNamedKeywords[i]
+                         : "kw_" + std::to_string(i);
+    RELGO_RETURN_NOT_OK(keyword->AppendRow({Value::Int(i), Value::String(kw)}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto company,
+      db->CreateTable("company_name",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"name", LogicalType::kString},
+                              {"country_code", LogicalType::kString}})));
+  for (int64_t i = 0; i < options.companies(); ++i) {
+    RELGO_RETURN_NOT_OK(company->AppendRow(
+        {Value::Int(i), Value::String("studio_" + std::to_string(i)),
+         Value::String(
+             kCountryCodes[rng.Zipf(ARRAY_LEN(kCountryCodes), 1.0)])}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto char_name,
+      db->CreateTable("char_name",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"name", LogicalType::kString}})));
+  int64_t num_chars = options.names() / 2;
+  for (int64_t i = 0; i < num_chars; ++i) {
+    RELGO_RETURN_NOT_OK(char_name->AppendRow(
+        {Value::Int(i), Value::String("char_" + std::to_string(i))}));
+  }
+
+  // ---- Entity tables ---------------------------------------------------------
+  RELGO_ASSIGN_OR_RETURN(
+      auto title,
+      db->CreateTable("title",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"title", LogicalType::kString},
+                              {"production_year", LogicalType::kInt64},
+                              {"kind_id", LogicalType::kInt64}})));
+  for (int64_t i = 0; i < options.titles(); ++i) {
+    // Skew toward recent years, like the real IMDB snapshot.
+    int64_t year = 2023 - rng.PowerLaw(0, 73, 1.6);
+    char initial = static_cast<char>('A' + rng.Uniform(0, 25));
+    RELGO_RETURN_NOT_OK(title->AppendRow(
+        {Value::Int(i),
+         Value::String(std::string(1, initial) + "_movie_" +
+                       std::to_string(i)),
+         Value::Int(year),
+         Value::Int(rng.Zipf(ARRAY_LEN(kKindTypes), 1.0))}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto name, db->CreateTable(
+                     "name", Schema({ColumnDef{"id", LogicalType::kInt64},
+                                     {"name", LogicalType::kString},
+                                     {"gender", LogicalType::kString}})));
+  for (int64_t i = 0; i < options.names(); ++i) {
+    char initial = static_cast<char>('A' + rng.Uniform(0, 25));
+    RELGO_RETURN_NOT_OK(name->AppendRow(
+        {Value::Int(i),
+         Value::String(std::string(1, initial) + "_person_" +
+                       std::to_string(i)),
+         Value::String(rng.Chance(0.45) ? "f" : "m")}));
+  }
+
+  // ---- Link tables (vertices that carry FK edges) ----------------------------
+  RELGO_ASSIGN_OR_RETURN(
+      auto cast_info,
+      db->CreateTable("cast_info",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"person_id", LogicalType::kInt64},
+                              {"movie_id", LogicalType::kInt64},
+                              {"role_id", LogicalType::kInt64},
+                              {"person_role_id", LogicalType::kInt64},
+                              {"nr_order", LogicalType::kInt64}})));
+  for (int64_t i = 0; i < options.cast_info(); ++i) {
+    RELGO_RETURN_NOT_OK(cast_info->AppendRow(
+        {Value::Int(i),
+         Value::Int(ci_name_perm[rng.Zipf(options.names(), 1.0)]),
+         Value::Int(ci_title_perm[rng.Zipf(options.titles(), 1.0)]),
+         Value::Int(rng.Zipf(ARRAY_LEN(kRoleTypes), 1.0)),
+         Value::Int(rng.Uniform(0, num_chars - 1)),
+         Value::Int(rng.Uniform(1, 50))}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto movie_companies,
+      db->CreateTable("movie_companies",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"movie_id", LogicalType::kInt64},
+                              {"company_id", LogicalType::kInt64},
+                              {"company_type_id", LogicalType::kInt64},
+                              {"note", LogicalType::kString}})));
+  for (int64_t i = 0; i < options.movie_companies(); ++i) {
+    RELGO_RETURN_NOT_OK(movie_companies->AppendRow(
+        {Value::Int(i),
+         Value::Int(mc_title_perm[rng.Zipf(options.titles(), 1.0)]),
+         Value::Int(rng.Zipf(options.companies(), 1.0)),
+         Value::Int(rng.Zipf(ARRAY_LEN(kCompanyTypes), 1.0)),
+         Value::String(rng.Chance(0.3) ? "(co-production)" : "(presents)")}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto movie_keyword,
+      db->CreateTable("movie_keyword",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"movie_id", LogicalType::kInt64},
+                              {"keyword_id", LogicalType::kInt64}})));
+  for (int64_t i = 0; i < options.movie_keywords(); ++i) {
+    RELGO_RETURN_NOT_OK(movie_keyword->AppendRow(
+        {Value::Int(i),
+         Value::Int(mk_title_perm[rng.Zipf(options.titles(), 1.0)]),
+         Value::Int(rng.Zipf(options.keywords(), 1.0))}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto movie_info,
+      db->CreateTable("movie_info",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"movie_id", LogicalType::kInt64},
+                              {"info_type_id", LogicalType::kInt64},
+                              {"info", LogicalType::kString}})));
+  for (int64_t i = 0; i < options.movie_infos(); ++i) {
+    int64_t itype = rng.Zipf(10, 1.0);  // first ten info types
+    std::string info;
+    if (std::string(kInfoTypes[itype]) == "genres") {
+      info = kGenres[rng.Zipf(ARRAY_LEN(kGenres), 1.0)];
+    } else if (std::string(kInfoTypes[itype]) == "budget") {
+      info = "$" + std::to_string(rng.Uniform(1, 200)) + "000000";
+    } else {
+      info = "note_" + std::to_string(rng.Uniform(0, 500));
+    }
+    RELGO_RETURN_NOT_OK(movie_info->AppendRow(
+        {Value::Int(i),
+         Value::Int(mi_title_perm[rng.Zipf(options.titles(), 1.0)]),
+         Value::Int(itype), Value::String(info)}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto movie_info_idx,
+      db->CreateTable("movie_info_idx",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"movie_id", LogicalType::kInt64},
+                              {"info_type_id", LogicalType::kInt64},
+                              {"info", LogicalType::kString}})));
+  {
+    int rating_type = 1;  // "rating"
+    int votes_type = 4;   // "votes"
+    for (int64_t i = 0; i < options.movie_info_idx(); ++i) {
+      bool is_rating = rng.Chance(0.5);
+      std::string info =
+          is_rating
+              ? StrFormat("%.1f", 1.0 + rng.NextDouble() * 8.9)
+              : std::to_string(rng.Uniform(10, 500000));
+      RELGO_RETURN_NOT_OK(movie_info_idx->AppendRow(
+          {Value::Int(i),
+           Value::Int(midx_title_perm[rng.Zipf(options.titles(), 1.0)]),
+           Value::Int(is_rating ? rating_type : votes_type),
+           Value::String(info)}));
+    }
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto aka_name,
+      db->CreateTable("aka_name",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"person_id", LogicalType::kInt64},
+                              {"name", LogicalType::kString}})));
+  for (int64_t i = 0; i < options.aka_names(); ++i) {
+    RELGO_RETURN_NOT_OK(aka_name->AppendRow(
+        {Value::Int(i),
+         Value::Int(an_name_perm[rng.Zipf(options.names(), 1.0)]),
+         Value::String("aka_" + std::to_string(i))}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto person_info,
+      db->CreateTable("person_info",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"person_id", LogicalType::kInt64},
+                              {"info_type_id", LogicalType::kInt64},
+                              {"info", LogicalType::kString}})));
+  for (int64_t i = 0; i < options.person_infos(); ++i) {
+    int64_t itype = 11 + rng.Uniform(0, 2);  // height/birth notes/mini bio
+    RELGO_RETURN_NOT_OK(person_info->AppendRow(
+        {Value::Int(i),
+         Value::Int(pi_name_perm[rng.Zipf(options.names(), 1.0)]),
+         Value::Int(itype),
+         Value::String("pinfo_" + std::to_string(rng.Uniform(0, 300)))}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto movie_link,
+      db->CreateTable("movie_link",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"movie_id", LogicalType::kInt64},
+                              {"linked_movie_id", LogicalType::kInt64},
+                              {"link_type_id", LogicalType::kInt64}})));
+  for (int64_t i = 0; i < options.movie_links(); ++i) {
+    RELGO_RETURN_NOT_OK(movie_link->AppendRow(
+        {Value::Int(i),
+         Value::Int(ml_title_perm[rng.Zipf(options.titles(), 1.0)]),
+         Value::Int(rng.Uniform(0, options.titles() - 1)),
+         Value::Int(rng.Zipf(ARRAY_LEN(kLinkTypes), 1.0))}));
+  }
+
+  // ---- RGMapping: every table is a vertex; FKs are identity edges. -----------
+  for (const char* t :
+       {"kind_type", "info_type", "company_type", "role_type", "link_type",
+        "keyword", "company_name", "char_name", "title", "name", "cast_info",
+        "movie_companies", "movie_keyword", "movie_info", "movie_info_idx",
+        "aka_name", "person_info", "movie_link"}) {
+    RELGO_RETURN_NOT_OK(db->AddVertexTable(t, "id"));
+  }
+  struct FkEdge {
+    const char* table;
+    const char* fk;
+    const char* target;
+    const char* label;
+  };
+  const FkEdge kEdges[] = {
+      {"cast_info", "person_id", "name", "ci_name"},
+      {"cast_info", "movie_id", "title", "ci_title"},
+      {"cast_info", "role_id", "role_type", "ci_role"},
+      {"cast_info", "person_role_id", "char_name", "ci_char"},
+      {"movie_companies", "movie_id", "title", "mc_title"},
+      {"movie_companies", "company_id", "company_name", "mc_company"},
+      {"movie_companies", "company_type_id", "company_type", "mc_ctype"},
+      {"movie_keyword", "movie_id", "title", "mk_title"},
+      {"movie_keyword", "keyword_id", "keyword", "mk_keyword"},
+      {"movie_info", "movie_id", "title", "mi_title"},
+      {"movie_info", "info_type_id", "info_type", "mi_itype"},
+      {"movie_info_idx", "movie_id", "title", "midx_title"},
+      {"movie_info_idx", "info_type_id", "info_type", "midx_itype"},
+      {"title", "kind_id", "kind_type", "t_kind"},
+      {"aka_name", "person_id", "name", "an_name"},
+      {"person_info", "person_id", "name", "pi_name"},
+      {"person_info", "info_type_id", "info_type", "pi_itype"},
+      {"movie_link", "movie_id", "title", "ml_movie"},
+      {"movie_link", "linked_movie_id", "title", "ml_linked"},
+      {"movie_link", "link_type_id", "link_type", "ml_ltype"},
+  };
+  for (const auto& e : kEdges) {
+    RELGO_RETURN_NOT_OK(
+        db->AddEdgeTable(e.table, e.table, "id", e.target, e.fk, e.label));
+  }
+  return db->Finalize();
+}
+
+// ---------------------------------------------------------------------------
+// JOB-analog queries
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Compact builder for JOB-style queries: MATCH + WHERE + MIN aggregates.
+/// All referenced "var.column" attributes are auto-added to the COLUMNS
+/// clause so both the converged and flattened paths see them.
+class JobBuilder {
+ public:
+  JobBuilder(const Database& db, std::string name, const std::string& text)
+      : builder_(std::move(name)) {
+    auto p = db.ParsePattern(text);
+    if (!p.ok()) {
+      std::fprintf(stderr, "JOB pattern error in %s: %s\n", text.c_str(),
+                   p.status().ToString().c_str());
+      std::abort();
+    }
+    builder_.Match(std::move(*p));
+  }
+
+  JobBuilder& Where(ExprPtr e) {
+    std::vector<std::string> cols;
+    e->CollectColumns(&cols);
+    for (const auto& c : cols) Project(c);
+    builder_.Where(std::move(e));
+    return *this;
+  }
+
+  JobBuilder& Min(const std::string& var_col, const std::string& out) {
+    Project(var_col);
+    builder_.Aggregate(AggFunc::kMin, var_col, out);
+    return *this;
+  }
+
+  WorkloadQuery Build(bool cyclic = false) {
+    return {builder_.Build(), cyclic};
+  }
+
+ private:
+  void Project(const std::string& var_col) {
+    if (!seen_.insert(var_col).second) return;
+    size_t dot = var_col.find('.');
+    builder_.Column(var_col.substr(0, dot), var_col.substr(dot + 1));
+  }
+
+  SpjmQueryBuilder builder_;
+  std::set<std::string> seen_;
+};
+
+ExprPtr SEq(const std::string& col, const char* v) {
+  return Expr::Eq(col, Value::String(v));
+}
+ExprPtr YearGt(const std::string& col, int64_t y) {
+  return Expr::Compare(CompareOp::kGt, Expr::Column(col),
+                       Expr::Constant(Value::Int(y)));
+}
+ExprPtr YearBetween(const std::string& col, int64_t lo, int64_t hi) {
+  return Expr::And(Expr::Compare(CompareOp::kGe, Expr::Column(col),
+                                 Expr::Constant(Value::Int(lo))),
+                   Expr::Compare(CompareOp::kLe, Expr::Column(col),
+                                 Expr::Constant(Value::Int(hi))));
+}
+ExprPtr SGt(const std::string& col, const char* v) {
+  return Expr::Compare(CompareOp::kGt, Expr::Column(col),
+                       Expr::Constant(Value::String(v)));
+}
+
+// Pattern fragments shared by many JOB queries (all anchored on t:title).
+const char* kKw = "(mk:movie_keyword)-[:mk_title]->(t:title), "
+                  "(mk)-[:mk_keyword]->(k:keyword)";
+const char* kCompany =
+    "(mc:movie_companies)-[:mc_title]->(t:title), "
+    "(mc)-[:mc_company]->(cn:company_name)";
+const char* kCompanyTyped =
+    "(mc:movie_companies)-[:mc_title]->(t:title), "
+    "(mc)-[:mc_company]->(cn:company_name), "
+    "(mc)-[:mc_ctype]->(ct:company_type)";
+const char* kCast =
+    "(ci:cast_info)-[:ci_title]->(t:title), (ci)-[:ci_name]->(n:name)";
+const char* kInfo =
+    "(mi:movie_info)-[:mi_title]->(t:title), "
+    "(mi)-[:mi_itype]->(it:info_type)";
+const char* kRating =
+    "(midx:movie_info_idx)-[:midx_title]->(t:title), "
+    "(midx)-[:midx_itype]->(it2:info_type)";
+
+std::string Pat(std::initializer_list<const char*> parts) {
+  std::string out;
+  for (const char* p : parts) {
+    if (!out.empty()) out += ", ";
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<WorkloadQuery> JobQueries(const Database& db) {
+  std::vector<WorkloadQuery> out;
+
+  // JOB1: production companies of highly-voted movies.
+  out.push_back(
+      JobBuilder(db, "JOB1",
+                 Pat({"(mc:movie_companies)-[:mc_title]->(t:title)",
+                      "(mc)-[:mc_ctype]->(ct:company_type)", kRating}))
+          .Where(SEq("ct.kind", "production companies"))
+          .Where(SEq("it2.info", "votes"))
+          .Where(Expr::Contains(Expr::Column("mc.note"), "co-production"))
+          .Min("mc.note", "production_note")
+          .Min("t.title", "movie_title")
+          .Min("t.production_year", "movie_year")
+          .Build());
+
+  // JOB2: German companies on character-name-in-title movies.
+  out.push_back(JobBuilder(db, "JOB2",
+                           Pat({kKw, "(mc:movie_companies)-[:mc_title]->(t)",
+                                "(mc)-[:mc_company]->(cn:company_name)"}))
+                    .Where(SEq("cn.country_code", "[de]"))
+                    .Where(SEq("k.keyword", "character-name-in-title"))
+                    .Min("t.title", "movie_title")
+                    .Build());
+
+  // JOB3: recent sequels with a genre row.
+  out.push_back(JobBuilder(db, "JOB3", Pat({kKw, kInfo}))
+                    .Where(SEq("k.keyword", "sequel"))
+                    .Where(SEq("it.info", "genres"))
+                    .Where(SEq("mi.info", "Action"))
+                    .Where(YearGt("t.production_year", 2005))
+                    .Min("t.title", "movie_title")
+                    .Build());
+
+  // JOB4: well-rated sequels.
+  out.push_back(JobBuilder(db, "JOB4", Pat({kKw, kRating}))
+                    .Where(SEq("it2.info", "rating"))
+                    .Where(SEq("k.keyword", "sequel"))
+                    .Where(SGt("midx.info", "5.0"))
+                    .Min("midx.info", "rating")
+                    .Min("t.title", "movie_title")
+                    .Build());
+
+  // JOB5: typed production companies with genre rows.
+  out.push_back(JobBuilder(db, "JOB5", Pat({kCompanyTyped, kInfo}))
+                    .Where(SEq("ct.kind", "production companies"))
+                    .Where(SEq("it.info", "genres"))
+                    .Where(SEq("mi.info", "Drama"))
+                    .Where(YearGt("t.production_year", 2000))
+                    .Min("t.title", "typical_european_movie")
+                    .Build());
+
+  // JOB6: marvel movies and their cast.
+  out.push_back(JobBuilder(db, "JOB6", Pat({kKw, kCast}))
+                    .Where(SEq("k.keyword", "marvel-cinematic-universe"))
+                    .Where(Expr::StartsWith(Expr::Column("n.name"), "D"))
+                    .Where(YearGt("t.production_year", 2009))
+                    .Min("k.keyword", "movie_keyword")
+                    .Min("n.name", "actor_name")
+                    .Min("t.title", "marvel_movie")
+                    .Build());
+
+  // JOB7: people with aka names and bios linked to movies.
+  out.push_back(
+      JobBuilder(db, "JOB7",
+                 Pat({kCast, "(an:aka_name)-[:an_name]->(n)",
+                      "(pi:person_info)-[:pi_name]->(n)",
+                      "(pi)-[:pi_itype]->(it:info_type)"}))
+          .Where(SEq("it.info", "mini biography"))
+          .Where(Expr::StartsWith(Expr::Column("n.name"), "A"))
+          .Where(YearBetween("t.production_year", 1980, 2010))
+          .Min("n.name", "of_person")
+          .Min("t.title", "biography_movie")
+          .Build());
+
+  // JOB8: actresses in US productions.
+  out.push_back(
+      JobBuilder(db, "JOB8",
+                 Pat({kCast, "(ci)-[:ci_role]->(rt:role_type)", kCompany}))
+          .Where(SEq("rt.role", "actress"))
+          .Where(SEq("cn.country_code", "[us]"))
+          .Min("n.name", "actress_name")
+          .Min("t.title", "movie_title")
+          .Build());
+
+  // JOB9: actresses with aka names in US movies.
+  out.push_back(
+      JobBuilder(db, "JOB9",
+                 Pat({kCast, "(ci)-[:ci_role]->(rt:role_type)",
+                      "(an:aka_name)-[:an_name]->(n)", kCompany}))
+          .Where(SEq("rt.role", "actress"))
+          .Where(SEq("cn.country_code", "[us]"))
+          .Where(YearGt("t.production_year", 1990))
+          .Min("an.name", "alternative_name")
+          .Min("t.title", "movie_title")
+          .Build());
+
+  // JOB10: uncredited character roles in typed productions.
+  out.push_back(
+      JobBuilder(db, "JOB10",
+                 Pat({"(ci:cast_info)-[:ci_title]->(t:title)",
+                      "(ci)-[:ci_char]->(chn:char_name)",
+                      "(ci)-[:ci_role]->(rt:role_type)", kCompanyTyped}))
+          .Where(SEq("rt.role", "actor"))
+          .Where(SEq("ct.kind", "production companies"))
+          .Where(SEq("cn.country_code", "[ca]"))
+          .Min("chn.name", "character")
+          .Min("t.title", "movie")
+          .Build());
+
+  // JOB11: linked movies of companies with keywords (adds movie_link).
+  out.push_back(
+      JobBuilder(db, "JOB11",
+                 Pat({kKw, kCompanyTyped,
+                      "(ml:movie_link)-[:ml_movie]->(t)",
+                      "(ml)-[:ml_ltype]->(lt:link_type)"}))
+          .Where(SEq("lt.link", "follows"))
+          .Where(SEq("k.keyword", "sequel"))
+          .Where(SEq("cn.country_code", "[gb]"))
+          .Where(YearBetween("t.production_year", 1990, 2015))
+          .Min("cn.name", "from_company")
+          .Min("lt.link", "movie_link_type")
+          .Min("t.title", "sequel_movie")
+          .Build());
+
+  // JOB12: rated dramas of production companies.
+  out.push_back(JobBuilder(db, "JOB12", Pat({kCompanyTyped, kInfo, kRating}))
+                    .Where(SEq("cn.country_code", "[us]"))
+                    .Where(SEq("ct.kind", "production companies"))
+                    .Where(SEq("it.info", "genres"))
+                    .Where(SEq("mi.info", "Drama"))
+                    .Where(SEq("it2.info", "rating"))
+                    .Where(SGt("midx.info", "7.0"))
+                    .Min("mi.info", "movie_budget")
+                    .Min("midx.info", "movie_votes")
+                    .Min("t.title", "movie_title")
+                    .Build());
+
+  // JOB13: rated movies of a kind with release info.
+  out.push_back(
+      JobBuilder(db, "JOB13",
+                 Pat({kInfo, kRating, "(t)-[:t_kind]->(kt:kind_type)"}))
+          .Where(SEq("kt.kind", "movie"))
+          .Where(SEq("it.info", "release dates"))
+          .Where(SEq("it2.info", "rating"))
+          .Min("mi.info", "release_date")
+          .Min("midx.info", "rating")
+          .Min("t.title", "german_movie")
+          .Build());
+
+  // JOB14: rated horror sequels of a kind.
+  out.push_back(
+      JobBuilder(db, "JOB14",
+                 Pat({kKw, kInfo, kRating, "(t)-[:t_kind]->(kt:kind_type)"}))
+          .Where(SEq("kt.kind", "movie"))
+          .Where(SEq("k.keyword", "blood"))
+          .Where(SEq("it.info", "genres"))
+          .Where(SEq("mi.info", "Horror"))
+          .Where(SEq("it2.info", "rating"))
+          .Min("midx.info", "rating")
+          .Min("t.title", "northern_dark_movie")
+          .Build());
+
+  // JOB15: US movies with keywords and internet info.
+  out.push_back(JobBuilder(db, "JOB15", Pat({kKw, kCompany, kInfo}))
+                    .Where(SEq("cn.country_code", "[us]"))
+                    .Where(SEq("it.info", "release dates"))
+                    .Where(YearGt("t.production_year", 2000))
+                    .Min("mi.info", "release_date")
+                    .Min("t.title", "internet_movie")
+                    .Build());
+
+  // JOB16: aka-named cast of keyworded company movies.
+  out.push_back(
+      JobBuilder(db, "JOB16",
+                 Pat({kKw, kCast, "(an:aka_name)-[:an_name]->(n)",
+                      kCompany}))
+          .Where(SEq("cn.country_code", "[jp]"))
+          .Where(SEq("k.keyword", "character-name-in-title"))
+          .Min("an.name", "cool_actor_pseudonym")
+          .Min("t.title", "series_named_after_char")
+          .Build());
+
+  // JOB17 — the paper's case study (Fig 12), verbatim shape.
+  out.push_back(
+      JobBuilder(db, "JOB17",
+                 Pat({"(ci:cast_info)-[:ci_name]->(n:name)",
+                      "(ci)-[:ci_title]->(t:title)", kKw, kCompany}))
+          .Where(SEq("cn.country_code", "[us]"))
+          .Where(SEq("k.keyword", "character-name-in-title"))
+          .Where(Expr::StartsWith(Expr::Column("n.name"), "B"))
+          .Min("n.name", "member_in_charnamed_american_movie")
+          .Min("n.name", "a1")
+          .Build());
+
+  // JOB18: male writers of rated movies.
+  out.push_back(
+      JobBuilder(db, "JOB18",
+                 Pat({kCast, "(ci)-[:ci_role]->(rt:role_type)", kRating}))
+          .Where(SEq("rt.role", "writer"))
+          .Where(SEq("n.gender", "m"))
+          .Where(SEq("it2.info", "votes"))
+          .Min("midx.info", "movie_votes")
+          .Min("t.title", "movie_title")
+          .Build());
+
+  // JOB19: voiced characters in US movies with release info.
+  out.push_back(
+      JobBuilder(db, "JOB19",
+                 Pat({kCast, "(ci)-[:ci_role]->(rt:role_type)", kCompany,
+                      kInfo}))
+          .Where(SEq("rt.role", "actress"))
+          .Where(SEq("n.gender", "f"))
+          .Where(SEq("cn.country_code", "[us]"))
+          .Where(SEq("it.info", "release dates"))
+          .Where(YearBetween("t.production_year", 2000, 2010))
+          .Min("n.name", "voicing_actress")
+          .Min("t.title", "voiced_movie")
+          .Build());
+
+  // JOB20: superhero movies of a kind with characters.
+  out.push_back(
+      JobBuilder(db, "JOB20",
+                 Pat({kKw, "(t)-[:t_kind]->(kt:kind_type)",
+                      "(ci:cast_info)-[:ci_title]->(t)",
+                      "(ci)-[:ci_char]->(chn:char_name)"}))
+          .Where(SEq("kt.kind", "movie"))
+          .Where(SEq("k.keyword", "superhero"))
+          .Where(YearGt("t.production_year", 2000))
+          .Min("t.title", "complete_downey_ironman_movie")
+          .Build());
+
+  // JOB21: linked company movies with genre rows.
+  out.push_back(
+      JobBuilder(db, "JOB21",
+                 Pat({kKw, kCompanyTyped, kInfo,
+                      "(ml:movie_link)-[:ml_movie]->(t)",
+                      "(ml)-[:ml_ltype]->(lt:link_type)"}))
+          .Where(SEq("lt.link", "follows"))
+          .Where(SEq("k.keyword", "sequel"))
+          .Where(SEq("it.info", "genres"))
+          .Where(SEq("mi.info", "Comedy"))
+          .Min("cn.name", "company_name")
+          .Min("lt.link", "link_type")
+          .Min("t.title", "western_follow_up")
+          .Build());
+
+  // JOB22: rated violent movies of western companies.
+  out.push_back(
+      JobBuilder(db, "JOB22",
+                 Pat({kKw, kCompanyTyped, kInfo, kRating,
+                      "(t)-[:t_kind]->(kt:kind_type)"}))
+          .Where(SEq("kt.kind", "movie"))
+          .Where(SEq("k.keyword", "violence"))
+          .Where(SEq("it.info", "genres"))
+          .Where(SEq("mi.info", "Thriller"))
+          .Where(SEq("it2.info", "rating"))
+          .Where(SEq("cn.country_code", "[de]"))
+          .Min("cn.name", "movie_company")
+          .Min("midx.info", "rating")
+          .Min("t.title", "western_violent_movie")
+          .Build());
+
+  // JOB23: recent US movies of a kind with release info.
+  out.push_back(
+      JobBuilder(db, "JOB23",
+                 Pat({kKw, kCompanyTyped, kInfo,
+                      "(t)-[:t_kind]->(kt:kind_type)"}))
+          .Where(SEq("kt.kind", "movie"))
+          .Where(SEq("cn.country_code", "[us]"))
+          .Where(SEq("it.info", "release dates"))
+          .Where(YearGt("t.production_year", 2010))
+          .Min("kt.kind", "movie_kind")
+          .Min("t.title", "complete_us_internet_movie"   )
+          .Build());
+
+  // JOB24: voiced action movies with characters and keywords.
+  out.push_back(
+      JobBuilder(db, "JOB24",
+                 Pat({kKw, kCast, "(ci)-[:ci_role]->(rt:role_type)",
+                      "(ci)-[:ci_char]->(chn:char_name)", kInfo}))
+          .Where(SEq("rt.role", "actress"))
+          .Where(SEq("it.info", "genres"))
+          .Where(SEq("mi.info", "Action"))
+          .Where(SEq("k.keyword", "superhero"))
+          .Min("chn.name", "voiced_char_name")
+          .Min("n.name", "voicing_actress")
+          .Min("t.title", "voiced_action_movie")
+          .Build());
+
+  // JOB25: male writers of violent horror movies.
+  out.push_back(
+      JobBuilder(db, "JOB25",
+                 Pat({kKw, kCast, "(ci)-[:ci_role]->(rt:role_type)", kInfo}))
+          .Where(SEq("rt.role", "writer"))
+          .Where(SEq("n.gender", "m"))
+          .Where(SEq("k.keyword", "blood"))
+          .Where(SEq("it.info", "genres"))
+          .Where(SEq("mi.info", "Horror"))
+          .Min("mi.info", "movie_budget")
+          .Min("n.name", "male_writer")
+          .Min("t.title", "violent_movie_title")
+          .Build());
+
+  // JOB26: rated superhero movies of a kind with characters.
+  out.push_back(
+      JobBuilder(db, "JOB26",
+                 Pat({kKw, "(ci:cast_info)-[:ci_title]->(t:title)",
+                      "(ci)-[:ci_char]->(chn:char_name)", kRating,
+                      "(t)-[:t_kind]->(kt:kind_type)"}))
+          .Where(SEq("kt.kind", "movie"))
+          .Where(SEq("k.keyword", "superhero"))
+          .Where(SEq("it2.info", "rating"))
+          .Where(SGt("midx.info", "6.0"))
+          .Min("chn.name", "character_name")
+          .Min("midx.info", "rating")
+          .Min("t.title", "complete_hero_movie")
+          .Build());
+
+  // JOB27: linked comedies of typed western companies.
+  out.push_back(
+      JobBuilder(db, "JOB27",
+                 Pat({kKw, kCompanyTyped, kInfo,
+                      "(ml:movie_link)-[:ml_movie]->(t)",
+                      "(ml)-[:ml_ltype]->(lt:link_type)"}))
+          .Where(SEq("lt.link", "references"))
+          .Where(SEq("k.keyword", "sequel"))
+          .Where(SEq("it.info", "genres"))
+          .Where(SEq("mi.info", "Comedy"))
+          .Where(SEq("ct.kind", "production companies"))
+          .Min("cn.name", "producing_company")
+          .Min("lt.link", "link_type")
+          .Min("t.title", "complete_western_sequel")
+          .Build());
+
+  // JOB28: rated euro-company violent movies of a kind.
+  out.push_back(
+      JobBuilder(db, "JOB28",
+                 Pat({kKw, kCompanyTyped, kInfo, kRating,
+                      "(t)-[:t_kind]->(kt:kind_type)"}))
+          .Where(SEq("kt.kind", "tv movie"))
+          .Where(SEq("k.keyword", "violence"))
+          .Where(SEq("it.info", "genres"))
+          .Where(SEq("mi.info", "Thriller"))
+          .Where(SEq("it2.info", "votes"))
+          .Where(SEq("cn.country_code", "[se]"))
+          .Min("mi.info", "movie_budget")
+          .Min("midx.info", "movie_votes")
+          .Min("t.title", "movie_title")
+          .Build());
+
+  // JOB29: the big one — cast + aka + person info + keyword + company.
+  out.push_back(
+      JobBuilder(db, "JOB29",
+                 Pat({kKw, kCast, "(ci)-[:ci_role]->(rt:role_type)",
+                      "(ci)-[:ci_char]->(chn:char_name)",
+                      "(pi:person_info)-[:pi_name]->(n)",
+                      "(pi)-[:pi_itype]->(it:info_type)", kCompany}))
+          .Where(SEq("rt.role", "actress"))
+          .Where(SEq("it.info", "mini biography"))
+          .Where(SEq("k.keyword", "superhero"))
+          .Where(SEq("cn.country_code", "[us]"))
+          .Min("chn.name", "voiced_char")
+          .Min("n.name", "voicing_actress")
+          .Min("t.title", "voiced_animation")
+          .Build());
+
+  // JOB30: male writers of violent/gory movies (Umbra-favoring query).
+  out.push_back(
+      JobBuilder(db, "JOB30",
+                 Pat({kKw, kCast, "(ci)-[:ci_role]->(rt:role_type)", kInfo}))
+          .Where(SEq("rt.role", "writer"))
+          .Where(SEq("n.gender", "m"))
+          .Where(SEq("k.keyword", "violence"))
+          .Where(SEq("it.info", "genres"))
+          .Where(SEq("mi.info", "Horror"))
+          .Where(YearGt("t.production_year", 2000))
+          .Min("mi.info", "movie_budget")
+          .Min("n.name", "writer")
+          .Min("t.title", "gory_movie")
+          .Build());
+
+  // JOB31: rated gory movies from big studios.
+  out.push_back(
+      JobBuilder(db, "JOB31",
+                 Pat({kKw, kCast, "(ci)-[:ci_role]->(rt:role_type)", kInfo,
+                      kRating}))
+          .Where(SEq("rt.role", "director"))
+          .Where(SEq("k.keyword", "blood"))
+          .Where(SEq("it.info", "genres"))
+          .Where(SEq("mi.info", "Horror"))
+          .Where(SEq("it2.info", "votes"))
+          .Min("mi.info", "movie_budget")
+          .Min("midx.info", "movie_votes")
+          .Min("n.name", "writer")
+          .Min("t.title", "violent_liongate_movie")
+          .Build());
+
+  // JOB32: keyworded movies linked to other movies.
+  out.push_back(
+      JobBuilder(db, "JOB32",
+                 Pat({kKw, "(ml:movie_link)-[:ml_movie]->(t)",
+                      "(ml)-[:ml_linked]->(t2:title)",
+                      "(ml)-[:ml_ltype]->(lt:link_type)"}))
+          .Where(SEq("k.keyword", "character-name-in-title"))
+          .Min("lt.link", "link_type")
+          .Min("t.title", "first_movie")
+          .Min("t2.title", "second_movie")
+          .Build());
+
+  // JOB33: ratings of linked tv series from the same studios (cyclic-ish:
+  // two titles, each with their own rating rows).
+  out.push_back(
+      JobBuilder(db, "JOB33",
+                 Pat({"(ml:movie_link)-[:ml_movie]->(t:title)",
+                      "(ml)-[:ml_linked]->(t2:title)",
+                      "(ml)-[:ml_ltype]->(lt:link_type)",
+                      "(midx:movie_info_idx)-[:midx_title]->(t)",
+                      "(midx)-[:midx_itype]->(it2:info_type)",
+                      "(midx2:movie_info_idx)-[:midx_title]->(t2)",
+                      "(t)-[:t_kind]->(kt:kind_type)"}))
+          .Where(SEq("lt.link", "follows"))
+          .Where(SEq("it2.info", "rating"))
+          .Where(SGt("midx.info", "7.0"))
+          .Where(SEq("kt.kind", "tv series"))
+          .Min("midx.info", "rating")
+          .Min("midx2.info", "linked_rating")
+          .Min("t.title", "series_title")
+          .Min("t2.title", "linked_series_title")
+          .Build());
+
+  return out;
+}
+
+}  // namespace workload
+}  // namespace relgo

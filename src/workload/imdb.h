@@ -1,0 +1,65 @@
+#ifndef RELGO_WORKLOAD_IMDB_H_
+#define RELGO_WORKLOAD_IMDB_H_
+
+#include <vector>
+
+#include "workload/ldbc.h"
+
+namespace relgo {
+namespace workload {
+
+/// Scale knobs for the IMDB-like generator behind the JOB-analog queries.
+/// Row-count ratios follow the real IMDB snapshot (cast_info dominating,
+/// small dimension tables); absolute sizes are laptop-scale.
+struct ImdbOptions {
+  double scale_factor = 1.0;
+  uint64_t seed = 17;
+
+  int64_t titles() const { return static_cast<int64_t>(12000 * scale_factor); }
+  int64_t names() const { return static_cast<int64_t>(20000 * scale_factor); }
+  int64_t cast_info() const {
+    return static_cast<int64_t>(80000 * scale_factor);
+  }
+  int64_t companies() const {
+    return static_cast<int64_t>(4000 * scale_factor);
+  }
+  int64_t movie_companies() const {
+    return static_cast<int64_t>(30000 * scale_factor);
+  }
+  int64_t keywords() const { return 3000; }
+  int64_t movie_keywords() const {
+    return static_cast<int64_t>(45000 * scale_factor);
+  }
+  int64_t movie_infos() const {
+    return static_cast<int64_t>(60000 * scale_factor);
+  }
+  int64_t movie_info_idx() const {
+    return static_cast<int64_t>(15000 * scale_factor);
+  }
+  int64_t aka_names() const {
+    return static_cast<int64_t>(8000 * scale_factor);
+  }
+  int64_t person_infos() const {
+    return static_cast<int64_t>(20000 * scale_factor);
+  }
+  int64_t movie_links() const { return 2500; }
+};
+
+/// Materializes the IMDB-like database into `db` and finalizes it.
+///
+/// GRainDB-style modeling (and the paper's Fig 12): every base table is a
+/// vertex table, and every foreign key becomes an identity edge, e.g.
+/// (ci:cast_info)-[:ci_name]->(n:name), (mk:movie_keyword)-[:mk_title]->
+/// (t:title). Many-to-many link tables (cast_info, movie_companies,
+/// movie_keyword, ...) therefore act as both vertices and edge carriers.
+Status GenerateImdb(Database* db, const ImdbOptions& options = {});
+
+/// JOB1..33 analogs ("a" variants): join graphs and predicate shapes
+/// mirror the Join Order Benchmark queries over the synthetic value
+/// domains; every query aggregates with MIN like the originals.
+std::vector<WorkloadQuery> JobQueries(const Database& db);
+
+}  // namespace workload
+}  // namespace relgo
+
+#endif  // RELGO_WORKLOAD_IMDB_H_

@@ -1,0 +1,772 @@
+#include "workload/ldbc.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace relgo {
+namespace workload {
+
+using plan::AggFunc;
+using plan::SpjmQueryBuilder;
+using storage::ColumnDef;
+using storage::Expr;
+using storage::Schema;
+
+namespace {
+
+const char* kFirstNames[] = {
+    "Jan",   "Jun",    "Joe",   "Jose",  "Jack",  "John",  "Jorge", "Jatin",
+    "Karl",  "Ken",    "Kumar", "Lars",  "Lee",   "Li",    "Lin",   "Liz",
+    "Maria", "Mehmet", "Mike",  "Nia",   "Olga",  "Omar",  "Otto",  "Pablo",
+    "Petra", "Qi",     "Rahul", "Rosa",  "Sam",   "Sara",  "Tariq", "Tom",
+    "Uma",   "Vera",   "Wang",  "Wei",   "Xu",    "Yang",  "Zhang", "Zoe"};
+const char* kLastNames[] = {"Anand", "Bauer", "Chen",  "Diaz",  "Eco",
+                            "Fong",  "Garcia", "Hoff",  "Ito",   "Jones",
+                            "Kim",   "Lopez",  "Mora",  "Nagy",  "Okoye",
+                            "Perez", "Qureshi", "Rossi", "Singh", "Tanaka"};
+
+int32_t Date(const char* iso) { return *ParseDate(iso); }
+
+int32_t RandomDate(Rng* rng, int32_t lo, int32_t hi) {
+  return static_cast<int32_t>(rng->Uniform(lo, hi));
+}
+
+}  // namespace
+
+Status GenerateLdbc(Database* db, const LdbcOptions& options) {
+  Rng rng(options.seed);
+  // Decorrelate popularity across relationships (see Permutation docs).
+  Permutation post_creator_perm(options.persons(), options.seed + 1);
+  Permutation comment_creator_perm(options.persons(), options.seed + 2);
+  Permutation comment_post_perm(options.posts(), options.seed + 3);
+  Permutation likes_post_perm(options.posts(), options.seed + 4);
+  Permutation member_person_perm(options.persons(), options.seed + 5);
+  Permutation knows_perm(options.persons(), options.seed + 6);
+  Permutation post_forum_perm(options.forums(), options.seed + 7);
+  const int32_t kEpochLo = Date("2010-01-01");
+  const int32_t kEpochHi = Date("2013-12-31");
+  const int64_t kNumFirst = sizeof(kFirstNames) / sizeof(kFirstNames[0]);
+  const int64_t kNumLast = sizeof(kLastNames) / sizeof(kLastNames[0]);
+
+  // ---- Vertex tables --------------------------------------------------------
+  RELGO_ASSIGN_OR_RETURN(
+      auto place, db->CreateTable(
+                      "Place", Schema({ColumnDef{"id", LogicalType::kInt64},
+                                       {"name", LogicalType::kString},
+                                       {"type", LogicalType::kString},
+                                       {"part_of", LogicalType::kInt64}})));
+  // Countries first (part_of = self), then cities.
+  for (int64_t c = 0; c < options.countries(); ++c) {
+    RELGO_RETURN_NOT_OK(place->AppendRow(
+        {Value::Int(c), Value::String("country_" + std::to_string(c)),
+         Value::String("country"), Value::Int(c)}));
+  }
+  for (int64_t c = 0; c < options.cities(); ++c) {
+    int64_t id = options.countries() + c;
+    int64_t country = rng.Uniform(0, options.countries() - 1);
+    RELGO_RETURN_NOT_OK(place->AppendRow(
+        {Value::Int(id), Value::String("city_" + std::to_string(c)),
+         Value::String("city"), Value::Int(country)}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto person,
+      db->CreateTable("Person",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"firstName", LogicalType::kString},
+                              {"lastName", LogicalType::kString},
+                              {"birthday", LogicalType::kDate},
+                              {"creationDate", LogicalType::kDate},
+                              {"place_id", LogicalType::kInt64}})));
+  for (int64_t i = 0; i < options.persons(); ++i) {
+    int64_t city = options.countries() + rng.Zipf(options.cities(), 1.0);
+    RELGO_RETURN_NOT_OK(person->AppendRow(
+        {Value::Int(i), Value::String(kFirstNames[rng.Zipf(kNumFirst, 1.0)]),
+         Value::String(kLastNames[rng.Uniform(0, kNumLast - 1)]),
+         Value::Date(RandomDate(&rng, Date("1960-01-01"), Date("2000-12-31"))),
+         Value::Date(RandomDate(&rng, kEpochLo, kEpochHi)),
+         Value::Int(city)}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto tag_class,
+      db->CreateTable("TagClass",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"name", LogicalType::kString}})));
+  for (int64_t i = 0; i < options.tag_classes(); ++i) {
+    RELGO_RETURN_NOT_OK(tag_class->AppendRow(
+        {Value::Int(i), Value::String("tagclass_" + std::to_string(i))}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto tag, db->CreateTable(
+                    "Tag", Schema({ColumnDef{"id", LogicalType::kInt64},
+                                   {"name", LogicalType::kString},
+                                   {"class_id", LogicalType::kInt64}})));
+  for (int64_t i = 0; i < options.tags(); ++i) {
+    RELGO_RETURN_NOT_OK(tag->AppendRow(
+        {Value::Int(i), Value::String("tag_" + std::to_string(i)),
+         Value::Int(rng.Zipf(options.tag_classes(), 1.0))}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto company,
+      db->CreateTable("Company",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"name", LogicalType::kString},
+                              {"country_id", LogicalType::kInt64}})));
+  for (int64_t i = 0; i < options.companies(); ++i) {
+    RELGO_RETURN_NOT_OK(company->AppendRow(
+        {Value::Int(i), Value::String("company_" + std::to_string(i)),
+         Value::Int(rng.Uniform(0, options.countries() - 1))}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto forum,
+      db->CreateTable("Forum",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"title", LogicalType::kString},
+                              {"creationDate", LogicalType::kDate},
+                              {"moderator_id", LogicalType::kInt64}})));
+  for (int64_t i = 0; i < options.forums(); ++i) {
+    RELGO_RETURN_NOT_OK(forum->AppendRow(
+        {Value::Int(i), Value::String("forum_" + std::to_string(i)),
+         Value::Date(RandomDate(&rng, kEpochLo, kEpochHi)),
+         Value::Int(rng.Uniform(0, options.persons() - 1))}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto post,
+      db->CreateTable("Post",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"content", LogicalType::kString},
+                              {"length", LogicalType::kInt64},
+                              {"creationDate", LogicalType::kDate},
+                              {"creator_id", LogicalType::kInt64},
+                              {"forum_id", LogicalType::kInt64}})));
+  for (int64_t i = 0; i < options.posts(); ++i) {
+    RELGO_RETURN_NOT_OK(post->AppendRow(
+        {Value::Int(i), Value::String("post_" + std::to_string(i)),
+         Value::Int(rng.Uniform(5, 2000)),
+         Value::Date(RandomDate(&rng, kEpochLo, kEpochHi)),
+         Value::Int(post_creator_perm[rng.Zipf(options.persons(), 1.0)]),
+         Value::Int(post_forum_perm[rng.Zipf(options.forums(), 1.0)])}));
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto comment,
+      db->CreateTable("Comment",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"content", LogicalType::kString},
+                              {"creationDate", LogicalType::kDate},
+                              {"creator_id", LogicalType::kInt64},
+                              {"reply_of_post", LogicalType::kInt64}})));
+  for (int64_t i = 0; i < options.comments(); ++i) {
+    RELGO_RETURN_NOT_OK(comment->AppendRow(
+        {Value::Int(i), Value::String("comment_" + std::to_string(i)),
+         Value::Date(RandomDate(&rng, kEpochLo, kEpochHi)),
+         Value::Int(comment_creator_perm[rng.Zipf(options.persons(), 1.0)]),
+         Value::Int(comment_post_perm[rng.Zipf(options.posts(), 1.0)])}));
+  }
+
+  // ---- Many-to-many edge tables ---------------------------------------------
+  RELGO_ASSIGN_OR_RETURN(
+      auto knows,
+      db->CreateTable("knows",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"p1", LogicalType::kInt64},
+                              {"p2", LogicalType::kInt64},
+                              {"creationDate", LogicalType::kDate}})));
+  {
+    std::unordered_set<std::pair<int64_t, int64_t>, PairHash> seen;
+    int64_t target_pairs = static_cast<int64_t>(
+        options.persons() * options.avg_knows_degree() / 2.0);
+    int64_t next_id = 0;
+    for (int64_t k = 0; k < target_pairs; ++k) {
+      int64_t a = knows_perm[rng.Zipf(options.persons(), 1.0)];
+      int64_t b = rng.Uniform(0, options.persons() - 1);
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      if (!seen.insert({a, b}).second) continue;
+      int32_t d = RandomDate(&rng, kEpochLo, kEpochHi);
+      RELGO_RETURN_NOT_OK(knows->AppendRow(
+          {Value::Int(next_id++), Value::Int(a), Value::Int(b),
+           Value::Date(d)}));
+      RELGO_RETURN_NOT_OK(knows->AppendRow(
+          {Value::Int(next_id++), Value::Int(b), Value::Int(a),
+           Value::Date(d)}));
+    }
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto likes,
+      db->CreateTable("likes",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"person_id", LogicalType::kInt64},
+                              {"post_id", LogicalType::kInt64},
+                              {"creationDate", LogicalType::kDate}})));
+  {
+    std::unordered_set<std::pair<int64_t, int64_t>, PairHash> seen;
+    int64_t target = static_cast<int64_t>(options.posts() *
+                                          options.likes_per_post());
+    int64_t next_id = 0;
+    for (int64_t k = 0; k < target; ++k) {
+      int64_t p = rng.Uniform(0, options.persons() - 1);
+      int64_t po = likes_post_perm[rng.Zipf(options.posts(), 1.0)];
+      if (!seen.insert({p, po}).second) continue;
+      RELGO_RETURN_NOT_OK(likes->AppendRow(
+          {Value::Int(next_id++), Value::Int(p), Value::Int(po),
+           Value::Date(RandomDate(&rng, kEpochLo, kEpochHi))}));
+    }
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto has_interest,
+      db->CreateTable("hasInterest",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"person_id", LogicalType::kInt64},
+                              {"tag_id", LogicalType::kInt64}})));
+  {
+    int64_t next_id = 0;
+    for (int64_t p = 0; p < options.persons(); ++p) {
+      std::unordered_set<int64_t> mine;
+      for (int64_t k = 0; k < options.interests_per_person(); ++k) {
+        int64_t t = rng.Zipf(options.tags(), 1.0);
+        if (!mine.insert(t).second) continue;
+        RELGO_RETURN_NOT_OK(has_interest->AppendRow(
+            {Value::Int(next_id++), Value::Int(p), Value::Int(t)}));
+      }
+    }
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto has_member,
+      db->CreateTable("hasMember",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"forum_id", LogicalType::kInt64},
+                              {"person_id", LogicalType::kInt64},
+                              {"joinDate", LogicalType::kDate}})));
+  {
+    int64_t next_id = 0;
+    for (int64_t f = 0; f < options.forums(); ++f) {
+      std::unordered_set<int64_t> members;
+      for (int64_t k = 0; k < options.members_per_forum(); ++k) {
+        int64_t p = member_person_perm[rng.Zipf(options.persons(), 1.0)];
+        if (!members.insert(p).second) continue;
+        RELGO_RETURN_NOT_OK(has_member->AppendRow(
+            {Value::Int(next_id++), Value::Int(f), Value::Int(p),
+             Value::Date(RandomDate(&rng, kEpochLo, kEpochHi))}));
+      }
+    }
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto has_tag,
+      db->CreateTable("hasTag",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"post_id", LogicalType::kInt64},
+                              {"tag_id", LogicalType::kInt64}})));
+  {
+    int64_t next_id = 0;
+    for (int64_t po = 0; po < options.posts(); ++po) {
+      std::unordered_set<int64_t> mine;
+      for (int64_t k = 0; k < options.tags_per_post(); ++k) {
+        int64_t t = rng.Zipf(options.tags(), 1.0);
+        if (!mine.insert(t).second) continue;
+        RELGO_RETURN_NOT_OK(has_tag->AppendRow(
+            {Value::Int(next_id++), Value::Int(po), Value::Int(t)}));
+      }
+    }
+  }
+
+  RELGO_ASSIGN_OR_RETURN(
+      auto work_at,
+      db->CreateTable("workAt",
+                      Schema({ColumnDef{"id", LogicalType::kInt64},
+                              {"person_id", LogicalType::kInt64},
+                              {"company_id", LogicalType::kInt64},
+                              {"work_from", LogicalType::kInt64}})));
+  for (int64_t p = 0; p < options.persons(); ++p) {
+    RELGO_RETURN_NOT_OK(work_at->AppendRow(
+        {Value::Int(p), Value::Int(p),
+         Value::Int(rng.Uniform(0, options.companies() - 1)),
+         Value::Int(rng.Uniform(1990, 2013))}));
+  }
+
+  // ---- RGMapping -------------------------------------------------------------
+  RELGO_RETURN_NOT_OK(db->AddVertexTable("Person", "id"));
+  RELGO_RETURN_NOT_OK(db->AddVertexTable("Place", "id"));
+  RELGO_RETURN_NOT_OK(db->AddVertexTable("Tag", "id"));
+  RELGO_RETURN_NOT_OK(db->AddVertexTable("TagClass", "id"));
+  RELGO_RETURN_NOT_OK(db->AddVertexTable("Forum", "id"));
+  RELGO_RETURN_NOT_OK(db->AddVertexTable("Post", "id"));
+  RELGO_RETURN_NOT_OK(db->AddVertexTable("Comment", "id"));
+  RELGO_RETURN_NOT_OK(db->AddVertexTable("Company", "id"));
+
+  RELGO_RETURN_NOT_OK(
+      db->AddEdgeTable("knows", "Person", "p1", "Person", "p2"));
+  RELGO_RETURN_NOT_OK(
+      db->AddEdgeTable("likes", "Person", "person_id", "Post", "post_id"));
+  RELGO_RETURN_NOT_OK(db->AddEdgeTable("hasInterest", "Person", "person_id",
+                                       "Tag", "tag_id"));
+  RELGO_RETURN_NOT_OK(db->AddEdgeTable("hasMember", "Forum", "forum_id",
+                                       "Person", "person_id"));
+  RELGO_RETURN_NOT_OK(
+      db->AddEdgeTable("hasTag", "Post", "post_id", "Tag", "tag_id"));
+  RELGO_RETURN_NOT_OK(db->AddEdgeTable("workAt", "Person", "person_id",
+                                       "Company", "company_id"));
+  // FK (identity) edges.
+  RELGO_RETURN_NOT_OK(
+      db->AddEdgeTable("Person", "Person", "id", "Place", "place_id",
+                       "isLocatedIn"));
+  RELGO_RETURN_NOT_OK(db->AddEdgeTable("Post", "Post", "id", "Person",
+                                       "creator_id", "hasCreator"));
+  RELGO_RETURN_NOT_OK(db->AddEdgeTable("Comment", "Comment", "id", "Person",
+                                       "creator_id", "commentHasCreator"));
+  RELGO_RETURN_NOT_OK(db->AddEdgeTable("Comment", "Comment", "id", "Post",
+                                       "reply_of_post", "replyOf"));
+  RELGO_RETURN_NOT_OK(
+      db->AddEdgeTable("Post", "Post", "id", "Forum", "forum_id", "inForum"));
+  RELGO_RETURN_NOT_OK(
+      db->AddEdgeTable("Tag", "Tag", "id", "TagClass", "class_id", "hasType"));
+  RELGO_RETURN_NOT_OK(
+      db->AddEdgeTable("Place", "Place", "id", "Place", "part_of",
+                       "isPartOf"));
+  RELGO_RETURN_NOT_OK(db->AddEdgeTable("Company", "Company", "id", "Place",
+                                       "country_id", "companyIsLocatedIn"));
+  RELGO_RETURN_NOT_OK(db->AddEdgeTable("Forum", "Forum", "id", "Person",
+                                       "moderator_id", "hasModerator"));
+  return db->Finalize();
+}
+
+// ---------------------------------------------------------------------------
+// Query suites
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Query parameters matching the generated value domains.
+constexpr const char* kParamFirstName = "Jose";   // zipf-popular-ish
+constexpr const char* kParamCountry = "country_3";
+constexpr const char* kParamTagClass = "tagclass_2";
+constexpr const char* kParamTag = "tag_5";
+
+pattern::PatternGraph MustParse(const Database& db, const std::string& text) {
+  auto p = db.ParsePattern(text);
+  if (!p.ok()) {
+    // Workload definitions are compiled-in; failing loudly here beats
+    // propagating statuses through every query constructor.
+    std::fprintf(stderr, "workload pattern error: %s\n",
+                 p.status().ToString().c_str());
+    std::abort();
+  }
+  return *p;
+}
+
+std::string KnowsChain(int hops) {
+  std::string text = "(p:Person)";
+  for (int i = 1; i <= hops; ++i) {
+    std::string cur = i == hops ? "(f:Person)" :
+        "(f" + std::to_string(i) + ":Person)";
+    text += "-[:knows]->" + cur;
+  }
+  return text;
+}
+
+}  // namespace
+
+std::vector<WorkloadQuery> LdbcInteractiveQueries(const Database& db) {
+  std::vector<WorkloadQuery> out;
+  auto date_ge = [](const char* col, const char* iso) {
+    return Expr::Compare(storage::CompareOp::kGe, Expr::Column(col),
+                         Expr::Constant(Value::Date(Date(iso))));
+  };
+  auto date_le = [](const char* col, const char* iso) {
+    return Expr::Compare(storage::CompareOp::kLe, Expr::Column(col),
+                         Expr::Constant(Value::Date(Date(iso))));
+  };
+
+  // IC1-l: friends up to l hops of a named person, with their city.
+  for (int l = 1; l <= 3; ++l) {
+    auto pattern = MustParse(
+        db, KnowsChain(l) + ", (f)-[:isLocatedIn]->(city:Place)");
+    pattern.AddDistinctPair(pattern.FindVertex("p"), pattern.FindVertex("f"));
+    auto q = SpjmQueryBuilder("IC1-" + std::to_string(l))
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("f", "firstName")
+                 .Column("f", "lastName")
+                 .Column("city", "name")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Select("f.firstName")
+                 .Select("f.lastName")
+                 .Select("city.name")
+                 .OrderBy("f.lastName")
+                 .Limit(20)
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+
+  // IC2: recent posts of friends.
+  {
+    auto pattern = MustParse(
+        db,
+        "(p:Person)-[:knows]->(f:Person), (po:Post)-[:hasCreator]->(f)");
+    auto q = SpjmQueryBuilder("IC2")
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("f", "firstName")
+                 .Column("po", "content")
+                 .Column("po", "creationDate")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Where(date_le("po.creationDate", "2012-06-01"))
+                 .Select("f.firstName")
+                 .Select("po.content")
+                 .Select("po.creationDate")
+                 .OrderBy("po.creationDate", false)
+                 .Limit(20)
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+
+  // IC3-l: posts of friends located in a given country, in a date window.
+  for (int l = 1; l <= 2; ++l) {
+    auto pattern = MustParse(
+        db, KnowsChain(l) +
+                ", (f)-[:isLocatedIn]->(city:Place)-[:isPartOf]->"
+                "(country:Place), (po:Post)-[:hasCreator]->(f)");
+    pattern.AddDistinctPair(pattern.FindVertex("p"), pattern.FindVertex("f"));
+    auto q = SpjmQueryBuilder("IC3-" + std::to_string(l))
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("f", "id")
+                 .Column("f", "firstName")
+                 .Column("country", "name")
+                 .Column("po", "creationDate")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Where(Expr::Eq("country.name", Value::String(kParamCountry)))
+                 .Where(date_ge("po.creationDate", "2011-01-01"))
+                 .Where(date_le("po.creationDate", "2012-12-31"))
+                 .GroupBy("f.id")
+                 .GroupBy("f.firstName")
+                 .Aggregate(AggFunc::kCount, "", "postCount")
+                 .OrderBy("postCount", false)
+                 .Limit(20)
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+
+  // IC4: tags on friends' recent posts.
+  {
+    auto pattern = MustParse(
+        db,
+        "(p:Person)-[:knows]->(f:Person), (po:Post)-[:hasCreator]->(f), "
+        "(po)-[:hasTag]->(t:Tag)");
+    auto q = SpjmQueryBuilder("IC4")
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("t", "name")
+                 .Column("po", "creationDate")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Where(date_ge("po.creationDate", "2012-01-01"))
+                 .GroupBy("t.name")
+                 .Aggregate(AggFunc::kCount, "", "postCount")
+                 .OrderBy("postCount", false)
+                 .Limit(10)
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+
+  // IC5-l: forums that friends joined recently and posted in (cyclic).
+  for (int l = 1; l <= 2; ++l) {
+    auto pattern = MustParse(
+        db, KnowsChain(l) +
+                ", (forum:Forum)-[hm:hasMember]->(f), "
+                "(po:Post)-[:inForum]->(forum), (po)-[:hasCreator]->(f)");
+    pattern.AddDistinctPair(pattern.FindVertex("p"), pattern.FindVertex("f"));
+    auto q = SpjmQueryBuilder("IC5-" + std::to_string(l))
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("hm", "joinDate")
+                 .Column("forum", "title")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Where(date_ge("hm.joinDate", "2012-06-01"))
+                 .GroupBy("forum.title")
+                 .Aggregate(AggFunc::kCount, "", "postCount")
+                 .OrderBy("postCount", false)
+                 .Limit(20)
+                 .Build();
+    out.push_back({std::move(q), true});
+  }
+
+  // IC6-l: tags co-occurring with a given tag on friends' posts.
+  for (int l = 1; l <= 2; ++l) {
+    auto pattern = MustParse(
+        db, KnowsChain(l) +
+                ", (po:Post)-[:hasCreator]->(f), (po)-[:hasTag]->(t:Tag), "
+                "(po)-[:hasTag]->(t2:Tag)");
+    pattern.AddDistinctPair(pattern.FindVertex("t"), pattern.FindVertex("t2"));
+    pattern.AddDistinctPair(pattern.FindVertex("p"), pattern.FindVertex("f"));
+    auto q = SpjmQueryBuilder("IC6-" + std::to_string(l))
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("t", "name")
+                 .Column("t2", "name")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Where(Expr::Eq("t.name", Value::String(kParamTag)))
+                 .GroupBy("t2.name")
+                 .Aggregate(AggFunc::kCount, "", "postCount")
+                 .OrderBy("postCount", false)
+                 .Limit(10)
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+
+  // IC7: people who like a named person's posts and know them (cyclic).
+  {
+    auto pattern = MustParse(
+        db,
+        "(po:Post)-[:hasCreator]->(p:Person), (f:Person)-[l:likes]->(po), "
+        "(f)-[:knows]->(p)");
+    auto q = SpjmQueryBuilder("IC7")
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("f", "firstName")
+                 .Column("f", "lastName")
+                 .Column("l", "creationDate")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Select("f.firstName")
+                 .Select("f.lastName")
+                 .Select("l.creationDate")
+                 .OrderBy("l.creationDate", false)
+                 .Limit(20)
+                 .Build();
+    out.push_back({std::move(q), true});
+  }
+
+  // IC8: recent replies to a named person's posts.
+  {
+    auto pattern = MustParse(
+        db,
+        "(po:Post)-[:hasCreator]->(p:Person), "
+        "(c:Comment)-[:replyOf]->(po), "
+        "(c)-[:commentHasCreator]->(author:Person)");
+    auto q = SpjmQueryBuilder("IC8")
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("author", "firstName")
+                 .Column("author", "lastName")
+                 .Column("c", "creationDate")
+                 .Column("c", "content")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Select("author.firstName")
+                 .Select("author.lastName")
+                 .Select("c.creationDate")
+                 .Select("c.content")
+                 .OrderBy("c.creationDate", false)
+                 .Limit(20)
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+
+  // IC9-l: older posts by friends within l hops.
+  for (int l = 1; l <= 2; ++l) {
+    auto pattern = MustParse(
+        db, KnowsChain(l) + ", (po:Post)-[:hasCreator]->(f)");
+    pattern.AddDistinctPair(pattern.FindVertex("p"), pattern.FindVertex("f"));
+    auto q = SpjmQueryBuilder("IC9-" + std::to_string(l))
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("f", "firstName")
+                 .Column("po", "content")
+                 .Column("po", "creationDate")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Where(date_le("po.creationDate", "2011-06-01"))
+                 .Select("f.firstName")
+                 .Select("po.content")
+                 .Select("po.creationDate")
+                 .OrderBy("po.creationDate", false)
+                 .Limit(20)
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+
+  // IC11-l: friends working at companies in a country since before Y.
+  for (int l = 1; l <= 2; ++l) {
+    auto pattern = MustParse(
+        db, KnowsChain(l) +
+                ", (f)-[w:workAt]->(co:Company)-"
+                "[:companyIsLocatedIn]->(country:Place)");
+    pattern.AddDistinctPair(pattern.FindVertex("p"), pattern.FindVertex("f"));
+    auto q = SpjmQueryBuilder("IC11-" + std::to_string(l))
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("f", "firstName")
+                 .Column("co", "name")
+                 .Column("w", "work_from")
+                 .Column("country", "name")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Where(Expr::Eq("country.name", Value::String(kParamCountry)))
+                 .Where(Expr::Compare(storage::CompareOp::kLt,
+                                      Expr::Column("w.work_from"),
+                                      Expr::Constant(Value::Int(2005))))
+                 .Select("f.firstName")
+                 .Select("co.name")
+                 .Select("w.work_from")
+                 .OrderBy("w.work_from")
+                 .Limit(10)
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+
+  // IC12: experts — friends commenting on posts tagged under a tag class.
+  {
+    auto pattern = MustParse(
+        db,
+        "(p:Person)-[:knows]->(f:Person), "
+        "(c:Comment)-[:commentHasCreator]->(f), "
+        "(c)-[:replyOf]->(po:Post), (po)-[:hasTag]->(t:Tag), "
+        "(t)-[:hasType]->(tc:TagClass)");
+    auto q = SpjmQueryBuilder("IC12")
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("f", "id")
+                 .Column("f", "firstName")
+                 .Column("tc", "name")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Where(Expr::Eq("tc.name", Value::String(kParamTagClass)))
+                 .GroupBy("f.id")
+                 .GroupBy("f.firstName")
+                 .Aggregate(AggFunc::kCount, "", "replyCount")
+                 .OrderBy("replyCount", false)
+                 .Limit(20)
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+
+  return out;
+}
+
+std::vector<WorkloadQuery> LdbcRuleQueries(const Database& db) {
+  std::vector<WorkloadQuery> out;
+
+  // QR1 / QR2 — selective predicates phrased as post-match selections, the
+  // shape FilterIntoMatchRule rescues (Fig 8).
+  {
+    auto pattern = MustParse(
+        db, "(p:Person)-[:knows]->(f:Person)-[:knows]->(g:Person)");
+    auto q = SpjmQueryBuilder("QR1")
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("p", "lastName")
+                 .Column("g", "firstName")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Where(Expr::Eq("p.lastName", Value::String("Chen")))
+                 .Select("g.firstName")
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+  {
+    auto pattern = MustParse(
+        db,
+        "(p:Person)-[:likes]->(po:Post)-[:hasTag]->(t:Tag)");
+    auto q = SpjmQueryBuilder("QR2")
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("po", "length")
+                 .Column("t", "name")
+                 .Where(Expr::Eq("t.name", Value::String(kParamTag)))
+                 .Where(Expr::Compare(storage::CompareOp::kLt,
+                                      Expr::Column("po.length"),
+                                      Expr::Constant(Value::Int(50))))
+                 .Select("p.firstName")
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+
+  // QR3 / QR4 — edge bindings projected in COLUMNS but unused downstream:
+  // TrimAndFuseRule drops them and fuses the expansions (Fig 8).
+  {
+    auto pattern = MustParse(
+        db, "(p:Person)-[k1:knows]->(f:Person)-[k2:knows]->(g:Person)");
+    auto q = SpjmQueryBuilder("QR3")
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("k1", "creationDate")
+                 .Column("k2", "creationDate")
+                 .Column("g", "firstName")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .Select("g.firstName")
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+  {
+    auto pattern = MustParse(
+        db,
+        "(p:Person)-[l:likes]->(po:Post)-[ht:hasTag]->(t:Tag)");
+    auto q = SpjmQueryBuilder("QR4")
+                 .Match(std::move(pattern))
+                 .Column("p", "firstName")
+                 .Column("l", "creationDate")
+                 .Column("ht", "id")
+                 .Column("t", "name")
+                 .Where(Expr::Eq("p.firstName", Value::String(kParamFirstName)))
+                 .GroupBy("t.name")
+                 .Aggregate(AggFunc::kCount, "", "cnt")
+                 .Build();
+    out.push_back({std::move(q), false});
+  }
+  return out;
+}
+
+std::vector<WorkloadQuery> LdbcCyclicQueries(const Database& db) {
+  std::vector<WorkloadQuery> out;
+  // QC1: triangle.
+  {
+    auto pattern = MustParse(
+        db,
+        "(a:Person)-[:knows]->(b:Person)-[:knows]->(c:Person), "
+        "(a)-[:knows]->(c)");
+    auto q = SpjmQueryBuilder("QC1")
+                 .Match(std::move(pattern))
+                 .Column("a", "id")
+                 .Aggregate(AggFunc::kCount, "", "triangles")
+                 .Build();
+    out.push_back({std::move(q), true});
+  }
+  // QC2: square (4-cycle).
+  {
+    auto pattern = MustParse(
+        db,
+        "(a:Person)-[:knows]->(b:Person)-[:knows]->(c:Person), "
+        "(a)-[:knows]->(d:Person)-[:knows]->(c)");
+    auto q = SpjmQueryBuilder("QC2")
+                 .Match(std::move(pattern))
+                 .Column("a", "id")
+                 .Aggregate(AggFunc::kCount, "", "squares")
+                 .Build();
+    out.push_back({std::move(q), true});
+  }
+  // QC3: 4-clique.
+  {
+    auto pattern = MustParse(
+        db,
+        "(a:Person)-[:knows]->(b:Person)-[:knows]->(c:Person), "
+        "(a)-[:knows]->(c), (a)-[:knows]->(d:Person), "
+        "(b)-[:knows]->(d), (c)-[:knows]->(d)");
+    auto q = SpjmQueryBuilder("QC3")
+                 .Match(std::move(pattern))
+                 .Column("a", "id")
+                 .Aggregate(AggFunc::kCount, "", "cliques")
+                 .Build();
+    out.push_back({std::move(q), true});
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace relgo

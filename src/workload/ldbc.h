@@ -1,0 +1,67 @@
+#ifndef RELGO_WORKLOAD_LDBC_H_
+#define RELGO_WORKLOAD_LDBC_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "plan/spjm_query.h"
+
+namespace relgo {
+namespace workload {
+
+/// Scale knobs for the LDBC SNB-like generator. scale_factor 1.0 yields
+/// roughly 3k persons / ~400k total tuples — the laptop-scale stand-in for
+/// the paper's LDBC10..100 server datasets (see DESIGN.md substitutions).
+struct LdbcOptions {
+  double scale_factor = 1.0;
+  uint64_t seed = 20240252;
+
+  int64_t persons() const { return static_cast<int64_t>(3000 * scale_factor); }
+  int64_t forums() const { return persons() / 3; }
+  int64_t posts() const { return persons() * 8; }
+  int64_t comments() const { return posts() * 3 / 2; }
+  int64_t tags() const { return 400; }
+  int64_t tag_classes() const { return 20; }
+  int64_t countries() const { return 30; }
+  int64_t cities() const { return 240; }
+  int64_t companies() const { return 600; }
+  double avg_knows_degree() const { return 14.0; }
+  double likes_per_post() const { return 2.0; }
+  int64_t interests_per_person() const { return 5; }
+  int64_t members_per_forum() const { return 25; }
+  int64_t tags_per_post() const { return 2; }
+};
+
+/// Materializes the SNB-like social network into `db` (tables + RGMapping)
+/// and finalizes it (index, statistics, GLogue).
+///
+/// Vertex labels: Person, Place, Tag, TagClass, Forum, Post, Comment,
+/// Company. Many-to-many edge tables: knows, likes, hasInterest,
+/// hasMember, hasTag, workAt. 1:N relationships are FK (identity) edges:
+/// isLocatedIn (Person->Place), hasCreator (Post->Person),
+/// commentHasCreator (Comment->Person), replyOf (Comment->Post),
+/// inForum (Post->Forum), hasType (Tag->TagClass), isPartOf (Place->Place),
+/// companyIsLocatedIn (Company->Place), hasModerator (Forum->Person).
+Status GenerateLdbc(Database* db, const LdbcOptions& options = {});
+
+/// A named benchmark query plus metadata the harness reports.
+struct WorkloadQuery {
+  plan::SpjmQuery query;
+  bool cyclic = false;  ///< contains a cyclic pattern (IC7, QC*)
+};
+
+/// The 18 fixed-length IC query variants of the paper's evaluation
+/// (IC1-1..3, 2, 3-1..2, 4, 5-1..2, 6-1..2, 7, 8, 9-1..2, 11-1..2, 12).
+std::vector<WorkloadQuery> LdbcInteractiveQueries(const Database& db);
+
+/// QR1..4 — the rule micro-benchmarks of Fig 8 (QR1/2 exercise
+/// FilterIntoMatchRule, QR3/4 exercise TrimAndFuseRule).
+std::vector<WorkloadQuery> LdbcRuleQueries(const Database& db);
+
+/// QC1..3 — triangle / square / 4-clique over knows (Fig 9).
+std::vector<WorkloadQuery> LdbcCyclicQueries(const Database& db);
+
+}  // namespace workload
+}  // namespace relgo
+
+#endif  // RELGO_WORKLOAD_LDBC_H_

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace relgo {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::InvalidArgument("x").ToString(), "InvalidArgument: x");
+  EXPECT_EQ(Status::AlreadyExists("x").ToString(), "AlreadyExists: x");
+  EXPECT_EQ(Status::OutOfMemory("x").ToString(), "OutOfMemory: x");
+  EXPECT_EQ(Status::Timeout("x").ToString(), "Timeout: x");
+  EXPECT_EQ(Status::NotImplemented("x").ToString(), "NotImplemented: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Internal("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+Result<int> Doubled(Result<int> in) {
+  RELGO_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::NotFound("nope")).ok());
+}
+
+TEST(ValueTest, NullOrdering) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericPromotion) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(10.0).Compare(Value::Int(9)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_TRUE(Value::String("x") == Value::String("x"));
+  EXPECT_TRUE(Value::String("x") != Value::String("y"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::String("q").Hash(), Value::String("q").Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(DateTest, ParseAndFormatRoundTrip) {
+  for (const char* iso : {"1970-01-01", "1999-12-31", "2000-02-29",
+                          "2024-03-31", "2023-01-15", "1969-07-20"}) {
+    auto days = ParseDate(iso);
+    ASSERT_TRUE(days.ok()) << iso;
+    EXPECT_EQ(FormatDate(*days), iso);
+  }
+}
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(*ParseDate("1970-01-01"), 0);
+  EXPECT_EQ(*ParseDate("1970-01-02"), 1);
+  EXPECT_EQ(*ParseDate("1971-01-01"), 365);
+}
+
+TEST(DateTest, OrderingMatchesCalendar) {
+  EXPECT_LT(*ParseDate("2024-03-20"), *ParseDate("2024-03-31"));
+  EXPECT_LT(*ParseDate("2023-12-31"), *ParseDate("2024-01-01"));
+}
+
+TEST(DateTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDate("not a date").ok());
+  EXPECT_FALSE(ParseDate("2024-13-01").ok());
+  EXPECT_FALSE(ParseDate("2024-00-10").ok());
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, JoinAndPredicates) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_TRUE(StartsWith("character-name", "char"));
+  EXPECT_FALSE(StartsWith("char", "character"));
+  EXPECT_TRUE(Contains("movie_keyword", "key"));
+  EXPECT_FALSE(Contains("movie", "keyword"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(11);
+  int64_t small = 0;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.Zipf(1000, 1.0) < 100) ++small;
+  }
+  // The first decile should receive far more than 10% of the mass.
+  EXPECT_GT(small, kTrials / 5);
+}
+
+TEST(RngTest, PowerLawStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.PowerLaw(1, 50, 2.5);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(HashTest, CombineSpreadsBits) {
+  EXPECT_NE(HashCombine(0, 1), HashCombine(0, 2));
+  EXPECT_NE(HashCombine(1, 0), HashCombine(2, 0));
+  uint64_t keys1[] = {1, 2};
+  uint64_t keys2[] = {2, 1};
+  EXPECT_NE(HashSpan(keys1, 2), HashSpan(keys2, 2));
+}
+
+}  // namespace
+}  // namespace relgo

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "fixtures.h"
+
+namespace relgo {
+namespace {
+
+using graph::Direction;
+
+class Figure2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing::BuildFigure2Database(&db_).ok());
+  }
+  Database db_;
+};
+
+TEST_F(Figure2Test, MappingLabels) {
+  const auto& m = db_.mapping();
+  EXPECT_EQ(m.num_vertex_labels(), 2u);
+  EXPECT_EQ(m.num_edge_labels(), 2u);
+  EXPECT_GE(m.FindVertexLabel("Person"), 0);
+  EXPECT_GE(m.FindVertexLabel("Message"), 0);
+  EXPECT_EQ(m.FindVertexLabel("Nope"), -1);
+  int likes = m.FindEdgeLabel("Likes");
+  ASSERT_GE(likes, 0);
+  EXPECT_EQ(m.vertex_mapping(m.EdgeSrcLabelId(likes)).label, "Person");
+  EXPECT_EQ(m.vertex_mapping(m.EdgeDstLabelId(likes)).label, "Message");
+}
+
+TEST_F(Figure2Test, IncidentEdgeLabels) {
+  const auto& m = db_.mapping();
+  int person = m.FindVertexLabel("Person");
+  int message = m.FindVertexLabel("Message");
+  auto out = m.IncidentEdgeLabels(person, Direction::kOut);
+  EXPECT_EQ(out.size(), 2u);  // Likes and Knows originate at Person
+  auto in = m.IncidentEdgeLabels(message, Direction::kIn);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(m.edge_mapping(in[0]).label, "Likes");
+}
+
+TEST_F(Figure2Test, EvIndexEndpoints) {
+  const auto& m = db_.mapping();
+  const auto& idx = db_.index();
+  int likes = m.FindEdgeLabel("Likes");
+  // l1 = (p1, m1): row 0 of Likes; Person row 0; Message row 0.
+  EXPECT_EQ(idx.EdgeSource(likes, 0), 0u);
+  EXPECT_EQ(idx.EdgeTarget(likes, 0), 0u);
+  // l3 = (p2, m2): row 2; Person row 1; Message row 1.
+  EXPECT_EQ(idx.EdgeSource(likes, 2), 1u);
+  EXPECT_EQ(idx.EdgeTarget(likes, 2), 1u);
+}
+
+TEST_F(Figure2Test, VeIndexAdjacency) {
+  const auto& m = db_.mapping();
+  const auto& idx = db_.index();
+  int likes = m.FindEdgeLabel("Likes");
+  // Bob (Person row 1) likes m1 and m2.
+  auto adj = idx.Neighbors(likes, Direction::kOut, 1);
+  ASSERT_EQ(adj.size, 2u);
+  EXPECT_EQ(adj.neighbors[0], 0u);
+  EXPECT_EQ(adj.neighbors[1], 1u);
+  // m1 (Message row 0) is liked by Tom and Bob.
+  auto in = idx.Neighbors(likes, Direction::kIn, 0);
+  ASSERT_EQ(in.size, 2u);
+  EXPECT_EQ(in.neighbors[0], 0u);
+  EXPECT_EQ(in.neighbors[1], 1u);
+}
+
+TEST_F(Figure2Test, AdjacencySortedByNeighbor) {
+  const auto& m = db_.mapping();
+  const auto& idx = db_.index();
+  for (const char* label : {"Likes", "Knows"}) {
+    int e = m.FindEdgeLabel(label);
+    for (Direction dir : {Direction::kOut, Direction::kIn}) {
+      for (uint64_t v = 0; v < 3; ++v) {
+        auto adj = idx.Neighbors(e, dir, v);
+        for (size_t i = 1; i < adj.size; ++i) {
+          EXPECT_LE(adj.neighbors[i - 1], adj.neighbors[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(Figure2Test, DegreesMatchData) {
+  const auto& m = db_.mapping();
+  const auto& idx = db_.index();
+  int knows = m.FindEdgeLabel("Knows");
+  EXPECT_EQ(idx.Degree(knows, Direction::kOut, 0), 1u);  // Tom knows Bob
+  EXPECT_EQ(idx.Degree(knows, Direction::kOut, 1), 2u);  // Bob knows Tom+David
+  EXPECT_EQ(idx.Degree(knows, Direction::kIn, 1), 2u);
+  EXPECT_EQ(idx.NumEdges(knows), 4u);
+}
+
+TEST_F(Figure2Test, GraphStatsAverages) {
+  const auto& m = db_.mapping();
+  const auto& s = db_.graph_stats();
+  int person = m.FindVertexLabel("Person");
+  int likes = m.FindEdgeLabel("Likes");
+  EXPECT_EQ(s.NumVertices(person), 3u);
+  EXPECT_EQ(s.NumEdges(likes), 4u);
+  EXPECT_DOUBLE_EQ(s.AverageDegree(likes, Direction::kOut), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.AverageDegree(likes, Direction::kIn), 2.0);
+  EXPECT_EQ(s.TotalVertices(), 5u);
+  EXPECT_EQ(s.TotalEdges(), 8u);
+}
+
+TEST_F(Figure2Test, IndexMemoryReported) {
+  EXPECT_GT(db_.index().MemoryBytes(), 0u);
+}
+
+TEST(RgMappingTest, RejectsUnknownVertexLabels) {
+  graph::RgMapping m;
+  ASSERT_TRUE(m.AddVertexTable("A", "id").ok());
+  EXPECT_FALSE(m.AddEdgeTable("E", "A", "src", "Missing", "dst").ok());
+  EXPECT_FALSE(m.AddVertexTable("A2", "id", "A").ok());  // duplicate label
+}
+
+TEST(RgMappingTest, ValidateCatchesDanglingForeignKeys) {
+  Database db;
+  auto a = db.CreateTable(
+      "A", storage::Schema({{"id", LogicalType::kInt64}}));
+  ASSERT_TRUE(a.ok());
+  auto e = db.CreateTable("E", storage::Schema({{"id", LogicalType::kInt64},
+                                                {"src", LogicalType::kInt64},
+                                                {"dst", LogicalType::kInt64}}));
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE((*a)->AppendRow({Value::Int(1)}).ok());
+  // dst=99 resolves to no A row: lambda functions must be total.
+  ASSERT_TRUE(
+      (*e)->AppendRow({Value::Int(1), Value::Int(1), Value::Int(99)}).ok());
+  ASSERT_TRUE(db.AddVertexTable("A", "id").ok());
+  ASSERT_TRUE(db.AddEdgeTable("E", "A", "src", "A", "dst").ok());
+  Status st = db.Finalize();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RgMappingTest, IdentityFkEdge) {
+  // Edge mapping whose "edge table" is the source vertex table itself
+  // (GRainDB-style FK edge, used for 1:N relationships like
+  // cast_info -> name in the JOB workload).
+  Database db;
+  auto person = db.CreateTable(
+      "P", storage::Schema({{"id", LogicalType::kInt64},
+                            {"city_id", LogicalType::kInt64}}));
+  auto city = db.CreateTable(
+      "C", storage::Schema({{"id", LogicalType::kInt64}}));
+  ASSERT_TRUE(person.ok());
+  ASSERT_TRUE(city.ok());
+  ASSERT_TRUE((*city)->AppendRow({Value::Int(7)}).ok());
+  ASSERT_TRUE((*person)->AppendRow({Value::Int(1), Value::Int(7)}).ok());
+  ASSERT_TRUE((*person)->AppendRow({Value::Int(2), Value::Int(7)}).ok());
+  ASSERT_TRUE(db.AddVertexTable("P", "id").ok());
+  ASSERT_TRUE(db.AddVertexTable("C", "id").ok());
+  ASSERT_TRUE(db.AddEdgeTable("P", "P", "id", "C", "city_id", "lives").ok());
+  ASSERT_TRUE(db.Finalize().ok());
+  int lives = db.mapping().FindEdgeLabel("lives");
+  // Edge row r has source vertex row r (identity).
+  EXPECT_EQ(db.index().EdgeSource(lives, 0), 0u);
+  EXPECT_EQ(db.index().EdgeSource(lives, 1), 1u);
+  EXPECT_EQ(db.index().EdgeTarget(lives, 0), 0u);
+  auto adj = db.index().Neighbors(lives, graph::Direction::kIn, 0);
+  EXPECT_EQ(adj.size, 2u);  // both persons point at city 7
+}
+
+}  // namespace
+}  // namespace relgo

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "plan/spjm_query.h"
+
+namespace relgo {
+namespace {
+
+using optimizer::OptimizerMode;
+using plan::SpjmQueryBuilder;
+using storage::Expr;
+
+constexpr OptimizerMode kAllModes[] = {
+    OptimizerMode::kDuckDB,    OptimizerMode::kGRainDB,
+    OptimizerMode::kUmbraLike, OptimizerMode::kRelGo,
+    OptimizerMode::kRelGoHash, OptimizerMode::kRelGoNoEI,
+    OptimizerMode::kRelGoNoRule, OptimizerMode::kGdbmsSim,
+};
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing::BuildFigure2Database(&db_).ok());
+  }
+
+  /// The Example 1 query: friends of Tom sharing a liked message, joined
+  /// with Place for Tom's place name.
+  plan::SpjmQuery Example1Query() {
+    auto pattern = db_.ParsePattern(
+        "(p1:Person)-[:Likes]->(m:Message), (p2:Person)-[:Likes]->(m), "
+        "(p1)-[:Knows]->(p2)");
+    EXPECT_TRUE(pattern.ok());
+    return SpjmQueryBuilder("example1")
+        .Match(*pattern)
+        .Column("p1", "name")
+        .Column("p1", "place_id")
+        .Column("p2", "name")
+        .Where(Expr::Eq("p1.name", Value::String("Tom")))
+        .Join("Place", "place", "p1.place_id", "id")
+        .Select("p2.name", "name")
+        .Select("place.name", "place_name")
+        .Build();
+  }
+
+  Database db_;
+};
+
+TEST_F(IntegrationTest, Example1AllModesAgree) {
+  std::vector<std::string> reference;
+  for (OptimizerMode mode : kAllModes) {
+    auto result = db_.Run(Example1Query(), mode);
+    ASSERT_TRUE(result.ok())
+        << ModeName(mode) << ": " << result.status().ToString();
+    auto rows = testing::SortedRows(*result->table);
+    if (reference.empty()) {
+      reference = rows;
+      // Example 1's expected answer: Bob, Germany.
+      ASSERT_EQ(rows.size(), 1u);
+      EXPECT_EQ(rows[0], "Bob|Germany");
+    } else {
+      EXPECT_EQ(rows, reference) << "mode " << ModeName(mode);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, PatternOnlyQueryAllModesAgree) {
+  auto make_query = [&]() {
+    auto pattern = db_.ParsePattern(
+        "(a:Person)-[:Knows]->(b:Person)-[:Likes]->(m:Message)");
+    EXPECT_TRUE(pattern.ok());
+    return SpjmQueryBuilder("walk")
+        .Match(*pattern)
+        .Column("a", "name")
+        .Column("b", "name")
+        .Column("m", "content")
+        .Select("a.name")
+        .Select("b.name")
+        .Select("m.content")
+        .Build();
+  };
+  std::vector<std::string> reference;
+  for (OptimizerMode mode : kAllModes) {
+    auto result = db_.Run(make_query(), mode);
+    ASSERT_TRUE(result.ok())
+        << ModeName(mode) << ": " << result.status().ToString();
+    auto rows = testing::SortedRows(*result->table);
+    if (reference.empty()) {
+      reference = rows;
+      EXPECT_EQ(rows.size(), 6u);
+    } else {
+      EXPECT_EQ(rows, reference) << "mode " << ModeName(mode);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, AggregationQueryAllModesAgree) {
+  auto make_query = [&]() {
+    auto pattern = db_.ParsePattern(
+        "(p:Person)-[:Likes]->(m:Message)");
+    EXPECT_TRUE(pattern.ok());
+    return SpjmQueryBuilder("likes_per_person")
+        .Match(*pattern)
+        .Column("p", "name")
+        .GroupBy("p.name")
+        .Aggregate(plan::AggFunc::kCount, "", "cnt")
+        .OrderBy("p.name")
+        .Build();
+  };
+  std::vector<std::string> reference;
+  for (OptimizerMode mode : kAllModes) {
+    auto result = db_.Run(make_query(), mode);
+    ASSERT_TRUE(result.ok())
+        << ModeName(mode) << ": " << result.status().ToString();
+    auto rows = testing::SortedRows(*result->table);
+    if (reference.empty()) {
+      reference = rows;
+      ASSERT_EQ(rows.size(), 3u);
+      EXPECT_EQ(rows[0], "Bob|2");
+    } else {
+      EXPECT_EQ(rows, reference) << "mode " << ModeName(mode);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, DistinctPairsRespectedInAllModes) {
+  auto make_query = [&]() {
+    auto pattern = db_.ParsePattern(
+        "(a:Person)-[:Knows]->(b:Person)-[:Knows]->(c:Person)");
+    EXPECT_TRUE(pattern.ok());
+    pattern->AddDistinctPair(pattern->FindVertex("a"),
+                             pattern->FindVertex("c"));
+    return SpjmQueryBuilder("two_hop_distinct")
+        .Match(*pattern)
+        .Column("a", "name")
+        .Column("c", "name")
+        .Select("a.name")
+        .Select("c.name")
+        .Build();
+  };
+  std::vector<std::string> reference;
+  for (OptimizerMode mode : kAllModes) {
+    auto result = db_.Run(make_query(), mode);
+    ASSERT_TRUE(result.ok())
+        << ModeName(mode) << ": " << result.status().ToString();
+    auto rows = testing::SortedRows(*result->table);
+    if (reference.empty()) {
+      reference = rows;
+      ASSERT_EQ(rows.size(), 2u);
+      EXPECT_EQ(rows[0], "David|Tom");
+      EXPECT_EQ(rows[1], "Tom|David");
+    } else {
+      EXPECT_EQ(rows, reference) << "mode " << ModeName(mode);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, EdgePredicateAllModesAgree) {
+  auto make_query = [&]() {
+    auto pattern = db_.ParsePattern(
+        "(p:Person)-[l:Likes]->(m:Message)");
+    EXPECT_TRUE(pattern.ok());
+    return SpjmQueryBuilder("recent_likes")
+        .Match(*pattern)
+        .Column("p", "name")
+        .Column("l", "date")
+        .Where(storage::Expr::Compare(
+            storage::CompareOp::kGe, storage::Expr::Column("l.date"),
+            storage::Expr::Constant(Value::Date(*ParseDate("2024-03-28")))))
+        .Select("p.name")
+        .Select("l.date")
+        .Build();
+  };
+  std::vector<std::string> reference;
+  for (OptimizerMode mode : kAllModes) {
+    auto result = db_.Run(make_query(), mode);
+    ASSERT_TRUE(result.ok())
+        << ModeName(mode) << ": " << result.status().ToString();
+    auto rows = testing::SortedRows(*result->table);
+    if (reference.empty()) {
+      reference = rows;
+      EXPECT_EQ(rows.size(), 2u);  // l1 (03-31), l2 (03-28)
+    } else {
+      EXPECT_EQ(rows, reference) << "mode " << ModeName(mode);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, ExplainShowsGraphOperators) {
+  auto explain = db_.Explain(Example1Query(), OptimizerMode::kRelGo);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_NE(explain->find("SCAN_GRAPH_TABLE"), std::string::npos) << *explain;
+  auto agnostic = db_.Explain(Example1Query(), OptimizerMode::kDuckDB);
+  ASSERT_TRUE(agnostic.ok());
+  EXPECT_EQ(agnostic->find("SCAN_GRAPH_TABLE"), std::string::npos);
+  EXPECT_NE(agnostic->find("HASH_JOIN"), std::string::npos);
+}
+
+TEST_F(IntegrationTest, FilterIntoMatchPushesPredicate) {
+  auto query = Example1Query();
+  int pushed = optimizer::ApplyFilterIntoMatchRule(&query);
+  EXPECT_EQ(pushed, 1);
+  EXPECT_TRUE(query.where == nullptr);
+  int p1 = query.pattern.FindVertex("p1");
+  EXPECT_TRUE(query.pattern.vertex(p1).predicate != nullptr);
+}
+
+TEST_F(IntegrationTest, TrimRuleDropsUnusedProjections) {
+  auto pattern = db_.ParsePattern(
+      "(p:Person)-[l:Likes]->(m:Message)");
+  ASSERT_TRUE(pattern.ok());
+  auto query = SpjmQueryBuilder("trim")
+                   .Match(*pattern)
+                   .Column("p", "name")
+                   .Column("l", "date")   // unused downstream
+                   .Column("m", "content")
+                   .Select("p.name")
+                   .Build();
+  int trimmed = optimizer::ApplyTrimRule(&query);
+  EXPECT_EQ(trimmed, 2);
+  ASSERT_EQ(query.graph_projections.size(), 1u);
+  EXPECT_EQ(query.graph_projections[0].output_name, "p.name");
+}
+
+TEST_F(IntegrationTest, RunReportsTimings) {
+  auto result = db_.Run(Example1Query(), OptimizerMode::kRelGo);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->optimization_ms, 0.0);
+  EXPECT_GE(result->execution_ms, 0.0);
+}
+
+TEST_F(IntegrationTest, OptimizeBeforeFinalizeFails) {
+  Database fresh;
+  auto pattern_db = db_.ParsePattern("(p:Person)-[:Likes]->(m:Message)");
+  ASSERT_TRUE(pattern_db.ok());
+  auto query = SpjmQueryBuilder("q").Match(*pattern_db).Build();
+  EXPECT_FALSE(fresh.Optimize(query, OptimizerMode::kRelGo).ok());
+}
+
+}  // namespace
+}  // namespace relgo

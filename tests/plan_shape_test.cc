@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "plan/spjm_query.h"
+
+namespace relgo {
+namespace {
+
+using optimizer::OptimizerMode;
+using plan::SpjmQueryBuilder;
+using storage::Expr;
+
+/// Tests asserting the *shape* of optimized plans — the structural claims
+/// of Sec 3.2.2, Sec 4.2 and Fig 6/12, rather than result correctness.
+class PlanShapeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing::BuildFigure2Database(&db_).ok());
+  }
+
+  plan::SpjmQuery TriangleQuery() {
+    auto pattern = db_.ParsePattern(
+        "(p1:Person)-[:Likes]->(m:Message), (p2:Person)-[:Likes]->(m), "
+        "(p1)-[:Knows]->(p2)");
+    EXPECT_TRUE(pattern.ok());
+    return SpjmQueryBuilder("triangle")
+        .Match(*pattern)
+        .Column("p1", "name")
+        .Column("p2", "name")
+        .Select("p1.name")
+        .Select("p2.name")
+        .Build();
+  }
+
+  std::string Plan(const plan::SpjmQuery& q, OptimizerMode mode) {
+    auto explain = db_.Explain(q, mode);
+    EXPECT_TRUE(explain.ok()) << explain.status().ToString();
+    return explain.ValueOr("");
+  }
+
+  Database db_;
+};
+
+TEST_F(PlanShapeTest, TriangleUsesExpandIntersect) {
+  // The complete-star MMC of Fig 3/Example 5: closing the message vertex
+  // over both persons is a 2-star -> EXPAND_INTERSECT.
+  std::string plan = Plan(TriangleQuery(), OptimizerMode::kRelGo);
+  EXPECT_NE(plan.find("EXPAND_INTERSECT"), std::string::npos) << plan;
+}
+
+TEST_F(PlanShapeTest, NoEIVariantAvoidsExpandIntersect) {
+  std::string plan = Plan(TriangleQuery(), OptimizerMode::kRelGoNoEI);
+  EXPECT_EQ(plan.find("EXPAND_INTERSECT"), std::string::npos) << plan;
+  // The star lowers to expand + verify ("traditional multiple join").
+  EXPECT_NE(plan.find("EDGE_VERIFY"), std::string::npos) << plan;
+}
+
+TEST_F(PlanShapeTest, HashVariantUsesNoIndexOperators) {
+  std::string plan = Plan(TriangleQuery(), OptimizerMode::kRelGoHash);
+  EXPECT_EQ(plan.find("EXPAND_INTERSECT"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("RID_"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("EXPAND(hash)"), std::string::npos) << plan;
+}
+
+TEST_F(PlanShapeTest, FusionDropsEdgeOperatorsWhenUnused) {
+  auto pattern = db_.ParsePattern("(p:Person)-[l:Likes]->(m:Message)");
+  ASSERT_TRUE(pattern.ok());
+  auto query = SpjmQueryBuilder("fused")
+                   .Match(*pattern)
+                   .Column("p", "name")
+                   .Column("l", "date")  // projected but unused downstream
+                   .Column("m", "content")
+                   .Select("p.name")
+                   .Select("m.content")
+                   .Build();
+  std::string fused = Plan(query, OptimizerMode::kRelGo);
+  EXPECT_EQ(fused.find("EXPAND_EDGE"), std::string::npos) << fused;
+  EXPECT_EQ(fused.find("GET_VERTEX"), std::string::npos) << fused;
+  EXPECT_NE(fused.find("EXPAND"), std::string::npos) << fused;
+
+  // Without TrimAndFuse the pair stays separate and the edge projection
+  // survives (Fig 6's unfused EXPAND_EDGE/GET_VERTEX form).
+  std::string unfused = Plan(query, OptimizerMode::kRelGoNoFuse);
+  EXPECT_NE(unfused.find("EXPAND_EDGE"), std::string::npos) << unfused;
+  EXPECT_NE(unfused.find("GET_VERTEX"), std::string::npos) << unfused;
+  EXPECT_NE(unfused.find("l.date"), std::string::npos) << unfused;
+}
+
+TEST_F(PlanShapeTest, EdgeProjectionForcesEdgeBinding) {
+  auto pattern = db_.ParsePattern("(p:Person)-[l:Likes]->(m:Message)");
+  ASSERT_TRUE(pattern.ok());
+  auto query = SpjmQueryBuilder("edge_needed")
+                   .Match(*pattern)
+                   .Column("p", "name")
+                   .Column("l", "date")
+                   .Select("p.name")
+                   .Select("l.date")  // the edge attribute is consumed
+                   .Build();
+  std::string plan = Plan(query, OptimizerMode::kRelGo);
+  // The edge binding survives trimming, so the unfused pair is emitted.
+  EXPECT_NE(plan.find("EXPAND_EDGE"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("GET_VERTEX"), std::string::npos) << plan;
+}
+
+TEST_F(PlanShapeTest, FilterIntoMatchMovesPredicateIntoScan) {
+  auto q = SpjmQueryBuilder("pushed")
+               .Match(*db_.ParsePattern(
+                   "(p:Person)-[:Knows]->(f:Person)"))
+               .Column("p", "name")
+               .Column("f", "name")
+               .Where(Expr::Eq("p.name", Value::String("Tom")))
+               .Select("f.name")
+               .Build();
+  std::string with_rule = Plan(q, OptimizerMode::kRelGo);
+  // The constraint lands in the graph operators (SCAN/EXPAND filter).
+  EXPECT_NE(with_rule.find("name = 'Tom'"), std::string::npos) << with_rule;
+  EXPECT_EQ(with_rule.find("FILTER ("), std::string::npos) << with_rule;
+
+  std::string without = Plan(q, OptimizerMode::kRelGoNoRule);
+  // Without the rule the selection stays relational, above the scan.
+  EXPECT_NE(without.find("FILTER"), std::string::npos) << without;
+}
+
+TEST_F(PlanShapeTest, GRainDBUsesRidJoinsAgnosticDoesNot) {
+  std::string graindb = Plan(TriangleQuery(), OptimizerMode::kGRainDB);
+  EXPECT_NE(graindb.find("RID_"), std::string::npos) << graindb;
+  std::string duckdb = Plan(TriangleQuery(), OptimizerMode::kDuckDB);
+  EXPECT_EQ(duckdb.find("RID_"), std::string::npos) << duckdb;
+  EXPECT_NE(duckdb.find("HASH_JOIN"), std::string::npos) << duckdb;
+}
+
+TEST_F(PlanShapeTest, EstimatedCardinalitiesAnnotated) {
+  auto result = db_.Optimize(TriangleQuery(), OptimizerMode::kRelGo);
+  ASSERT_TRUE(result.ok());
+  // The graph sub-plan leaves carry optimizer estimates for EXPLAIN.
+  std::string plan = plan::PrintPlan(*result->plan);
+  EXPECT_NE(plan.find("[est="), std::string::npos) << plan;
+}
+
+TEST_F(PlanShapeTest, GdbmsSimUsesNaiveMatch) {
+  std::string plan = Plan(TriangleQuery(), OptimizerMode::kGdbmsSim);
+  EXPECT_NE(plan.find("NAIVE_MATCH"), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace relgo
