@@ -1,5 +1,6 @@
 // Reproduces Fig 10: join-order efficiency on JOB1..10 — RelGo, GRainDB,
-// RelGoHash (converged ordering without the graph index), DuckDB.
+// RelGoHash (converged ordering without the graph index), DuckDB — under
+// both execution engines, recording BENCH_pipeline.json.
 
 #include <cstdio>
 
@@ -7,6 +8,7 @@
 
 int main(int argc, char** argv) {
   using namespace relgo;
+  using exec::EngineKind;
   using optimizer::OptimizerMode;
   auto args = bench::ParseArgs(argc, argv, 0.5);
   bench::Banner("Fig 10", "join order efficiency on JOB1..10");
@@ -16,18 +18,39 @@ int main(int argc, char** argv) {
   std::vector<workload::WorkloadQuery> subset(
       std::make_move_iterator(all.begin()),
       std::make_move_iterator(all.begin() + 10));
+  const std::vector<OptimizerMode> modes = {
+      OptimizerMode::kRelGo, OptimizerMode::kGRainDB,
+      OptimizerMode::kRelGoHash, OptimizerMode::kDuckDB};
 
-  workload::Harness harness(db, bench::BenchExecOptions(), args.reps);
-  auto runs = harness.RunGrid(
-      subset, {OptimizerMode::kRelGo, OptimizerMode::kGRainDB,
-               OptimizerMode::kRelGoHash, OptimizerMode::kDuckDB});
-  std::printf("execution time (ms):\n%s\n",
-              workload::Harness::FormatTable(runs, false).c_str());
+  workload::Harness mat_harness(db, bench::BenchExecOptions(), args.reps);
+  auto mat_runs = mat_harness.RunGrid(subset, modes);
+  workload::Harness pipe_harness(
+      db,
+      bench::EngineOptions(bench::BenchExecOptions(), EngineKind::kPipeline,
+                           args.threads),
+      args.reps);
+  auto pipe_runs = pipe_harness.RunGrid(subset, modes);
+
+  std::printf("execution time (ms), engine=materialize:\n%s\n",
+              workload::Harness::FormatTable(mat_runs, false).c_str());
+  std::printf("execution time (ms), engine=pipeline (%d threads):\n%s\n",
+              args.threads,
+              workload::Harness::FormatTable(pipe_runs, false).c_str());
   std::printf("avg RelGo vs GRainDB:   %.2fx\n",
-              workload::Harness::AverageSpeedup(runs, "GRainDB", "RelGo"));
+              workload::Harness::AverageSpeedup(mat_runs, "GRainDB", "RelGo"));
   std::printf("avg RelGoHash vs DuckDB: %.2fx\n",
-              workload::Harness::AverageSpeedup(runs, "DuckDB",
+              workload::Harness::AverageSpeedup(mat_runs, "DuckDB",
                                                 "RelGoHash"));
+  std::printf("pipeline-vs-materialize engine speedup: %.2fx\n",
+              bench::EngineSpeedup(mat_runs, pipe_runs));
+
+  auto& json = bench::BenchJson::Global();
+  json.AddGrid("fig10_join_order", "imdb", args.scale, mat_runs,
+               EngineKind::kMaterialize, 1);
+  json.AddGrid("fig10_join_order", "imdb", args.scale, pipe_runs,
+               EngineKind::kPipeline, args.threads);
+  json.Write();
+
   std::printf(
       "\nShape check (paper): RelGo beats GRainDB on all ten (avg 4.1x);\n"
       "RelGoHash is at least as good as DuckDB (avg 1.6x) — good join\n"

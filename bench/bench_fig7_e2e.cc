@@ -1,5 +1,8 @@
 // Reproduces Fig 7: end-to-end time (optimization + execution), RelGo vs
-// GRainDB, on (a) LDBC queries IC1-3, IC2, IC4, IC7 and (b) JOB1..4.
+// GRainDB, on (a) LDBC queries IC1-3, IC2, IC4, IC7 and (b) JOB1..4 — and
+// additionally compares the two execution engines (materializing oracle vs
+// morsel-driven pipeline) on the same plans, reporting per-query engine
+// speedups and recording everything into BENCH_pipeline.json.
 
 #include <cstdio>
 
@@ -7,28 +10,57 @@
 
 namespace {
 
-void RunSide(const relgo::Database* db,
+using relgo::exec::EngineKind;
+
+void RunSide(const relgo::Database* db, const char* workload, double scale,
              const std::vector<relgo::workload::WorkloadQuery>& queries,
-             int reps) {
+             const relgo::bench::BenchArgs& args) {
   using relgo::optimizer::OptimizerMode;
-  relgo::workload::Harness harness(db, relgo::bench::BenchExecOptions(),
-                                   reps);
-  auto runs = harness.RunGrid(
-      queries, {OptimizerMode::kRelGo, OptimizerMode::kGRainDB});
-  std::printf("%-8s %12s %12s %12s %12s\n", "query", "RelGo Opt",
-              "RelGo Exe", "GRainDB Opt", "GRainDB Exe");
-  for (size_t i = 0; i + 1 < runs.size(); i += 2) {
-    const auto& relgo_run = runs[i];
-    const auto& graindb_run = runs[i + 1];
-    std::printf("%-8s %12.2f %12.2f %12.2f %12.2f\n",
-                relgo_run.query.c_str(), relgo_run.optimization_ms,
-                relgo_run.execution_ms, graindb_run.optimization_ms,
-                graindb_run.execution_ms);
+  const std::vector<OptimizerMode> modes = {OptimizerMode::kRelGo,
+                                            OptimizerMode::kGRainDB};
+
+  // Engine A: the materializing reference executor.
+  relgo::workload::Harness mat_harness(db, relgo::bench::BenchExecOptions(),
+                                       args.reps);
+  auto mat_runs = mat_harness.RunGrid(queries, modes);
+  // Engine B: the pipeline engine at --threads workers.
+  relgo::workload::Harness pipe_harness(
+      db,
+      relgo::bench::EngineOptions(relgo::bench::BenchExecOptions(),
+                                  EngineKind::kPipeline, args.threads),
+      args.reps);
+  auto pipe_runs = pipe_harness.RunGrid(queries, modes);
+
+  std::printf("%-8s %12s %12s %12s %12s %10s\n", "query", "RelGo Opt",
+              "RelGo Exe", "GRainDB Opt", "GRainDB Exe", "engine");
+  for (const auto* runs : {&mat_runs, &pipe_runs}) {
+    const char* engine = runs == &mat_runs
+                             ? relgo::bench::EngineLabel(EngineKind::kMaterialize)
+                             : relgo::bench::EngineLabel(EngineKind::kPipeline);
+    for (size_t i = 0; i + 1 < runs->size(); i += 2) {
+      const auto& relgo_run = (*runs)[i];
+      const auto& graindb_run = (*runs)[i + 1];
+      std::printf("%-8s %12.2f %12.2f %12.2f %12.2f %10s\n",
+                  relgo_run.query.c_str(), relgo_run.optimization_ms,
+                  relgo_run.execution_ms, graindb_run.optimization_ms,
+                  graindb_run.execution_ms, engine);
+    }
   }
-  double speedup = relgo::workload::Harness::AverageSpeedup(
-      runs, "GRainDB", "RelGo");
-  std::printf("average RelGo-vs-GRainDB execution speedup: %.2fx\n\n",
-              speedup);
+
+  double mode_speedup =
+      relgo::workload::Harness::AverageSpeedup(mat_runs, "GRainDB", "RelGo");
+  double engine_speedup = relgo::bench::EngineSpeedup(mat_runs, pipe_runs);
+  std::printf("average RelGo-vs-GRainDB execution speedup: %.2fx\n",
+              mode_speedup);
+  std::printf(
+      "average pipeline-vs-materialize engine speedup (%d threads): %.2fx\n\n",
+      args.threads, engine_speedup);
+
+  auto& json = relgo::bench::BenchJson::Global();
+  json.AddGrid("fig7_e2e", workload, scale, mat_runs, EngineKind::kMaterialize,
+               1);
+  json.AddGrid("fig7_e2e", workload, scale, pipe_runs, EngineKind::kPipeline,
+               args.threads);
 }
 
 }  // namespace
@@ -49,7 +81,7 @@ int main(int argc, char** argv) {
         subset.push_back(std::move(wq));
       }
     }
-    RunSide(db, subset, args.reps);
+    RunSide(db, "ldbc", args.scale, subset, args);
     delete db;
   }
   {
@@ -59,9 +91,10 @@ int main(int argc, char** argv) {
     std::vector<workload::WorkloadQuery> subset(
         std::make_move_iterator(all.begin()),
         std::make_move_iterator(all.begin() + 4));
-    RunSide(db, subset, args.reps);
+    RunSide(db, "imdb", args.scale, subset, args);
     delete db;
   }
+  bench::BenchJson::Global().Write();
   std::printf(
       "Shape check (paper): RelGo end-to-end beats GRainDB (7.5x LDBC30,\n"
       "3.8x IMDB) despite slightly higher optimization cost.\n");

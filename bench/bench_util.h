@@ -1,9 +1,12 @@
 #ifndef RELGO_BENCH_BENCH_UTIL_H_
 #define RELGO_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
+#include <vector>
 
 #include "workload/harness.h"
 #include "workload/imdb.h"
@@ -13,11 +16,13 @@ namespace relgo {
 namespace bench {
 
 /// Shared CLI convention for the figure benches:
-///   --scale <f>   dataset scale factor (default per bench)
-///   --reps <n>    timed repetitions per query (default 2)
+///   --scale <f>    dataset scale factor (default per bench)
+///   --reps <n>     timed repetitions per query (default 2)
+///   --threads <n>  pipeline-engine worker threads (default 4)
 struct BenchArgs {
   double scale = 1.0;
   int reps = 2;
+  int threads = 4;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv, double default_scale) {
@@ -29,9 +34,173 @@ inline BenchArgs ParseArgs(int argc, char** argv, double default_scale) {
       args.scale = std::atof(argv[++i]);
     } else if (a == "--reps" && i + 1 < argc) {
       args.reps = std::atoi(argv[++i]);
+    } else if (a == "--threads" && i + 1 < argc) {
+      args.threads = std::atoi(argv[++i]);
     }
   }
+  if (args.threads <= 0) {
+    // 0 (or garbage) means hardware concurrency, like
+    // ExecutionOptions::num_threads; resolve it here so tables and JSON
+    // records show the actual worker count.
+    exec::ExecutionOptions probe;
+    probe.num_threads = args.threads;
+    args.threads = exec::ResolveNumThreads(probe);
+  }
   return args;
+}
+
+/// Human-readable engine tag used in tables and in the JSON records.
+inline const char* EngineLabel(exec::EngineKind engine) {
+  return engine == exec::EngineKind::kPipeline ? "pipeline" : "materialize";
+}
+
+/// ExecutionOptions for one engine configuration on top of the bench-wide
+/// limits (see BenchExecOptions below).
+inline exec::ExecutionOptions EngineOptions(exec::ExecutionOptions base,
+                                            exec::EngineKind engine,
+                                            int threads) {
+  base.engine = engine;
+  base.num_threads = threads;
+  return base;
+}
+
+/// One measurement tagged with engine + thread count, serialized into
+/// BENCH_pipeline.json so the perf trajectory across PRs is recorded
+/// machine-readably.
+struct BenchRecord {
+  std::string bench;     ///< e.g. "fig7_e2e"
+  std::string workload;  ///< "ldbc" / "imdb"
+  double scale = 0.0;
+  std::string query;
+  std::string mode;    ///< optimizer mode name
+  std::string engine;  ///< "materialize" / "pipeline"
+  int threads = 1;
+  double optimization_ms = 0.0;
+  double execution_ms = 0.0;
+  uint64_t rows = 0;
+  std::string status;  ///< "ok" / "OOM" / "OT" / "ERR"
+};
+
+/// Process-wide collector; call Write() once at the end of main(). Every
+/// record is stamped with a per-process run id (unix time at startup) so
+/// accumulated files from repeated runs can be ordered and deduplicated.
+class BenchJson {
+ public:
+  static BenchJson& Global() {
+    static BenchJson instance;
+    return instance;
+  }
+
+  void Add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  /// Tags and records a harness grid run under one engine configuration.
+  void AddGrid(const std::string& bench, const std::string& workload,
+               double scale, const std::vector<workload::RunMeasurement>& runs,
+               exec::EngineKind engine, int threads) {
+    for (const auto& r : runs) {
+      BenchRecord rec;
+      rec.bench = bench;
+      rec.workload = workload;
+      rec.scale = scale;
+      rec.query = r.query;
+      rec.mode = r.mode;
+      rec.engine = EngineLabel(engine);
+      rec.threads = engine == exec::EngineKind::kPipeline ? threads : 1;
+      rec.optimization_ms = r.optimization_ms;
+      rec.execution_ms = r.execution_ms;
+      rec.rows = r.result_rows;
+      rec.status = r.out_of_memory ? "OOM"
+                   : r.timed_out   ? "OT"
+                   : r.failed      ? "ERR"
+                                   : "ok";
+      Add(std::move(rec));
+    }
+  }
+
+  /// Writes all records as a JSON array to `path`. If the file already
+  /// holds an array written by a previous bench binary, the new records are
+  /// appended to it — running the whole figure suite accumulates one
+  /// trajectory file instead of each binary clobbering the last.
+  void Write(const std::string& path = "BENCH_pipeline.json") const {
+    std::string existing;
+    if (std::FILE* in = std::fopen(path.c_str(), "r")) {
+      char buf[4096];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+        existing.append(buf, n);
+      }
+      std::fclose(in);
+      // Strip trailing whitespace and the closing ']' of our own format;
+      // anything unrecognized is treated as absent (overwritten).
+      while (!existing.empty() &&
+             (existing.back() == '\n' || existing.back() == ' ')) {
+        existing.pop_back();
+      }
+      if (existing.empty() || existing.front() != '[' ||
+          existing.back() != ']') {
+        existing.clear();
+      } else {
+        existing.pop_back();  // drop ']'
+        while (!existing.empty() && existing.back() == '\n') {
+          existing.pop_back();
+        }
+      }
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    bool has_prior = existing.find('{') != std::string::npos;
+    if (existing.empty()) {
+      std::fprintf(f, "[\n");
+    } else {
+      std::fprintf(f, "%s%s\n", existing.c_str(),
+                   has_prior && !records_.empty() ? "," : "");
+    }
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(
+          f,
+          "  {\"run_ts\": %lld, \"bench\": \"%s\", \"workload\": \"%s\", "
+          "\"scale\": %.3f, \"query\": \"%s\", \"mode\": \"%s\", "
+          "\"engine\": \"%s\", \"threads\": %d, \"optimization_ms\": %.3f, "
+          "\"execution_ms\": %.3f, \"rows\": %llu, \"status\": \"%s\"}%s\n",
+          static_cast<long long>(run_ts_), r.bench.c_str(),
+          r.workload.c_str(), r.scale, r.query.c_str(), r.mode.c_str(),
+          r.engine.c_str(), r.threads, r.optimization_ms, r.execution_ms,
+          static_cast<unsigned long long>(r.rows), r.status.c_str(),
+          i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %zu records to %s\n", records_.size(), path.c_str());
+  }
+
+ private:
+  BenchJson() : run_ts_(std::time(nullptr)) {}
+
+  std::time_t run_ts_;
+  std::vector<BenchRecord> records_;
+};
+
+/// Geometric-mean execution speedup of `b` over `a` for runs matched by
+/// (query, mode); used to report pipeline-vs-materialize engine gains.
+inline double EngineSpeedup(const std::vector<workload::RunMeasurement>& a,
+                            const std::vector<workload::RunMeasurement>& b) {
+  double log_sum = 0.0;
+  int n = 0;
+  for (const auto& ra : a) {
+    for (const auto& rb : b) {
+      if (ra.query != rb.query || ra.mode != rb.mode) continue;
+      if (ra.failed || ra.timed_out || ra.out_of_memory) continue;
+      if (rb.failed || rb.timed_out || rb.out_of_memory) continue;
+      log_sum += std::log(std::max(ra.execution_ms, 1e-3) /
+                          std::max(rb.execution_ms, 1e-3));
+      ++n;
+    }
+  }
+  return n == 0 ? 1.0 : std::exp(log_sum / n);
 }
 
 inline void Banner(const char* figure, const char* what) {

@@ -128,6 +128,20 @@ Status RunQuickstart() {
                 result.execution_ms, result.table->ToString().c_str());
   }
 
+  // --- 4b. The same plan on the morsel-driven pipeline engine. ---------------
+  // ExecutionOptions select the runtime: kMaterialize is the reference
+  // operator-at-a-time interpreter; kPipeline decomposes the plan into
+  // vectorized pipelines executed by a worker pool (num_threads = 0 means
+  // hardware concurrency). Results are identical bags.
+  exec::ExecutionOptions pipeline_options;
+  pipeline_options.engine = exec::EngineKind::kPipeline;
+  pipeline_options.num_threads = 0;
+  RELGO_ASSIGN_OR_RETURN(
+      auto piped,
+      db.Run(query, optimizer::OptimizerMode::kRelGo, pipeline_options));
+  std::printf("result (RelGo on pipeline engine, exec %.2f ms):\n%s\n",
+              piped.execution_ms, piped.table->ToString().c_str());
+
   // --- 5. EXPLAIN ANALYZE: estimates vs actual rows per operator. ------------
   RELGO_ASSIGN_OR_RETURN(
       auto analyzed,

@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include "common/timer.h"
+#include "exec/pipeline/engine.h"
 
 namespace relgo {
 
@@ -27,6 +28,9 @@ Result<optimizer::OptimizeResult> Database::Optimize(
 Result<storage::TablePtr> Database::Execute(
     const plan::PhysicalOp& op, exec::ExecutionOptions options) const {
   exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
+  if (options.engine == exec::EngineKind::kPipeline) {
+    return exec::pipeline::Run(op, &ctx);
+  }
   return exec::Executor::Run(op, &ctx);
 }
 
@@ -75,6 +79,14 @@ void RenderAnalyzed(const plan::PhysicalOp& op,
 Result<std::string> Database::ExplainAnalyze(
     const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
     exec::ExecutionOptions options) const {
+  // Per-operator profiling only exists in the materializing interpreter;
+  // per-pipeline profiling is a roadmap item. Be explicit rather than
+  // silently ignoring a kPipeline request.
+  if (options.engine == exec::EngineKind::kPipeline) {
+    return Status::NotImplemented(
+        "EXPLAIN ANALYZE profiles per operator and currently runs only on "
+        "the materializing engine; use EngineKind::kMaterialize");
+  }
   RELGO_ASSIGN_OR_RETURN(auto optimized, Optimize(query, mode));
   exec::QueryProfile profile;
   exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);

@@ -100,7 +100,9 @@ class Database {
 
   /// EXPLAIN ANALYZE: optimizes, executes with per-operator profiling, and
   /// renders the plan annotated with actual rows and subtree times next to
-  /// the optimizer's estimates.
+  /// the optimizer's estimates. Profiling is implemented by the
+  /// materializing engine only; requesting EngineKind::kPipeline returns
+  /// kNotImplemented (per-pipeline profiling is a ROADMAP item).
   Result<std::string> ExplainAnalyze(
       const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
       exec::ExecutionOptions options = {}) const;

@@ -1,7 +1,9 @@
 #ifndef RELGO_EXEC_CONTEXT_H_
 #define RELGO_EXEC_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <thread>
 #include <unordered_map>
 
 #include "common/timer.h"
@@ -21,6 +23,28 @@ struct OperatorProfile {
 
 using QueryProfile = std::unordered_map<const void*, OperatorProfile>;
 
+/// Which runtime interprets the physical plan.
+///
+///  * kMaterialize — the reference operator-at-a-time interpreter
+///    (exec/executor.*): every operator fully materializes its output.
+///  * kPipeline    — the morsel-driven vectorized engine
+///    (exec/pipeline/*): the plan is decomposed into pipelines split at
+///    breakers and executed batch-at-a-time by a worker pool.
+///
+/// Both engines produce identical result bags (pipeline_parity_test.cc);
+/// the materializing engine remains the oracle for differential testing.
+/// Pipeline row order is deterministic and thread-count independent
+/// (sinks merge in morsel order, equal to the sequential scan order), so
+/// repeated runs are reproducible; ORDER BY + LIMIT tie-breaking can still
+/// differ *between* the two engines on index-free EXPAND / EDGE_VERIFY
+/// plans, whose materializing implementation picks its hash build side
+/// adaptively and thereby emits rows in a different (but equally valid)
+/// order.
+enum class EngineKind {
+  kMaterialize,
+  kPipeline,
+};
+
 /// Resource limits for one query execution, mirroring the paper's
 /// experimental protocol: a wall-clock timeout (10 minutes in the paper)
 /// and a memory budget whose exhaustion is reported as OOM (e.g.
@@ -31,7 +55,20 @@ struct ExecutionOptions {
   uint64_t max_total_rows = 80'000'000;
   /// Wall-clock limit; kTimeout past this.
   double timeout_ms = 600'000.0;
+  /// Runtime selection; the materializing executor is the default oracle.
+  EngineKind engine = EngineKind::kMaterialize;
+  /// Worker threads for the pipeline engine. 0 = hardware concurrency;
+  /// 1 = single-threaded deterministic mode (used by tests). Ignored by the
+  /// materializing engine.
+  int num_threads = 0;
 };
+
+/// Resolves ExecutionOptions::num_threads to a concrete worker count.
+inline int ResolveNumThreads(const ExecutionOptions& options) {
+  if (options.num_threads > 0) return options.num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
 
 /// Everything an operator needs to run: the base relations, the RGMapping
 /// (vertex/edge label resolution), the graph index (may be absent for
@@ -54,10 +91,13 @@ class ExecutionContext {
   const ExecutionOptions& options() const { return options_; }
 
   /// Accounts for `rows` newly materialized tuples; kOutOfMemory when the
-  /// budget is exceeded, kTimeout when the clock ran out.
+  /// budget is exceeded, kTimeout when the clock ran out. Thread-safe: the
+  /// pipeline engine's workers charge concurrently.
   Status ChargeRows(uint64_t rows) {
-    rows_produced_ += rows;
-    if (rows_produced_ > options_.max_total_rows) {
+    uint64_t total = rows_produced_.fetch_add(rows,
+                                              std::memory_order_relaxed) +
+                     rows;
+    if (total > options_.max_total_rows) {
       return Status::OutOfMemory(
           "intermediate results exceeded " +
           std::to_string(options_.max_total_rows) + " rows");
@@ -73,7 +113,9 @@ class ExecutionContext {
     return Status::OK();
   }
 
-  uint64_t rows_produced() const { return rows_produced_; }
+  uint64_t rows_produced() const {
+    return rows_produced_.load(std::memory_order_relaxed);
+  }
   double elapsed_ms() const { return timer_.ElapsedMillis(); }
 
   /// Enables per-operator profiling; measurements land in `profile`.
@@ -95,7 +137,7 @@ class ExecutionContext {
   const graph::GraphIndex* index_;
   ExecutionOptions options_;
   Timer timer_;
-  uint64_t rows_produced_ = 0;
+  std::atomic<uint64_t> rows_produced_{0};
   QueryProfile* profile_ = nullptr;
 };
 

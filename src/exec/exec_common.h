@@ -1,0 +1,127 @@
+#ifndef RELGO_EXEC_EXEC_COMMON_H_
+#define RELGO_EXEC_EXEC_COMMON_H_
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "exec/context.h"
+#include "plan/spjm_query.h"
+#include "storage/expression.h"
+#include "storage/table.h"
+
+namespace relgo {
+namespace exec {
+
+/// Builds a table whose columns are the child's columns gathered by `sel`.
+inline storage::TablePtr GatherTable(const storage::Table& src,
+                                     const std::vector<uint64_t>& sel,
+                                     const std::string& name) {
+  auto out = std::make_shared<storage::Table>(name, src.schema());
+  for (size_t c = 0; c < src.num_columns(); ++c) {
+    out->column(c) = src.column(c).Gather(sel);
+  }
+  out->FinishBulkAppend();
+  return out;
+}
+
+/// Output schema of a base-table scan: "alias.col" for each kept column,
+/// preceded by "alias.$rid" when requested. `raw_indexes` receives the
+/// source column index behind each emitted attribute column.
+inline storage::Schema ScanSchema(const storage::Table& table,
+                                  const std::string& alias,
+                                  const std::vector<std::string>& projected,
+                                  bool emit_rowid,
+                                  std::vector<int>* raw_indexes) {
+  storage::Schema out;
+  if (emit_rowid) {
+    (void)out.AddColumn({alias + ".$rid", LogicalType::kInt64});
+  }
+  if (projected.empty()) {
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      (void)out.AddColumn({alias + "." + table.schema().column(c).name,
+                           table.schema().column(c).type});
+      raw_indexes->push_back(static_cast<int>(c));
+    }
+  } else {
+    for (const auto& col : projected) {
+      int idx = table.schema().FindColumn(col);
+      if (idx < 0) continue;  // validated by the optimizer
+      (void)out.AddColumn(
+          {alias + "." + col, table.schema().column(idx).type});
+      raw_indexes->push_back(idx);
+    }
+  }
+  return out;
+}
+
+/// Binding-table schema: one int64 column per variable.
+inline storage::Schema BindingSchema(const std::vector<std::string>& vars) {
+  storage::Schema s;
+  for (const auto& v : vars) (void)s.AddColumn({v, LogicalType::kInt64});
+  return s;
+}
+
+/// Evaluates `filter` once per row of `table` into a validity bitmap
+/// (empty when there is no filter). Expansion-style operators consult the
+/// bitmap per adjacency entry, turning per-expansion expression evaluation
+/// into a single table pass. The pipeline engine computes bitmaps during
+/// single-threaded operator Prepare, so workers only do bitmap loads.
+inline Result<std::vector<uint8_t>> FilterBitmap(
+    const storage::TablePtr& table, const storage::ExprPtr& filter) {
+  std::vector<uint8_t> bitmap;
+  if (!filter) return bitmap;
+  RELGO_RETURN_NOT_OK(filter->Bind(table->schema()));
+  bitmap.resize(table->num_rows());
+  for (uint64_t r = 0; r < table->num_rows(); ++r) {
+    bitmap[r] = filter->EvaluateBool(*table, r) ? 1 : 0;
+  }
+  return bitmap;
+}
+
+/// ORDER BY over a materialized table (stable sort; charges the full row
+/// count). Shared by both engines so their comparator semantics — null
+/// ordering, multi-key tie-breaking — can never diverge.
+inline Result<storage::TablePtr> SortTableByKeys(
+    const std::vector<plan::SortKey>& keys, storage::TablePtr child,
+    ExecutionContext* ctx) {
+  std::vector<size_t> key_cols;
+  for (const auto& k : keys) {
+    RELGO_ASSIGN_OR_RETURN(size_t idx,
+                           child->schema().GetColumnIndex(k.column));
+    key_cols.push_back(idx);
+  }
+  std::vector<uint64_t> sel(child->num_rows());
+  std::iota(sel.begin(), sel.end(), 0);
+  std::stable_sort(sel.begin(), sel.end(), [&](uint64_t a, uint64_t b) {
+    for (size_t i = 0; i < key_cols.size(); ++i) {
+      Value va = child->GetValue(a, key_cols[i]);
+      Value vb = child->GetValue(b, key_cols[i]);
+      int c = va.Compare(vb);
+      if (c != 0) return keys[i].ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
+  return GatherTable(*child, sel, child->name());
+}
+
+/// LIMIT over a materialized table; pass-through (uncharged) when the
+/// limit is absent or not reached. Shared by both engines.
+inline Result<storage::TablePtr> LimitTableRows(int64_t limit,
+                                                storage::TablePtr child,
+                                                ExecutionContext* ctx) {
+  if (limit < 0 || static_cast<uint64_t>(limit) >= child->num_rows()) {
+    return child;
+  }
+  std::vector<uint64_t> sel(static_cast<size_t>(limit));
+  std::iota(sel.begin(), sel.end(), 0);
+  RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
+  return GatherTable(*child, sel, child->name());
+}
+
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_EXEC_COMMON_H_

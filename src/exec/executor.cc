@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "common/hash.h"
+#include "exec/exec_common.h"
+#include "exec/join_hash_table.h"
 #include "exec/naive_matcher.h"
 
 namespace relgo {
@@ -20,72 +22,11 @@ using storage::TablePtr;
 namespace {
 
 // ---------------------------------------------------------------------------
-// Small helpers
+// Small helpers (shared ones live in exec/exec_common.h)
 // ---------------------------------------------------------------------------
-
-/// Builds a table whose columns are the child's columns gathered by `sel`.
-TablePtr GatherTable(const Table& src, const std::vector<uint64_t>& sel,
-                     const std::string& name) {
-  auto out = std::make_shared<Table>(name, src.schema());
-  for (size_t c = 0; c < src.num_columns(); ++c) {
-    out->column(c) = src.column(c).Gather(sel);
-  }
-  out->FinishBulkAppend();
-  return out;
-}
-
-/// Output schema of a base-table scan: "alias.col" for each kept column,
-/// preceded by "alias.$rid" when requested.
-Schema ScanSchema(const Table& table, const std::string& alias,
-                  const std::vector<std::string>& projected, bool emit_rowid,
-                  std::vector<int>* raw_indexes) {
-  Schema out;
-  if (emit_rowid) {
-    (void)out.AddColumn({alias + ".$rid", LogicalType::kInt64});
-  }
-  if (projected.empty()) {
-    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
-      (void)out.AddColumn({alias + "." + table.schema().column(c).name,
-                           table.schema().column(c).type});
-      raw_indexes->push_back(static_cast<int>(c));
-    }
-  } else {
-    for (const auto& col : projected) {
-      int idx = table.schema().FindColumn(col);
-      if (idx < 0) continue;  // validated by the optimizer
-      (void)out.AddColumn(
-          {alias + "." + col, table.schema().column(idx).type});
-      raw_indexes->push_back(idx);
-    }
-  }
-  return out;
-}
-
-/// Binding-table schema: one int64 column per variable.
-Schema BindingSchema(const std::vector<std::string>& vars) {
-  Schema s;
-  for (const auto& v : vars) (void)s.AddColumn({v, LogicalType::kInt64});
-  return s;
-}
 
 Result<size_t> ColumnIndex(const Table& t, const std::string& name) {
   return t.schema().GetColumnIndex(name);
-}
-
-/// Evaluates `filter` once per row of `table` into a validity bitmap
-/// (empty when there is no filter). Expansion-style operators consult the
-/// bitmap per adjacency entry, turning per-expansion expression evaluation
-/// into a single table pass.
-Result<std::vector<uint8_t>> FilterBitmap(const storage::TablePtr& table,
-                                          const storage::ExprPtr& filter) {
-  std::vector<uint8_t> bitmap;
-  if (!filter) return bitmap;
-  RELGO_RETURN_NOT_OK(filter->Bind(table->schema()));
-  bitmap.resize(table->num_rows());
-  for (uint64_t r = 0; r < table->num_rows(); ++r) {
-    bitmap[r] = filter->EvaluateBool(*table, r) ? 1 : 0;
-  }
-  return bitmap;
 }
 
 // ---------------------------------------------------------------------------
@@ -153,64 +94,6 @@ Result<TablePtr> ExecProject(const plan::PhysProject& op, TablePtr child,
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(out->num_rows()));
   return out;
 }
-
-/// Composite int64 join-key hash table: hash -> row buckets with exact
-/// re-check on probe (collision-safe).
-class JoinHashTable {
- public:
-  Status Build(const Table& table, const std::vector<std::string>& keys) {
-    table_ = &table;
-    for (const auto& k : keys) {
-      RELGO_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(table, k));
-      if (table.schema().column(idx).type != LogicalType::kInt64) {
-        return Status::NotImplemented("hash join requires int64 keys, got " +
-                                      k);
-      }
-      key_cols_.push_back(idx);
-    }
-    buckets_.reserve(table.num_rows() * 2);
-    for (uint64_t r = 0; r < table.num_rows(); ++r) {
-      buckets_[HashRow(table, r)].push_back(r);
-    }
-    return Status::OK();
-  }
-
-  /// Appends matching build-side rows for probe row (cols `probe_cols` of
-  /// `probe`) into `out`.
-  void Probe(const Table& probe, const std::vector<size_t>& probe_cols,
-             uint64_t row, std::vector<uint64_t>* out) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (size_t c : probe_cols) {
-      h = HashCombine(h, static_cast<size_t>(probe.column(c).int_at(row)));
-    }
-    auto it = buckets_.find(h);
-    if (it == buckets_.end()) return;
-    for (uint64_t build_row : it->second) {
-      bool match = true;
-      for (size_t i = 0; i < key_cols_.size(); ++i) {
-        if (table_->column(key_cols_[i]).int_at(build_row) !=
-            probe.column(probe_cols[i]).int_at(row)) {
-          match = false;
-          break;
-        }
-      }
-      if (match) out->push_back(build_row);
-    }
-  }
-
- private:
-  size_t HashRow(const Table& t, uint64_t r) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (size_t c : key_cols_) {
-      h = HashCombine(h, static_cast<size_t>(t.column(c).int_at(r)));
-    }
-    return h;
-  }
-
-  const Table* table_ = nullptr;
-  std::vector<size_t> key_cols_;
-  std::unordered_map<size_t, std::vector<uint64_t>> buckets_;
-};
 
 }  // namespace
 
@@ -510,36 +393,12 @@ Result<TablePtr> ExecHashAggregate(const plan::PhysHashAggregate& op,
 
 Result<TablePtr> ExecOrderBy(const plan::PhysOrderBy& op, TablePtr child,
                              ExecutionContext* ctx) {
-  std::vector<size_t> key_cols;
-  for (const auto& k : op.keys) {
-    RELGO_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(*child, k.column));
-    key_cols.push_back(idx);
-  }
-  std::vector<uint64_t> sel(child->num_rows());
-  std::iota(sel.begin(), sel.end(), 0);
-  std::stable_sort(sel.begin(), sel.end(), [&](uint64_t a, uint64_t b) {
-    for (size_t i = 0; i < key_cols.size(); ++i) {
-      Value va = child->GetValue(a, key_cols[i]);
-      Value vb = child->GetValue(b, key_cols[i]);
-      int c = va.Compare(vb);
-      if (c != 0) return op.keys[i].ascending ? c < 0 : c > 0;
-    }
-    return false;
-  });
-  RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
-  return GatherTable(*child, sel, child->name());
+  return SortTableByKeys(op.keys, std::move(child), ctx);
 }
 
 Result<TablePtr> ExecLimit(const plan::PhysLimit& op, TablePtr child,
                            ExecutionContext* ctx) {
-  if (op.limit < 0 ||
-      static_cast<uint64_t>(op.limit) >= child->num_rows()) {
-    return child;
-  }
-  std::vector<uint64_t> sel(static_cast<size_t>(op.limit));
-  std::iota(sel.begin(), sel.end(), 0);
-  RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
-  return GatherTable(*child, sel, child->name());
+  return LimitTableRows(op.limit, std::move(child), ctx);
 }
 
 // ---------------------------------------------------------------------------

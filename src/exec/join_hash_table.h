@@ -1,0 +1,94 @@
+#ifndef RELGO_EXEC_JOIN_HASH_TABLE_H_
+#define RELGO_EXEC_JOIN_HASH_TABLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/table.h"
+
+namespace relgo {
+namespace exec {
+
+/// Composite int64 join-key hash table: hash -> row buckets with exact
+/// re-check on probe (collision-safe). Shared by the materializing executor
+/// and the pipeline engine's hash-join probe operator. Build is
+/// single-threaded; Probe is const and safe to call concurrently.
+class JoinHashTable {
+ public:
+  Status Build(const storage::Table& table,
+               const std::vector<std::string>& keys) {
+    table_ = &table;
+    for (const auto& k : keys) {
+      RELGO_ASSIGN_OR_RETURN(size_t idx, table.schema().GetColumnIndex(k));
+      if (table.schema().column(idx).type != LogicalType::kInt64) {
+        return Status::NotImplemented("hash join requires int64 keys, got " +
+                                      k);
+      }
+      key_cols_.push_back(idx);
+    }
+    buckets_.reserve(table.num_rows() * 2);
+    for (uint64_t r = 0; r < table.num_rows(); ++r) {
+      buckets_[HashRow(table, r)].push_back(r);
+    }
+    return Status::OK();
+  }
+
+  /// Appends matching build-side rows for probe row (cols `probe_cols` of
+  /// `probe`) into `out`.
+  void Probe(const storage::Table& probe,
+             const std::vector<size_t>& probe_cols, uint64_t row,
+             std::vector<uint64_t>* out) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (size_t c : probe_cols) {
+      h = HashCombine(h, static_cast<size_t>(probe.column(c).int_at(row)));
+    }
+    ProbeHash(h, [&](size_t i) { return probe.column(probe_cols[i]).int_at(row); },
+              out);
+  }
+
+  /// Probe variant over loose columns (pipeline batches).
+  void Probe(const storage::Column* const* probe_cols, uint64_t row,
+             std::vector<uint64_t>* out) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < key_cols_.size(); ++i) {
+      h = HashCombine(h, static_cast<size_t>(probe_cols[i]->int_at(row)));
+    }
+    ProbeHash(h, [&](size_t i) { return probe_cols[i]->int_at(row); }, out);
+  }
+
+ private:
+  template <typename KeyAt>
+  void ProbeHash(size_t h, const KeyAt& key_at,
+                 std::vector<uint64_t>* out) const {
+    auto it = buckets_.find(h);
+    if (it == buckets_.end()) return;
+    for (uint64_t build_row : it->second) {
+      bool match = true;
+      for (size_t i = 0; i < key_cols_.size(); ++i) {
+        if (table_->column(key_cols_[i]).int_at(build_row) != key_at(i)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) out->push_back(build_row);
+    }
+  }
+
+  size_t HashRow(const storage::Table& t, uint64_t r) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (size_t c : key_cols_) {
+      h = HashCombine(h, static_cast<size_t>(t.column(c).int_at(r)));
+    }
+    return h;
+  }
+
+  const storage::Table* table_ = nullptr;
+  std::vector<size_t> key_cols_;
+  std::unordered_map<size_t, std::vector<uint64_t>> buckets_;
+};
+
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_JOIN_HASH_TABLE_H_

@@ -1,0 +1,201 @@
+#include "exec/pipeline/engine.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "exec/exec_common.h"
+#include "exec/naive_matcher.h"
+#include "exec/pipeline/pipeline.h"
+
+namespace relgo {
+namespace exec {
+namespace pipeline {
+
+using plan::OpKind;
+using plan::PhysicalOp;
+using storage::TablePtr;
+
+namespace {
+
+/// Operators that run batch-at-a-time inside a pipeline. Everything else is
+/// either a pipeline source (leaf scans) or a breaker that materializes.
+bool IsStreamable(OpKind kind) {
+  switch (kind) {
+    case OpKind::kFilter:
+    case OpKind::kProject:
+    case OpKind::kHashJoin:       // probe side streams; build side breaks
+    case OpKind::kRidLookupJoin:
+    case OpKind::kRidExpandJoin:
+    case OpKind::kExpandEdge:
+    case OpKind::kGetVertex:
+    case OpKind::kExpand:
+    case OpKind::kExpandIntersect:
+    case OpKind::kEdgeVerify:
+    case OpKind::kPatternJoin:    // probe side streams; build side breaks
+    case OpKind::kVertexFilter:
+    case OpKind::kNotEqual:
+    case OpKind::kScanGraphTable:  // pi-hat streams over the graph sub-plan
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<TablePtr> ExecNode(const PhysicalOp& op, ExecutionContext* ctx,
+                          TaskScheduler* scheduler);
+
+/// Builds the streaming operator for one plan node. Join builds recurse
+/// into ExecNode, materializing the build side (pipeline breaker) before
+/// the probe pipeline is assembled.
+Result<StreamingOpPtr> MakeStreamingOp(const PhysicalOp& op,
+                                       ExecutionContext* ctx,
+                                       TaskScheduler* scheduler) {
+  switch (op.kind) {
+    case OpKind::kFilter:
+      return StreamingOpPtr(
+          new FilterOp(static_cast<const plan::PhysFilter&>(op)));
+    case OpKind::kProject:
+      return StreamingOpPtr(
+          new ProjectOp(static_cast<const plan::PhysProject&>(op)));
+    case OpKind::kHashJoin: {
+      const auto& join = static_cast<const plan::PhysHashJoin&>(op);
+      RELGO_ASSIGN_OR_RETURN(auto build,
+                             ExecNode(*op.children[1], ctx, scheduler));
+      return StreamingOpPtr(new HashJoinProbeOp(
+          join.left_keys, join.right_keys, {}, std::move(build)));
+    }
+    case OpKind::kPatternJoin: {
+      const auto& join = static_cast<const plan::PhysPatternJoin&>(op);
+      RELGO_ASSIGN_OR_RETURN(auto build,
+                             ExecNode(*op.children[1], ctx, scheduler));
+      return StreamingOpPtr(new HashJoinProbeOp(
+          join.common_vars, join.common_vars, join.common_vars,
+          std::move(build)));
+    }
+    case OpKind::kRidLookupJoin:
+      return StreamingOpPtr(new RidLookupJoinOp(
+          static_cast<const plan::PhysRidLookupJoin&>(op)));
+    case OpKind::kRidExpandJoin:
+      return StreamingOpPtr(new RidExpandJoinOp(
+          static_cast<const plan::PhysRidExpandJoin&>(op)));
+    case OpKind::kExpandEdge:
+      return StreamingOpPtr(
+          new ExpandEdgeOp(static_cast<const plan::PhysExpandEdge&>(op)));
+    case OpKind::kGetVertex:
+      return StreamingOpPtr(
+          new GetVertexOp(static_cast<const plan::PhysGetVertex&>(op)));
+    case OpKind::kExpand:
+      return StreamingOpPtr(
+          new ExpandOp(static_cast<const plan::PhysExpand&>(op)));
+    case OpKind::kExpandIntersect:
+      return StreamingOpPtr(new ExpandIntersectOp(
+          static_cast<const plan::PhysExpandIntersect&>(op)));
+    case OpKind::kEdgeVerify:
+      return StreamingOpPtr(
+          new EdgeVerifyOp(static_cast<const plan::PhysEdgeVerify&>(op)));
+    case OpKind::kVertexFilter:
+      return StreamingOpPtr(
+          new VertexFilterOp(static_cast<const plan::PhysVertexFilter&>(op)));
+    case OpKind::kNotEqual:
+      return StreamingOpPtr(
+          new NotEqualOp(static_cast<const plan::PhysNotEqual&>(op)));
+    case OpKind::kScanGraphTable:
+      return StreamingOpPtr(new ScanGraphTableOp(
+          static_cast<const plan::PhysScanGraphTable&>(op)));
+    default:
+      return Status::Internal(std::string("not a streaming operator: ") +
+                              plan::OpKindName(op.kind));
+  }
+}
+
+/// Decomposes the maximal streaming chain ending at `op` into a pipeline:
+/// walks probe-side children while operators are streamable, then turns
+/// the remaining node into the source (leaf scan, or a materialized
+/// breaker result).
+Result<Pipeline> BuildPipeline(const PhysicalOp& op, ExecutionContext* ctx,
+                               TaskScheduler* scheduler) {
+  std::vector<const PhysicalOp*> chain;
+  const PhysicalOp* cur = &op;
+  while (IsStreamable(cur->kind)) {
+    chain.push_back(cur);
+    cur = cur->children[0].get();
+  }
+
+  Pipeline pipeline;
+  switch (cur->kind) {
+    case OpKind::kScanTable:
+      pipeline.source = std::make_unique<ScanTableSource>(
+          static_cast<const plan::PhysScanTable&>(*cur));
+      break;
+    case OpKind::kScanVertex:
+      pipeline.source = std::make_unique<ScanVertexSource>(
+          static_cast<const plan::PhysScanVertex&>(*cur));
+      break;
+    default: {
+      // Breaker below: materialize its subtree and stream the result.
+      RELGO_ASSIGN_OR_RETURN(auto table, ExecNode(*cur, ctx, scheduler));
+      pipeline.source = std::make_unique<TableSource>(std::move(table));
+      break;
+    }
+  }
+  // chain was collected top-down; operators run bottom-up.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    RELGO_ASSIGN_OR_RETURN(auto sop, MakeStreamingOp(**it, ctx, scheduler));
+    pipeline.ops.push_back(std::move(sop));
+  }
+  return pipeline;
+}
+
+/// Runs the streaming chain ending at `op` into a fresh materialize sink.
+Result<TablePtr> RunToTable(const PhysicalOp& op, const char* name,
+                            ExecutionContext* ctx, TaskScheduler* scheduler) {
+  RELGO_ASSIGN_OR_RETURN(auto pipeline, BuildPipeline(op, ctx, scheduler));
+  MaterializeSink sink(name);
+  return RunPipeline(&pipeline, &sink, scheduler, ctx);
+}
+
+Result<TablePtr> ExecNode(const PhysicalOp& op, ExecutionContext* ctx,
+                          TaskScheduler* scheduler) {
+  RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+  switch (op.kind) {
+    case OpKind::kHashAggregate: {
+      const auto& agg = static_cast<const plan::PhysHashAggregate&>(op);
+      RELGO_ASSIGN_OR_RETURN(auto pipeline,
+                             BuildPipeline(*op.children[0], ctx, scheduler));
+      AggregateSink sink(agg);
+      return RunPipeline(&pipeline, &sink, scheduler, ctx);
+    }
+    case OpKind::kOrderBy: {
+      RELGO_ASSIGN_OR_RETURN(auto child,
+                             ExecNode(*op.children[0], ctx, scheduler));
+      // Shared with the materializing executor (exec_common.h) so ORDER BY
+      // semantics can never diverge between engines.
+      return SortTableByKeys(static_cast<const plan::PhysOrderBy&>(op).keys,
+                             std::move(child), ctx);
+    }
+    case OpKind::kLimit: {
+      RELGO_ASSIGN_OR_RETURN(auto child,
+                             ExecNode(*op.children[0], ctx, scheduler));
+      return LimitTableRows(static_cast<const plan::PhysLimit&>(op).limit,
+                            std::move(child), ctx);
+    }
+    case OpKind::kNaiveMatch:
+      // The backtracking matcher is inherently sequential; it runs as its
+      // own (single-morsel) leaf.
+      return NaiveMatch(static_cast<const plan::PhysNaiveMatch&>(op).pattern,
+                        ctx);
+    default:
+      return RunToTable(op, "pipeline", ctx, scheduler);
+  }
+}
+
+}  // namespace
+
+Result<TablePtr> Run(const PhysicalOp& op, ExecutionContext* ctx) {
+  TaskScheduler scheduler(ResolveNumThreads(ctx->options()));
+  return ExecNode(op, ctx, &scheduler);
+}
+
+}  // namespace pipeline
+}  // namespace exec
+}  // namespace relgo

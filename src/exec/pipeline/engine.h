@@ -1,0 +1,34 @@
+#ifndef RELGO_EXEC_PIPELINE_ENGINE_H_
+#define RELGO_EXEC_PIPELINE_ENGINE_H_
+
+#include "exec/context.h"
+#include "plan/physical_plan.h"
+#include "storage/table.h"
+
+namespace relgo {
+namespace exec {
+namespace pipeline {
+
+/// Entry point of the morsel-driven vectorized engine (the
+/// EngineKind::kPipeline runtime).
+///
+/// The physical plan tree is decomposed into pipelines split at breakers:
+/// every maximal chain of streaming operators (scans, filters, projections,
+/// EXPAND / EXPAND_INTERSECT / EDGE_VERIFY / VERTEX_FILTER / NOT_EQUAL,
+/// hash-join probes, the SCAN_GRAPH_TABLE bridge) runs batch-at-a-time over
+/// morsels of its source, while breakers (hash-join build sides, hash
+/// aggregation, ORDER BY, LIMIT) materialize between pipelines. One
+/// TaskScheduler (worker pool of ResolveNumThreads(ctx->options()) threads)
+/// executes all pipelines of the query.
+///
+/// Semantics match exec::Executor::Run exactly — same result bags, same
+/// row-budget charging, same kOutOfMemory / kTimeout behavior — which
+/// pipeline_parity_test.cc enforces differentially.
+Result<storage::TablePtr> Run(const plan::PhysicalOp& op,
+                              ExecutionContext* ctx);
+
+}  // namespace pipeline
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_PIPELINE_ENGINE_H_

@@ -1,0 +1,345 @@
+#ifndef RELGO_EXEC_PIPELINE_OPERATORS_H_
+#define RELGO_EXEC_PIPELINE_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/context.h"
+#include "exec/join_hash_table.h"
+#include "exec/pipeline/batch.h"
+#include "plan/physical_plan.h"
+
+namespace relgo {
+namespace exec {
+namespace pipeline {
+
+// ---------------------------------------------------------------------------
+// Streaming operators
+// ---------------------------------------------------------------------------
+
+/// A non-blocking operator of a pipeline: consumes one batch, produces one
+/// batch (possibly larger — expansions — or smaller — filters).
+///
+/// Lifecycle: Prepare() runs once, single-threaded, before the pipeline is
+/// scheduled; it resolves column indexes against the input schema, binds
+/// expressions, and precomputes shared read-only state (base-table filter
+/// bitmaps, index-free fallback hash tables). Process() is const and must
+/// be thread-safe: the scheduler calls it concurrently on distinct batches.
+class StreamingOp {
+ public:
+  virtual ~StreamingOp() = default;
+
+  virtual Status Prepare(const storage::Schema& input,
+                         ExecutionContext* ctx) = 0;
+  const storage::Schema& output_schema() const { return output_schema_; }
+
+  virtual Status Process(const Batch& in, Batch* out,
+                         ExecutionContext* ctx) const = 0;
+
+ protected:
+  storage::Schema output_schema_;
+};
+
+using StreamingOpPtr = std::unique_ptr<StreamingOp>;
+
+/// sigma over the streamed schema (PhysFilter).
+class FilterOp : public StreamingOp {
+ public:
+  explicit FilterOp(const plan::PhysFilter& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysFilter& op_;
+};
+
+/// pi with renaming (PhysProject); pure column sharing, zero-copy.
+class ProjectOp : public StreamingOp {
+ public:
+  explicit ProjectOp(const plan::PhysProject& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysProject& op_;
+  std::vector<size_t> src_cols_;
+};
+
+/// Probe side of a hash join whose build side was materialized by an
+/// upstream pipeline (PhysHashJoin and PhysPatternJoin both lower to this;
+/// the pattern join passes its shared variables as drop_right).
+class HashJoinProbeOp : public StreamingOp {
+ public:
+  HashJoinProbeOp(std::vector<std::string> left_keys,
+                  std::vector<std::string> right_keys,
+                  std::vector<std::string> drop_right,
+                  storage::TablePtr build)
+      : left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        drop_right_(std::move(drop_right)),
+        build_(std::move(build)) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  std::vector<std::string> left_keys_, right_keys_, drop_right_;
+  storage::TablePtr build_;
+  JoinHashTable ht_;
+  std::vector<size_t> probe_cols_;
+  std::vector<size_t> build_out_cols_;  // build columns kept in the output
+};
+
+/// GRainDB predefined join, edge side driving (PhysRidLookupJoin).
+class RidLookupJoinOp : public StreamingOp {
+ public:
+  explicit RidLookupJoinOp(const plan::PhysRidLookupJoin& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysRidLookupJoin& op_;
+  size_t rid_col_ = 0;
+  storage::TablePtr vtable_;
+  std::vector<uint8_t> bitmap_;
+  std::vector<int> raw_indexes_;
+};
+
+/// GRainDB predefined join, vertex side driving (PhysRidExpandJoin).
+class RidExpandJoinOp : public StreamingOp {
+ public:
+  explicit RidExpandJoinOp(const plan::PhysRidExpandJoin& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysRidExpandJoin& op_;
+  size_t rid_col_ = 0;
+  storage::TablePtr etable_;
+  std::vector<uint8_t> bitmap_;
+  std::vector<int> raw_indexes_;
+};
+
+/// EXPAND_EDGE (PhysExpandEdge): one output row per incident edge.
+class ExpandEdgeOp : public StreamingOp {
+ public:
+  explicit ExpandEdgeOp(const plan::PhysExpandEdge& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysExpandEdge& op_;
+  size_t from_col_ = 0;
+  std::vector<uint8_t> bitmap_;
+};
+
+/// GET_VERTEX (PhysGetVertex): edge binding -> endpoint binding.
+class GetVertexOp : public StreamingOp {
+ public:
+  explicit GetVertexOp(const plan::PhysGetVertex& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysGetVertex& op_;
+  size_t edge_col_ = 0;
+  std::vector<uint8_t> bitmap_;
+};
+
+/// Fused EXPAND (PhysExpand). With the graph index, streams the VE-index
+/// adjacency; without it (RelGoHash), probes an FK hash table over the edge
+/// relation built once during Prepare (Case II reduction).
+class ExpandOp : public StreamingOp {
+ public:
+  explicit ExpandOp(const plan::PhysExpand& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysExpand& op_;
+  size_t from_col_ = 0;
+  bool use_index_ = false;
+  std::vector<uint8_t> bitmap_;
+  // Index-free fallback state (all read-only after Prepare). The TablePtrs
+  // keep the borrowed column/index pointers alive.
+  storage::TablePtr etable_, from_table_, to_table_;
+  const storage::Column* from_key_col_ = nullptr;
+  const storage::Column* to_fk_col_ = nullptr;
+  const std::unordered_map<int64_t, uint64_t>* to_key_index_ = nullptr;
+  std::unordered_map<int64_t, std::vector<uint64_t>> fk_to_edges_;
+};
+
+/// EXPAND_INTERSECT (PhysExpandIntersect): k-way sorted adjacency
+/// intersection, the wco star join.
+class ExpandIntersectOp : public StreamingOp {
+ public:
+  explicit ExpandIntersectOp(const plan::PhysExpandIntersect& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysExpandIntersect& op_;
+  std::vector<size_t> from_cols_;
+  std::vector<uint8_t> bitmap_;
+  bool want_edges_ = false;
+};
+
+/// EDGE_VERIFY (PhysEdgeVerify): closes one edge between two bound
+/// vertices; binary search of the sorted adjacency run, or a
+/// (src_key, dst_key) hash probe when the index is bypassed.
+class EdgeVerifyOp : public StreamingOp {
+ public:
+  explicit EdgeVerifyOp(const plan::PhysEdgeVerify& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysEdgeVerify& op_;
+  size_t src_col_ = 0, dst_col_ = 0;
+  bool use_index_ = false;
+  storage::TablePtr stable_, dtable_;
+  const storage::Column* skey_ = nullptr;
+  const storage::Column* dkey_ = nullptr;
+  std::unordered_map<std::pair<int64_t, int64_t>, std::vector<uint64_t>,
+                     PairHash>
+      key_to_edges_;
+};
+
+/// VERTEX_FILTER (PhysVertexFilter): bitmap membership of the bound row id.
+class VertexFilterOp : public StreamingOp {
+ public:
+  explicit VertexFilterOp(const plan::PhysVertexFilter& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysVertexFilter& op_;
+  size_t var_col_ = 0;
+  std::vector<uint8_t> bitmap_;
+};
+
+/// NOT_EQUAL (PhysNotEqual): all-distinct constraint between two vars.
+class NotEqualOp : public StreamingOp {
+ public:
+  explicit NotEqualOp(const plan::PhysNotEqual& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  const plan::PhysNotEqual& op_;
+  size_t a_col_ = 0, b_col_ = 0;
+};
+
+/// SCAN_GRAPH_TABLE's pi-hat projection (PhysScanGraphTable): flattens the
+/// streamed binding table into relational columns. The graph sub-plan below
+/// it is part of the same pipeline — binding tuples flow through the bridge
+/// without materializing.
+class ScanGraphTableOp : public StreamingOp {
+ public:
+  explicit ScanGraphTableOp(const plan::PhysScanGraphTable& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  Status Process(const Batch& in, Batch* out,
+                 ExecutionContext* ctx) const override;
+
+ private:
+  struct Source {
+    storage::TablePtr base;
+    int raw_col = -1;  // -1 == the row id itself
+    size_t binding_col = 0;
+  };
+  const plan::PhysScanGraphTable& op_;
+  std::vector<Source> sources_;
+};
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Per-worker sink partial state; merged once the pipeline drains.
+struct SinkState {
+  virtual ~SinkState() = default;
+};
+
+/// Terminal consumer of a pipeline. Consume() runs concurrently, but each
+/// worker owns a private SinkState, so no synchronization is needed until
+/// Finish() merges the partials single-threaded.
+///
+/// `morsel` is the source morsel index the batch came from. Sinks merge in
+/// morsel order, which makes the pipeline result *order* deterministic and
+/// equal to the sequential (and materializing-executor) order regardless
+/// of thread count — required so ORDER BY + LIMIT breaks ties identically
+/// across engines.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual Status Prepare(const storage::Schema& input,
+                         ExecutionContext* ctx) = 0;
+  virtual std::unique_ptr<SinkState> MakeState() const = 0;
+  virtual Status Consume(SinkState* state, const Batch& in, uint64_t morsel,
+                         ExecutionContext* ctx) const = 0;
+  virtual Result<storage::TablePtr> Finish(
+      std::vector<std::unique_ptr<SinkState>> states,
+      ExecutionContext* ctx) = 0;
+};
+
+/// Collects (morsel, batch) pairs per worker and concatenates them in
+/// morsel order into one Table (pipeline feeding a breaker, or the query
+/// result).
+class MaterializeSink : public Sink {
+ public:
+  explicit MaterializeSink(std::string name) : name_(std::move(name)) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  std::unique_ptr<SinkState> MakeState() const override;
+  Status Consume(SinkState* state, const Batch& in, uint64_t morsel,
+                 ExecutionContext* ctx) const override;
+  Result<storage::TablePtr> Finish(
+      std::vector<std::unique_ptr<SinkState>> states,
+      ExecutionContext* ctx) override;
+
+ private:
+  std::string name_;
+  storage::Schema schema_;
+};
+
+/// Parallel hash aggregation (PhysHashAggregate): each worker accumulates a
+/// thread-local partial group table; Finish() merges the partials
+/// (count/sum add, min/max combine) in first-seen (morsel, row) order and
+/// emits seed-identical output, including the SQL one-row global aggregate
+/// over empty input.
+class AggregateSink : public Sink {
+ public:
+  explicit AggregateSink(const plan::PhysHashAggregate& op) : op_(op) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  std::unique_ptr<SinkState> MakeState() const override;
+  Status Consume(SinkState* state, const Batch& in, uint64_t morsel,
+                 ExecutionContext* ctx) const override;
+  Result<storage::TablePtr> Finish(
+      std::vector<std::unique_ptr<SinkState>> states,
+      ExecutionContext* ctx) override;
+
+ private:
+  const plan::PhysHashAggregate& op_;
+  storage::Schema input_schema_;
+  std::vector<size_t> group_cols_;
+  std::vector<int> agg_cols_;
+};
+
+}  // namespace pipeline
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_PIPELINE_OPERATORS_H_

@@ -1,0 +1,149 @@
+#include "exec/pipeline/pipeline.h"
+
+#include <algorithm>
+
+#include "exec/exec_common.h"
+
+namespace relgo {
+namespace exec {
+namespace pipeline {
+
+using storage::Column;
+using storage::Schema;
+
+// ---------------------------------------------------------------------------
+// TableSource
+// ---------------------------------------------------------------------------
+
+Status TableSource::Prepare(ExecutionContext* ctx) {
+  (void)ctx;
+  output_schema_ = table_->schema();
+  return Status::OK();
+}
+
+Status TableSource::Emit(uint64_t begin, uint64_t count, Batch* out,
+                         ExecutionContext* ctx) const {
+  (void)ctx;
+  *out = SliceTable(table_, begin, count);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ScanTableSource
+// ---------------------------------------------------------------------------
+
+Status ScanTableSource::Prepare(ExecutionContext* ctx) {
+  RELGO_ASSIGN_OR_RETURN(table_, ctx->catalog().GetTable(op_.table));
+  if (op_.filter) RELGO_RETURN_NOT_OK(op_.filter->Bind(table_->schema()));
+  raw_indexes_.clear();
+  output_schema_ = ScanSchema(*table_, op_.alias, op_.projected_columns,
+                              op_.emit_rowid, &raw_indexes_);
+  return Status::OK();
+}
+
+Status ScanTableSource::Emit(uint64_t begin, uint64_t count, Batch* out,
+                             ExecutionContext* ctx) const {
+  std::vector<uint64_t> sel;
+  sel.reserve(count);
+  for (uint64_t r = begin; r < begin + count; ++r) {
+    if (!op_.filter || op_.filter->EvaluateBool(*table_, r)) sel.push_back(r);
+  }
+  RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
+
+  if (op_.emit_rowid) {
+    Column rid(LogicalType::kInt64);
+    rid.Reserve(sel.size());
+    for (uint64_t r : sel) rid.AppendInt(static_cast<int64_t>(r));
+    out->AddOwned(std::move(rid));
+  }
+  bool whole_unfiltered = !op_.filter && begin == 0 &&
+                          count == table_->num_rows();
+  for (int raw : raw_indexes_) {
+    if (whole_unfiltered) {
+      out->AddColumn(ShareTableColumn(table_, static_cast<size_t>(raw)));
+    } else {
+      out->AddOwned(table_->column(static_cast<size_t>(raw)).Gather(sel));
+    }
+  }
+  out->SetNumRows(sel.size());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ScanVertexSource
+// ---------------------------------------------------------------------------
+
+Status ScanVertexSource::Prepare(ExecutionContext* ctx) {
+  RELGO_ASSIGN_OR_RETURN(vtable_, ctx->VertexTable(op_.vertex_label));
+  if (op_.filter) RELGO_RETURN_NOT_OK(op_.filter->Bind(vtable_->schema()));
+  output_schema_ = BindingSchema({op_.var});
+  return Status::OK();
+}
+
+Status ScanVertexSource::Emit(uint64_t begin, uint64_t count, Batch* out,
+                              ExecutionContext* ctx) const {
+  Column col(LogicalType::kInt64);
+  col.Reserve(count);
+  for (uint64_t r = begin; r < begin + count; ++r) {
+    if (op_.filter && !op_.filter->EvaluateBool(*vtable_, r)) continue;
+    col.AppendInt(static_cast<int64_t>(r));
+  }
+  RELGO_RETURN_NOT_OK(ctx->ChargeRows(col.size()));
+  uint64_t n = col.size();
+  out->AddOwned(std::move(col));
+  out->SetNumRows(n);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// RunPipeline
+// ---------------------------------------------------------------------------
+
+Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
+                                      TaskScheduler* scheduler,
+                                      ExecutionContext* ctx) {
+  RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+
+  // Single-threaded stage resolution: schemas, expression binding, shared
+  // read-only operator state.
+  RELGO_RETURN_NOT_OK(pipeline->source->Prepare(ctx));
+  const Schema* schema = &pipeline->source->output_schema();
+  for (auto& op : pipeline->ops) {
+    RELGO_RETURN_NOT_OK(op->Prepare(*schema, ctx));
+    schema = &op->output_schema();
+  }
+  RELGO_RETURN_NOT_OK(sink->Prepare(*schema, ctx));
+
+  uint64_t total_rows = pipeline->source->num_rows();
+  uint64_t morsels = (total_rows + kBatchRows - 1) / kBatchRows;
+
+  std::vector<std::unique_ptr<SinkState>> states;
+  states.reserve(scheduler->num_threads());
+  for (int i = 0; i < scheduler->num_threads(); ++i) {
+    states.push_back(sink->MakeState());
+  }
+
+  Status run_status = scheduler->Run(
+      morsels, [&](int worker_id, uint64_t morsel) -> Status {
+        RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+        uint64_t begin = morsel * kBatchRows;
+        uint64_t count = std::min(kBatchRows, total_rows - begin);
+        Batch batch;
+        RELGO_RETURN_NOT_OK(
+            pipeline->source->Emit(begin, count, &batch, ctx));
+        for (const auto& op : pipeline->ops) {
+          if (batch.num_rows() == 0) break;
+          Batch next;
+          RELGO_RETURN_NOT_OK(op->Process(batch, &next, ctx));
+          batch = std::move(next);
+        }
+        if (batch.num_rows() == 0) return Status::OK();
+        return sink->Consume(states[worker_id].get(), batch, morsel, ctx);
+      });
+  RELGO_RETURN_NOT_OK(run_status);
+  return sink->Finish(std::move(states), ctx);
+}
+
+}  // namespace pipeline
+}  // namespace exec
+}  // namespace relgo

@@ -1,0 +1,101 @@
+#include "exec/pipeline/scheduler.h"
+
+namespace relgo {
+namespace exec {
+namespace pipeline {
+
+TaskScheduler::TaskScheduler(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {}
+
+void TaskScheduler::EnsureWorkers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+Status TaskScheduler::Run(uint64_t morsel_count, const MorselFn& fn) {
+  if (morsel_count == 0) return Status::OK();
+  // Inline fast path: single-threaded mode, or too little work to be worth
+  // waking (or even spawning) the pool. Tiny pipelines are common — probe
+  // feeds of selective joins — and parallelizing them only buys
+  // wakeup/context-switch churn; require a couple of morsels per worker
+  // before fanning out.
+  if (num_threads_ == 1 ||
+      morsel_count < static_cast<uint64_t>(num_threads_) * 2) {
+    for (uint64_t m = 0; m < morsel_count; ++m) {
+      RELGO_RETURN_NOT_OK(fn(0, m));
+    }
+    return Status::OK();
+  }
+  EnsureWorkers();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_count_ = morsel_count;
+    job_next_.store(0, std::memory_order_relaxed);
+    job_failed_.store(false, std::memory_order_relaxed);
+    job_error_ = Status::OK();
+    workers_active_ = static_cast<int>(workers_.size());
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+
+  WorkLoop(0);  // the calling thread is worker 0
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return workers_active_ == 0; });
+  job_fn_ = nullptr;
+  return job_error_;
+}
+
+void TaskScheduler::WorkerMain(int worker_id) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+    }
+    WorkLoop(worker_id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void TaskScheduler::WorkLoop(int worker_id) {
+  while (!job_failed_.load(std::memory_order_relaxed)) {
+    uint64_t m = job_next_.fetch_add(1, std::memory_order_relaxed);
+    if (m >= job_count_) return;
+    Status st = (*job_fn_)(worker_id, m);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Keep the first error only; later ones are usually cascades.
+      if (!job_failed_.load(std::memory_order_relaxed)) {
+        job_error_ = std::move(st);
+        job_failed_.store(true, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace pipeline
+}  // namespace exec
+}  // namespace relgo

@@ -1,0 +1,76 @@
+#ifndef RELGO_EXEC_PIPELINE_SCHEDULER_H_
+#define RELGO_EXEC_PIPELINE_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace relgo {
+namespace exec {
+namespace pipeline {
+
+/// A morsel-driven worker pool (Leis et al., "Morsel-Driven Parallelism").
+///
+/// One scheduler is created per query execution and reused by every
+/// pipeline of the plan. Morsels are claimed from a shared atomic counter,
+/// so fast workers naturally steal the remaining work of slow ones; the
+/// calling thread participates as worker 0. With num_threads == 1 no
+/// threads are spawned and morsels run inline in order — the deterministic
+/// mode tests use.
+///
+/// Errors: the first non-OK status a worker returns is recorded and the
+/// remaining morsels are abandoned (each worker re-checks a shared flag
+/// before claiming the next morsel). This is how row-budget (kOutOfMemory)
+/// and timeout (kTimeout) aborts propagate out of a parallel pipeline.
+class TaskScheduler {
+ public:
+  /// fn(worker_id, morsel_index); worker_id in [0, num_threads).
+  using MorselFn = std::function<Status(int, uint64_t)>;
+
+  explicit TaskScheduler(int num_threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `morsel_count` morsels to completion (or first error). Must be
+  /// called from the owning thread; pipelines run one at a time.
+  Status Run(uint64_t morsel_count, const MorselFn& fn);
+
+ private:
+  void WorkerMain(int worker_id);
+  void WorkLoop(int worker_id);
+  /// Spawns the pool on first parallel use; cheap queries whose pipelines
+  /// all fit in one or two morsels never pay for thread creation.
+  void EnsureWorkers();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new job
+  std::condition_variable done_cv_;   // Run() waits for workers to drain
+  uint64_t job_generation_ = 0;
+  int workers_active_ = 0;
+  bool shutdown_ = false;
+
+  // Current job (valid while workers_active_ > 0 or Run() is inside).
+  const MorselFn* job_fn_ = nullptr;
+  uint64_t job_count_ = 0;
+  std::atomic<uint64_t> job_next_{0};
+  std::atomic<bool> job_failed_{false};
+  Status job_error_;
+};
+
+}  // namespace pipeline
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_PIPELINE_SCHEDULER_H_

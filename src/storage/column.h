@@ -57,8 +57,16 @@ class Column {
   /// Builds a new column containing rows at `indices`, in order.
   Column Gather(const std::vector<uint64_t>& indices) const;
 
+  /// Builds a new column containing the contiguous rows
+  /// [begin, begin + count); bulk-copies payload vectors (morsel slicing).
+  Column Slice(uint64_t begin, uint64_t count) const;
+
   /// Appends row `row` of `other` (same type) onto this column.
   void AppendFrom(const Column& other, uint64_t row);
+
+  /// Appends the contiguous rows [begin, begin + count) of `other` (same
+  /// type); bulk-copies payload vectors (batch concatenation).
+  void AppendRange(const Column& other, uint64_t begin, uint64_t count);
 
   void Reserve(uint64_t n);
 

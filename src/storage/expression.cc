@@ -101,15 +101,36 @@ bool Expr::BindsTo(const Schema& schema) const {
   return true;
 }
 
-Value Expr::Evaluate(const Table& table, uint64_t row) const {
+namespace {
+
+/// Column-reference resolution over a Table row.
+struct TableSrc {
+  const Table* table;
+  Value Get(uint64_t row, int index) const {
+    return table->GetValue(row, static_cast<size_t>(index));
+  }
+};
+
+/// Column-reference resolution over loose columns (vectorized batches).
+struct ColumnsSrc {
+  const class Column* const* columns;
+  Value Get(uint64_t row, int index) const {
+    return columns[index]->GetValue(row);
+  }
+};
+
+}  // namespace
+
+template <typename Src>
+Value Expr::EvaluateImpl(const Src& src, uint64_t row) const {
   switch (kind_) {
     case Kind::kColumnRef:
-      return table.GetValue(row, static_cast<size_t>(bound_index_));
+      return src.Get(row, bound_index_);
     case Kind::kConstant:
       return value_;
     case Kind::kCompare: {
-      Value l = children_[0]->Evaluate(table, row);
-      Value r = children_[1]->Evaluate(table, row);
+      Value l = children_[0]->EvaluateImpl(src, row);
+      Value r = children_[1]->EvaluateImpl(src, row);
       if (l.is_null() || r.is_null()) return Value::Null();
       int c = l.Compare(r);
       switch (compare_op_) {
@@ -129,38 +150,38 @@ Value Expr::Evaluate(const Table& table, uint64_t row) const {
       return Value::Null();
     }
     case Kind::kAnd: {
-      Value l = children_[0]->Evaluate(table, row);
+      Value l = children_[0]->EvaluateImpl(src, row);
       if (!l.is_null() && !l.bool_value()) return Value::Bool(false);
-      Value r = children_[1]->Evaluate(table, row);
+      Value r = children_[1]->EvaluateImpl(src, row);
       if (!r.is_null() && !r.bool_value()) return Value::Bool(false);
       if (l.is_null() || r.is_null()) return Value::Null();
       return Value::Bool(true);
     }
     case Kind::kOr: {
-      Value l = children_[0]->Evaluate(table, row);
+      Value l = children_[0]->EvaluateImpl(src, row);
       if (!l.is_null() && l.bool_value()) return Value::Bool(true);
-      Value r = children_[1]->Evaluate(table, row);
+      Value r = children_[1]->EvaluateImpl(src, row);
       if (!r.is_null() && r.bool_value()) return Value::Bool(true);
       if (l.is_null() || r.is_null()) return Value::Null();
       return Value::Bool(false);
     }
     case Kind::kNot: {
-      Value v = children_[0]->Evaluate(table, row);
+      Value v = children_[0]->EvaluateImpl(src, row);
       if (v.is_null()) return Value::Null();
       return Value::Bool(!v.bool_value());
     }
     case Kind::kStartsWith: {
-      Value v = children_[0]->Evaluate(table, row);
+      Value v = children_[0]->EvaluateImpl(src, row);
       if (v.is_null() || v.type() != LogicalType::kString) return Value::Null();
       return Value::Bool(relgo::StartsWith(v.string_value(), string_arg_));
     }
     case Kind::kContains: {
-      Value v = children_[0]->Evaluate(table, row);
+      Value v = children_[0]->EvaluateImpl(src, row);
       if (v.is_null() || v.type() != LogicalType::kString) return Value::Null();
       return Value::Bool(relgo::Contains(v.string_value(), string_arg_));
     }
     case Kind::kInList: {
-      Value v = children_[0]->Evaluate(table, row);
+      Value v = children_[0]->EvaluateImpl(src, row);
       if (v.is_null()) return Value::Null();
       for (const auto& candidate : in_list_) {
         if (v == candidate) return Value::Bool(true);
@@ -168,15 +189,28 @@ Value Expr::Evaluate(const Table& table, uint64_t row) const {
       return Value::Bool(false);
     }
     case Kind::kIsNull: {
-      Value v = children_[0]->Evaluate(table, row);
+      Value v = children_[0]->EvaluateImpl(src, row);
       return Value::Bool(v.is_null());
     }
   }
   return Value::Null();
 }
 
+Value Expr::Evaluate(const Table& table, uint64_t row) const {
+  return EvaluateImpl(TableSrc{&table}, row);
+}
+
+Value Expr::Evaluate(const class Column* const* columns, uint64_t row) const {
+  return EvaluateImpl(ColumnsSrc{columns}, row);
+}
+
 bool Expr::EvaluateBool(const Table& table, uint64_t row) const {
   Value v = Evaluate(table, row);
+  return !v.is_null() && v.type() == LogicalType::kBool && v.bool_value();
+}
+
+bool Expr::EvaluateBool(const class Column* const* columns, uint64_t row) const {
+  Value v = Evaluate(columns, row);
   return !v.is_null() && v.type() == LogicalType::kBool && v.bool_value();
 }
 

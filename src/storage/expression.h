@@ -83,12 +83,18 @@ class Expr {
   bool BindsTo(const Schema& schema) const;
 
   /// Evaluates against row `row` of `table`; Bind must have succeeded against
-  /// the table's schema.
+  /// the table's schema. Const and thread-safe once bound: concurrent
+  /// evaluation over disjoint rows is allowed (pipeline engine workers).
   Value Evaluate(const Table& table, uint64_t row) const;
+
+  /// Evaluates against a row of loose columns laid out per the bound schema
+  /// (used by the vectorized engine, whose batches are not Tables).
+  Value Evaluate(const class Column* const* columns, uint64_t row) const;
 
   /// Evaluates as a predicate; NULL results are treated as false (SQL
   /// three-valued logic collapsed at the filter boundary).
   bool EvaluateBool(const Table& table, uint64_t row) const;
+  bool EvaluateBool(const class Column* const* columns, uint64_t row) const;
 
   /// Names of all attributes referenced anywhere in the tree.
   void CollectColumns(std::vector<std::string>* out) const;
@@ -109,6 +115,11 @@ class Expr {
 
  private:
   explicit Expr(Kind kind) : kind_(kind) {}
+
+  /// Shared evaluation core; `Src::Get(row, index)` resolves a bound column
+  /// reference. Instantiated for Table rows and loose column arrays.
+  template <typename Src>
+  Value EvaluateImpl(const Src& src, uint64_t row) const;
 
   Kind kind_;
   std::string name_;        // kColumnRef
