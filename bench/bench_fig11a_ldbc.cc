@@ -23,10 +23,15 @@ int main(int argc, char** argv) {
               workload::Harness::FormatTable(runs, false).c_str());
   std::printf("speedup vs DuckDB:\n%s\n",
               workload::Harness::FormatSpeedups(runs, "DuckDB").c_str());
+  std::printf("estimator accuracy (geomean per-operator q-error):\n%s\n",
+              workload::Harness::FormatQErrors(runs).c_str());
   for (const char* mode : {"RelGo", "UmbraPlans", "GRainDB", "GdbmsSim"}) {
     std::printf("avg %-10s vs DuckDB: %.2fx\n", mode,
                 workload::Harness::AverageSpeedup(runs, "DuckDB", mode));
   }
+  bench::BenchJson::Global().AddGrid("fig11a_ldbc", "ldbc", args.scale, runs,
+                                     exec::EngineKind::kMaterialize, 1);
+  bench::BenchJson::Global().Write();
   std::printf(
       "\nShape check (paper, LDBC100): RelGo 21.9x, GRainDB ~4x (RelGo 5.4x\n"
       "over GRainDB), Umbra below RelGo, Kuzu slowest; cyclic IC7 shows the\n"

@@ -22,10 +22,15 @@ int main(int argc, char** argv) {
               workload::Harness::FormatTable(runs, false).c_str());
   std::printf("speedup vs DuckDB:\n%s\n",
               workload::Harness::FormatSpeedups(runs, "DuckDB").c_str());
+  std::printf("estimator accuracy (geomean per-operator q-error):\n%s\n",
+              workload::Harness::FormatQErrors(runs).c_str());
   for (const char* mode : {"RelGo", "UmbraPlans", "GRainDB", "GdbmsSim"}) {
     std::printf("avg %-10s vs DuckDB: %.2fx\n", mode,
                 workload::Harness::AverageSpeedup(runs, "DuckDB", mode));
   }
+  bench::BenchJson::Global().AddGrid("fig11b_job", "imdb", args.scale, runs,
+                                     exec::EngineKind::kMaterialize, 1);
+  bench::BenchJson::Global().Write();
   std::printf(
       "\nShape check (paper): RelGo 8.2x and GRainDB ~2x over DuckDB\n"
       "(RelGo 4.0x over GRainDB); RelGo ~1.7x over Umbra with occasional\n"

@@ -55,6 +55,8 @@ void RunSide(const relgo::Database* db, const char* workload, double scale,
   std::printf(
       "average pipeline-vs-materialize engine speedup (%d threads): %.2fx\n\n",
       args.threads, engine_speedup);
+  std::printf("estimator accuracy (geomean per-operator q-error):\n%s\n",
+              relgo::workload::Harness::FormatQErrors(mat_runs).c_str());
 
   auto& json = relgo::bench::BenchJson::Global();
   json.AddGrid("fig7_e2e", workload, scale, mat_runs, EngineKind::kMaterialize,

@@ -79,6 +79,10 @@ struct BenchRecord {
   double execution_ms = 0.0;
   uint64_t rows = 0;
   std::string status;  ///< "ok" / "OOM" / "OT" / "ERR"
+  /// Estimator accuracy of the plan (geomean / max per-operator Q-error
+  /// from the profiled warm-up); 0 when not measured.
+  double qerror = 0.0;
+  double qerror_max = 0.0;
 };
 
 /// Process-wide collector; call Write() once at the end of main(). Every
@@ -113,6 +117,8 @@ class BenchJson {
                    : r.timed_out   ? "OT"
                    : r.failed      ? "ERR"
                                    : "ok";
+      rec.qerror = r.qerror_geomean;
+      rec.qerror_max = r.qerror_max;
       Add(std::move(rec));
     }
   }
@@ -165,11 +171,13 @@ class BenchJson {
           "  {\"run_ts\": %lld, \"bench\": \"%s\", \"workload\": \"%s\", "
           "\"scale\": %.3f, \"query\": \"%s\", \"mode\": \"%s\", "
           "\"engine\": \"%s\", \"threads\": %d, \"optimization_ms\": %.3f, "
-          "\"execution_ms\": %.3f, \"rows\": %llu, \"status\": \"%s\"}%s\n",
+          "\"execution_ms\": %.3f, \"rows\": %llu, \"status\": \"%s\", "
+          "\"qerror\": %.3f, \"qerror_max\": %.3f}%s\n",
           static_cast<long long>(run_ts_), r.bench.c_str(),
           r.workload.c_str(), r.scale, r.query.c_str(), r.mode.c_str(),
           r.engine.c_str(), r.threads, r.optimization_ms, r.execution_ms,
           static_cast<unsigned long long>(r.rows), r.status.c_str(),
+          r.qerror, r.qerror_max,
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

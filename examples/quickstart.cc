@@ -143,10 +143,25 @@ Status RunQuickstart() {
               piped.execution_ms, piped.table->ToString().c_str());
 
   // --- 5. EXPLAIN ANALYZE: estimates vs actual rows per operator. ------------
+  // Each operator line shows the optimizer's estimated cardinality, the
+  // measured actual, their Q-error (max(est/act, act/est)), invocation
+  // count and operator time; the footer aggregates Q-error plan-wide.
   RELGO_ASSIGN_OR_RETURN(
       auto analyzed,
       db.ExplainAnalyze(query, optimizer::OptimizerMode::kRelGo));
-  std::printf("--- EXPLAIN ANALYZE (RelGo) ---\n%s\n", analyzed.c_str());
+  std::printf("--- EXPLAIN ANALYZE (RelGo, materialize: tree shape) ---\n%s\n",
+              analyzed.c_str());
+
+  // On the pipeline engine the same query renders in its execution shape:
+  // pipelines (source -> streaming ops -> sink) plus the breakers that
+  // materialize between them, with identical actual row counts per plan
+  // node (the engines are bag-equivalent).
+  RELGO_ASSIGN_OR_RETURN(
+      auto piped_analyzed,
+      db.ExplainAnalyze(query, optimizer::OptimizerMode::kRelGo,
+                        pipeline_options));
+  std::printf("--- EXPLAIN ANALYZE (RelGo, pipeline shape) ---\n%s\n",
+              piped_analyzed.c_str());
 
   // --- 6. Predicates can also be written as text. -----------------------------
   RELGO_ASSIGN_OR_RETURN(

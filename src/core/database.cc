@@ -52,51 +52,35 @@ Result<std::string> Database::Explain(const plan::SpjmQuery& query,
   return plan::PrintPlan(*optimized.plan);
 }
 
-namespace {
-
-void RenderAnalyzed(const plan::PhysicalOp& op,
-                    const exec::QueryProfile& profile, int indent,
-                    std::string* out) {
-  for (int i = 0; i < indent; ++i) *out += "  ";
-  *out += op.Describe();
-  auto it = profile.find(&op);
-  if (it != profile.end()) {
-    char buf[96];
-    std::snprintf(buf, sizeof(buf), "  [est=%.0f act=%llu rows, %.2f ms]",
-                  op.estimated_cardinality,
-                  static_cast<unsigned long long>(it->second.rows),
-                  it->second.subtree_ms);
-    *out += buf;
+Result<ProfiledRunResult> Database::RunProfiled(
+    const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
+    exec::ExecutionOptions options) const {
+  ProfiledRunResult result;
+  RELGO_ASSIGN_OR_RETURN(auto optimized, Optimize(query, mode));
+  result.optimization_ms = optimized.optimization_ms;
+  result.plan = std::move(optimized.plan);
+  exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
+  ctx.EnableProfiling(&result.profile);
+  Timer timer;
+  if (options.engine == exec::EngineKind::kPipeline) {
+    RELGO_ASSIGN_OR_RETURN(result.table,
+                           exec::pipeline::Run(*result.plan, &ctx));
+  } else {
+    RELGO_ASSIGN_OR_RETURN(result.table,
+                           exec::Executor::Run(*result.plan, &ctx));
   }
-  *out += "\n";
-  for (const auto& child : op.children) {
-    RenderAnalyzed(*child, profile, indent + 1, out);
-  }
+  result.execution_ms = timer.ElapsedMillis();
+  return result;
 }
-
-}  // namespace
 
 Result<std::string> Database::ExplainAnalyze(
     const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
     exec::ExecutionOptions options) const {
-  // Per-operator profiling only exists in the materializing interpreter;
-  // per-pipeline profiling is a roadmap item. Be explicit rather than
-  // silently ignoring a kPipeline request.
+  RELGO_ASSIGN_OR_RETURN(auto profiled, RunProfiled(query, mode, options));
   if (options.engine == exec::EngineKind::kPipeline) {
-    return Status::NotImplemented(
-        "EXPLAIN ANALYZE profiles per operator and currently runs only on "
-        "the materializing engine; use EngineKind::kMaterialize");
+    return exec::RenderAnalyzedPipelines(*profiled.plan, profiled.profile);
   }
-  RELGO_ASSIGN_OR_RETURN(auto optimized, Optimize(query, mode));
-  exec::QueryProfile profile;
-  exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
-  ctx.EnableProfiling(&profile);
-  RELGO_ASSIGN_OR_RETURN(auto table,
-                         exec::Executor::Run(*optimized.plan, &ctx));
-  (void)table;
-  std::string out;
-  RenderAnalyzed(*optimized.plan, profile, 0, &out);
-  return out;
+  return exec::RenderAnalyzedTree(*profiled.plan, profiled.profile);
 }
 
 }  // namespace relgo

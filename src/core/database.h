@@ -19,6 +19,17 @@ struct QueryRunResult {
   double execution_ms = 0.0;
 };
 
+/// Result of Database::RunProfiled — one profiled execution: the result
+/// table, the optimized plan (owned, so estimates can be compared against
+/// the profile), and the per-operator QueryProfile both engines feed.
+struct ProfiledRunResult {
+  storage::TablePtr table;
+  plan::PhysicalOpPtr plan;
+  exec::QueryProfile profile;
+  double optimization_ms = 0.0;
+  double execution_ms = 0.0;
+};
+
 /// The top-level handle of the RelGo library: owns the relational catalog,
 /// the RGMapping and graph index, all statistics (low-order + GLogue), and
 /// the optimizer front door.
@@ -98,11 +109,21 @@ class Database {
   Result<std::string> Explain(const plan::SpjmQuery& query,
                               optimizer::OptimizerMode mode) const;
 
+  /// Optimize + execute with per-operator profiling enabled, returning the
+  /// plan and the QueryProfile alongside the result. Works on both engines:
+  /// the materializing interpreter records through its dispatch wrapper,
+  /// the pipeline engine merges thread-local per-morsel counters at sink
+  /// finish. This is the estimate-vs-actual feedback loop EXPLAIN ANALYZE
+  /// and the workload harness's Q-error tracking are built on.
+  Result<ProfiledRunResult> RunProfiled(
+      const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
+      exec::ExecutionOptions options = {}) const;
+
   /// EXPLAIN ANALYZE: optimizes, executes with per-operator profiling, and
-  /// renders the plan annotated with actual rows and subtree times next to
-  /// the optimizer's estimates. Profiling is implemented by the
-  /// materializing engine only; requesting EngineKind::kPipeline returns
-  /// kNotImplemented (per-pipeline profiling is a ROADMAP item).
+  /// renders the plan annotated with actual rows, per-operator Q-error and
+  /// operator times next to the optimizer's estimates — tree-shaped for
+  /// the materializing engine, pipeline-shaped (pipelines + breakers) for
+  /// EngineKind::kPipeline.
   Result<std::string> ExplainAnalyze(
       const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
       exec::ExecutionOptions options = {}) const;

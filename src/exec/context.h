@@ -7,21 +7,13 @@
 #include <unordered_map>
 
 #include "common/timer.h"
+#include "exec/profile.h"
 #include "graph/graph_index.h"
 #include "graph/rg_mapping.h"
 #include "storage/catalog.h"
 
 namespace relgo {
 namespace exec {
-
-/// Per-operator runtime measurements collected when profiling is enabled
-/// (EXPLAIN ANALYZE): cumulative subtree wall time and actual output rows.
-struct OperatorProfile {
-  uint64_t rows = 0;
-  double subtree_ms = 0.0;
-};
-
-using QueryProfile = std::unordered_map<const void*, OperatorProfile>;
 
 /// Which runtime interprets the physical plan.
 ///

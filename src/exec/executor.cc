@@ -937,14 +937,25 @@ namespace {
 
 Result<TablePtr> RunImpl(const PhysicalOp& op, ExecutionContext* ctx);
 
-/// Dispatch wrapper recording per-operator profiles when enabled.
+/// Dispatch wrapper recording per-operator profiles when enabled. The
+/// materializing engine runs each operator exactly once, so invocations is
+/// 1 and wall_ms is the operator's subtree wall time; rows_in is read off
+/// the children's already-recorded outputs (children finish before their
+/// parent is recorded).
 Result<TablePtr> RunProfiled(const PhysicalOp& op, ExecutionContext* ctx) {
   if (ctx->profile() == nullptr) return RunImpl(op, ctx);
   Timer timer;
   auto result = RunImpl(op, ctx);
-  OperatorProfile& prof = (*ctx->profile())[&op];
-  prof.subtree_ms = timer.ElapsedMillis();
-  if (result.ok()) prof.rows = (*result)->num_rows();
+  OperatorProfile prof;
+  prof.invocations = 1;
+  prof.wall_ms = timer.ElapsedMillis();
+  if (result.ok()) prof.rows_out = (*result)->num_rows();
+  for (const auto& child : op.children) {
+    if (const OperatorProfile* cp = ctx->profile()->Find(child.get())) {
+      prof.rows_in += cp->rows_out;
+    }
+  }
+  ctx->profile()->Accumulate(&op, prof);
   return result;
 }
 

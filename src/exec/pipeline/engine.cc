@@ -126,13 +126,17 @@ Result<Pipeline> BuildPipeline(const PhysicalOp& op, ExecutionContext* ctx,
     case OpKind::kScanTable:
       pipeline.source = std::make_unique<ScanTableSource>(
           static_cast<const plan::PhysScanTable&>(*cur));
+      pipeline.source_node = cur;
       break;
     case OpKind::kScanVertex:
       pipeline.source = std::make_unique<ScanVertexSource>(
           static_cast<const plan::PhysScanVertex&>(*cur));
+      pipeline.source_node = cur;
       break;
     default: {
-      // Breaker below: materialize its subtree and stream the result.
+      // Breaker below: materialize its subtree and stream the result. Its
+      // plan nodes were profiled by the breaker's own pipelines, so the
+      // TableSource carries no plan node.
       RELGO_ASSIGN_OR_RETURN(auto table, ExecNode(*cur, ctx, scheduler));
       pipeline.source = std::make_unique<TableSource>(std::move(table));
       break;
@@ -142,6 +146,7 @@ Result<Pipeline> BuildPipeline(const PhysicalOp& op, ExecutionContext* ctx,
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     RELGO_ASSIGN_OR_RETURN(auto sop, MakeStreamingOp(**it, ctx, scheduler));
     pipeline.ops.push_back(std::move(sop));
+    pipeline.op_nodes.push_back(*it);
   }
   return pipeline;
 }
@@ -152,6 +157,29 @@ Result<TablePtr> RunToTable(const PhysicalOp& op, const char* name,
   RELGO_ASSIGN_OR_RETURN(auto pipeline, BuildPipeline(op, ctx, scheduler));
   MaterializeSink sink(name);
   return RunPipeline(&pipeline, &sink, scheduler, ctx);
+}
+
+/// Profiles one breaker step that materializes outside any pipeline
+/// (ORDER BY / LIMIT / NAIVE_MATCH): records the node's counters and a
+/// stage-less pipeline trace so EXPLAIN ANALYZE shows it between the
+/// pipelines it separates. No-op when profiling is off.
+Result<TablePtr> RecordBreaker(const PhysicalOp& op, uint64_t rows_in,
+                               double wall_ms, Result<TablePtr> result,
+                               ExecutionContext* ctx) {
+  QueryProfile* qp = ctx->profile();
+  if (qp == nullptr) return result;
+  OperatorProfile prof;
+  prof.rows_in = rows_in;
+  prof.invocations = 1;
+  prof.wall_ms = wall_ms;
+  if (result.ok()) prof.rows_out = (*result)->num_rows();
+  qp->Accumulate(&op, prof);
+  PipelineTrace trace;
+  trace.breaker = &op;
+  trace.sink = plan::OpKindName(op.kind);
+  trace.wall_ms = wall_ms;
+  qp->AddPipeline(std::move(trace));
+  return result;
 }
 
 Result<TablePtr> ExecNode(const PhysicalOp& op, ExecutionContext* ctx,
@@ -168,22 +196,36 @@ Result<TablePtr> ExecNode(const PhysicalOp& op, ExecutionContext* ctx,
     case OpKind::kOrderBy: {
       RELGO_ASSIGN_OR_RETURN(auto child,
                              ExecNode(*op.children[0], ctx, scheduler));
+      uint64_t rows_in = child->num_rows();
+      Timer timer;
       // Shared with the materializing executor (exec_common.h) so ORDER BY
       // semantics can never diverge between engines.
-      return SortTableByKeys(static_cast<const plan::PhysOrderBy&>(op).keys,
-                             std::move(child), ctx);
+      auto sorted =
+          SortTableByKeys(static_cast<const plan::PhysOrderBy&>(op).keys,
+                          std::move(child), ctx);
+      return RecordBreaker(op, rows_in, timer.ElapsedMillis(),
+                           std::move(sorted), ctx);
     }
     case OpKind::kLimit: {
       RELGO_ASSIGN_OR_RETURN(auto child,
                              ExecNode(*op.children[0], ctx, scheduler));
-      return LimitTableRows(static_cast<const plan::PhysLimit&>(op).limit,
-                            std::move(child), ctx);
+      uint64_t rows_in = child->num_rows();
+      Timer timer;
+      auto limited =
+          LimitTableRows(static_cast<const plan::PhysLimit&>(op).limit,
+                         std::move(child), ctx);
+      return RecordBreaker(op, rows_in, timer.ElapsedMillis(),
+                           std::move(limited), ctx);
     }
-    case OpKind::kNaiveMatch:
+    case OpKind::kNaiveMatch: {
       // The backtracking matcher is inherently sequential; it runs as its
       // own (single-morsel) leaf.
-      return NaiveMatch(static_cast<const plan::PhysNaiveMatch&>(op).pattern,
-                        ctx);
+      Timer timer;
+      auto matched = NaiveMatch(
+          static_cast<const plan::PhysNaiveMatch&>(op).pattern, ctx);
+      return RecordBreaker(op, 0, timer.ElapsedMillis(), std::move(matched),
+                           ctx);
+    }
     default:
       return RunToTable(op, "pipeline", ctx, scheduler);
   }

@@ -294,6 +294,13 @@ class Sink {
   virtual Result<storage::TablePtr> Finish(
       std::vector<std::unique_ptr<SinkState>> states,
       ExecutionContext* ctx) = 0;
+
+  /// The breaker plan node this sink implements (profiling attribution);
+  /// null for plain materialization, whose rows belong to the last
+  /// streaming operator.
+  virtual const plan::PhysicalOp* plan_node() const { return nullptr; }
+  /// Short label for pipeline-shaped EXPLAIN ANALYZE rendering.
+  virtual const char* label() const { return "MATERIALIZE"; }
 };
 
 /// Collects (morsel, batch) pairs per worker and concatenates them in
@@ -330,6 +337,8 @@ class AggregateSink : public Sink {
   Result<storage::TablePtr> Finish(
       std::vector<std::unique_ptr<SinkState>> states,
       ExecutionContext* ctx) override;
+  const plan::PhysicalOp* plan_node() const override { return &op_; }
+  const char* label() const override { return "HASH_AGGREGATE"; }
 
  private:
   const plan::PhysHashAggregate& op_;

@@ -103,6 +103,8 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
                                       TaskScheduler* scheduler,
                                       ExecutionContext* ctx) {
   RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+  QueryProfile* qp = ctx->profile();
+  Timer pipeline_timer;
 
   // Single-threaded stage resolution: schemas, expression binding, shared
   // read-only operator state.
@@ -123,25 +125,112 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
     states.push_back(sink->MakeState());
   }
 
-  Status run_status = scheduler->Run(
-      morsels, [&](int worker_id, uint64_t morsel) -> Status {
-        RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
-        uint64_t begin = morsel * kBatchRows;
-        uint64_t count = std::min(kBatchRows, total_rows - begin);
-        Batch batch;
-        RELGO_RETURN_NOT_OK(
-            pipeline->source->Emit(begin, count, &batch, ctx));
-        for (const auto& op : pipeline->ops) {
-          if (batch.num_rows() == 0) break;
-          Batch next;
-          RELGO_RETURN_NOT_OK(op->Process(batch, &next, ctx));
-          batch = std::move(next);
-        }
-        if (batch.num_rows() == 0) return Status::OK();
-        return sink->Consume(states[worker_id].get(), batch, morsel, ctx);
-      });
+  // The default morsel body: no profiling branches on the hot path.
+  auto run_morsel = [&](int worker_id, uint64_t morsel) -> Status {
+    RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+    uint64_t begin = morsel * kBatchRows;
+    uint64_t count = std::min(kBatchRows, total_rows - begin);
+    Batch batch;
+    RELGO_RETURN_NOT_OK(pipeline->source->Emit(begin, count, &batch, ctx));
+    for (const auto& op : pipeline->ops) {
+      if (batch.num_rows() == 0) break;
+      Batch next;
+      RELGO_RETURN_NOT_OK(op->Process(batch, &next, ctx));
+      batch = std::move(next);
+    }
+    if (batch.num_rows() == 0) return Status::OK();
+    return sink->Consume(states[worker_id].get(), batch, morsel, ctx);
+  };
+
+  // Profiled morsel body: each worker accumulates rows in/out, invocation
+  // counts and stage timings into its private slot vector — no shared
+  // state, so profiling never serializes workers. Slot 0 is the source,
+  // slots 1..N the streaming ops, slot N+1 the sink's Consume side.
+  std::vector<std::vector<OperatorProfile>> worker_profs;
+  if (qp != nullptr) {
+    worker_profs.assign(
+        static_cast<size_t>(scheduler->num_threads()),
+        std::vector<OperatorProfile>(pipeline->ops.size() + 2));
+  }
+  auto run_morsel_profiled = [&](int worker_id, uint64_t morsel) -> Status {
+    RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+    uint64_t begin = morsel * kBatchRows;
+    uint64_t count = std::min(kBatchRows, total_rows - begin);
+    std::vector<OperatorProfile>& slots = worker_profs[worker_id];
+    Batch batch;
+    Timer timer;
+    RELGO_RETURN_NOT_OK(pipeline->source->Emit(begin, count, &batch, ctx));
+    slots[0].wall_ms += timer.ElapsedMillis();
+    slots[0].rows_in += count;
+    slots[0].rows_out += batch.num_rows();
+    slots[0].invocations += 1;
+    for (size_t i = 0; i < pipeline->ops.size(); ++i) {
+      if (batch.num_rows() == 0) break;
+      Batch next;
+      timer.Restart();
+      RELGO_RETURN_NOT_OK(pipeline->ops[i]->Process(batch, &next, ctx));
+      OperatorProfile& slot = slots[i + 1];
+      slot.wall_ms += timer.ElapsedMillis();
+      slot.rows_in += batch.num_rows();
+      slot.rows_out += next.num_rows();
+      slot.invocations += 1;
+      batch = std::move(next);
+    }
+    if (batch.num_rows() == 0) return Status::OK();
+    OperatorProfile& sink_slot = slots[pipeline->ops.size() + 1];
+    timer.Restart();
+    Status consumed =
+        sink->Consume(states[worker_id].get(), batch, morsel, ctx);
+    sink_slot.wall_ms += timer.ElapsedMillis();
+    sink_slot.rows_in += batch.num_rows();
+    sink_slot.invocations += 1;
+    return consumed;
+  };
+
+  Status run_status =
+      qp == nullptr ? scheduler->Run(morsels, run_morsel)
+                    : scheduler->Run(morsels, run_morsel_profiled);
   RELGO_RETURN_NOT_OK(run_status);
-  return sink->Finish(std::move(states), ctx);
+  Timer finish_timer;
+  auto finished = sink->Finish(std::move(states), ctx);
+  double finish_ms = finish_timer.ElapsedMillis();
+
+  if (qp != nullptr) {
+    // Back on the owning thread: merge the thread-local counters into the
+    // query profile and record the pipeline's shape for EXPLAIN ANALYZE.
+    std::vector<OperatorProfile> merged(pipeline->ops.size() + 2);
+    for (const auto& slots : worker_profs) {
+      for (size_t s = 0; s < slots.size(); ++s) merged[s].Accumulate(slots[s]);
+    }
+    if (pipeline->source_node != nullptr) {
+      qp->Accumulate(pipeline->source_node, merged[0]);
+    }
+    for (size_t i = 0; i < pipeline->op_nodes.size(); ++i) {
+      if (pipeline->op_nodes[i] != nullptr) {
+        qp->Accumulate(pipeline->op_nodes[i], merged[i + 1]);
+      }
+    }
+    if (sink->plan_node() != nullptr) {
+      OperatorProfile sink_prof = merged[pipeline->ops.size() + 1];
+      // The single-threaded partial merge (e.g. AggregateSink combining
+      // per-worker group tables) belongs to the breaker's cost too.
+      sink_prof.wall_ms += finish_ms;
+      if (finished.ok()) sink_prof.rows_out = (*finished)->num_rows();
+      qp->Accumulate(sink->plan_node(), sink_prof);
+    }
+    PipelineTrace trace;
+    trace.stages.push_back(pipeline->source_node);
+    for (const plan::PhysicalOp* node : pipeline->op_nodes) {
+      trace.stages.push_back(node);
+    }
+    trace.breaker = sink->plan_node();
+    trace.sink = sink->label();
+    trace.morsels = morsels;
+    trace.threads = morsels == 0 ? 1 : scheduler->last_run_workers();
+    trace.wall_ms = pipeline_timer.ElapsedMillis();
+    qp->AddPipeline(std::move(trace));
+  }
+  return finished;
 }
 
 }  // namespace pipeline

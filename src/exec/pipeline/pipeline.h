@@ -84,9 +84,18 @@ class ScanVertexSource : public Source {
 // ---------------------------------------------------------------------------
 
 /// One source → streaming ops → sink segment of a decomposed plan.
+///
+/// The plan-node pointers mirror `source` / `ops` and exist purely for
+/// profiling (EXPLAIN ANALYZE): when the execution context carries a
+/// QueryProfile, RunPipeline attributes per-morsel row counts and timings
+/// to these nodes. `source_node` is null when the source streams a
+/// materialized breaker result (TableSource) — that subtree was profiled
+/// by its own pipelines already.
 struct Pipeline {
   SourcePtr source;
   std::vector<StreamingOpPtr> ops;
+  const plan::PhysicalOp* source_node = nullptr;
+  std::vector<const plan::PhysicalOp*> op_nodes;
 };
 
 /// Prepares every stage (resolving schemas source → ops → sink), then runs

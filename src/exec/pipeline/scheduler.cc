@@ -33,12 +33,14 @@ Status TaskScheduler::Run(uint64_t morsel_count, const MorselFn& fn) {
   // before fanning out.
   if (num_threads_ == 1 ||
       morsel_count < static_cast<uint64_t>(num_threads_) * 2) {
+    last_run_workers_ = 1;
     for (uint64_t m = 0; m < morsel_count; ++m) {
       RELGO_RETURN_NOT_OK(fn(0, m));
     }
     return Status::OK();
   }
   EnsureWorkers();
+  last_run_workers_ = num_threads_;
 
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -40,6 +40,11 @@ class TaskScheduler {
 
   int num_threads() const { return num_threads_; }
 
+  /// Workers that participated in the most recent Run(): 1 when the job
+  /// took the inline fast path, num_threads() when it fanned out to the
+  /// pool. Consumed by pipeline profiling (EXPLAIN ANALYZE traces).
+  int last_run_workers() const { return last_run_workers_; }
+
   /// Runs `morsel_count` morsels to completion (or first error). Must be
   /// called from the owning thread; pipelines run one at a time.
   Status Run(uint64_t morsel_count, const MorselFn& fn);
@@ -52,6 +57,7 @@ class TaskScheduler {
   void EnsureWorkers();
 
   const int num_threads_;
+  int last_run_workers_ = 1;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;

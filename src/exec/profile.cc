@@ -1,0 +1,150 @@
+#include "exec/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "plan/physical_plan.h"
+
+namespace relgo {
+namespace exec {
+
+double QError(double estimated, double actual) {
+  double est = std::max(estimated, 1.0);
+  double act = std::max(actual, 1.0);
+  return std::max(est / act, act / est);
+}
+
+namespace {
+
+/// Appends "  [est=... act=... q=... calls=... ms]" for one profiled node.
+void AppendAnnotation(const plan::PhysicalOp& op, const QueryProfile& profile,
+                      std::string* out) {
+  const OperatorProfile* prof = profile.Find(&op);
+  char buf[160];
+  if (prof == nullptr) {
+    if (op.estimated_cardinality >= 0) {
+      std::snprintf(buf, sizeof(buf), "  [est=%.0f]",
+                    op.estimated_cardinality);
+      *out += buf;
+    }
+    return;
+  }
+  if (op.estimated_cardinality >= 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  [est=%.0f act=%llu rows, q=%.2f, calls=%llu, %.2f ms]",
+        op.estimated_cardinality,
+        static_cast<unsigned long long>(prof->rows_out),
+        QError(op.estimated_cardinality,
+               static_cast<double>(prof->rows_out)),
+        static_cast<unsigned long long>(prof->invocations), prof->wall_ms);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "  [act=%llu rows, calls=%llu, %.2f ms]",
+                  static_cast<unsigned long long>(prof->rows_out),
+                  static_cast<unsigned long long>(prof->invocations),
+                  prof->wall_ms);
+  }
+  *out += buf;
+}
+
+void RenderTree(const plan::PhysicalOp& op, const QueryProfile& profile,
+                int indent, std::string* out) {
+  for (int i = 0; i < indent; ++i) *out += "  ";
+  *out += op.Describe();
+  AppendAnnotation(op, profile, out);
+  *out += "\n";
+  for (const auto& child : op.children) {
+    RenderTree(*child, profile, indent + 1, out);
+  }
+}
+
+void Summarize(const plan::PhysicalOp& op, const QueryProfile& profile,
+               double* log_sum, QErrorSummary* summary) {
+  const OperatorProfile* prof = profile.Find(&op);
+  if (prof != nullptr && op.estimated_cardinality >= 0) {
+    double q = QError(op.estimated_cardinality,
+                      static_cast<double>(prof->rows_out));
+    *log_sum += std::log(q);
+    ++summary->ops;
+    if (q > summary->max_q || summary->worst == nullptr) {
+      summary->max_q = q;
+      summary->worst = &op;
+    }
+  }
+  for (const auto& child : op.children) {
+    Summarize(*child, profile, log_sum, summary);
+  }
+}
+
+}  // namespace
+
+QErrorSummary SummarizeQError(const plan::PhysicalOp& root,
+                              const QueryProfile& profile) {
+  QErrorSummary summary;
+  double log_sum = 0.0;
+  Summarize(root, profile, &log_sum, &summary);
+  if (summary.ops > 0) {
+    summary.geomean = std::exp(log_sum / summary.ops);
+  }
+  return summary;
+}
+
+std::string RenderAnalyzedTree(const plan::PhysicalOp& root,
+                               const QueryProfile& profile) {
+  std::string out;
+  RenderTree(root, profile, 0, &out);
+  out += RenderQErrorFooter(root, profile);
+  return out;
+}
+
+std::string RenderAnalyzedPipelines(const plan::PhysicalOp& root,
+                                    const QueryProfile& profile) {
+  std::string out;
+  char buf[160];
+  int index = 0;
+  for (const PipelineTrace& trace : profile.pipelines()) {
+    if (trace.stages.empty() && trace.breaker != nullptr) {
+      // A materializing step outside any pipeline (ORDER BY / LIMIT /
+      // NAIVE_MATCH).
+      out += "BREAKER " + trace.breaker->Describe();
+      AppendAnnotation(*trace.breaker, profile, &out);
+      out += "\n";
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "PIPELINE #%d (morsels=%llu, threads=%d, %.2f ms) -> %s",
+                  index++, static_cast<unsigned long long>(trace.morsels),
+                  trace.threads, trace.wall_ms, trace.sink.c_str());
+    out += buf;
+    out += "\n";
+    for (const plan::PhysicalOp* stage : trace.stages) {
+      out += "  ";
+      out += stage == nullptr ? "TABLE_SOURCE (materialized breaker input)"
+                              : stage->Describe();
+      if (stage != nullptr) AppendAnnotation(*stage, profile, &out);
+      out += "\n";
+    }
+    if (trace.breaker != nullptr) {
+      out += "  sink: " + trace.breaker->Describe();
+      AppendAnnotation(*trace.breaker, profile, &out);
+      out += "\n";
+    }
+  }
+  out += RenderQErrorFooter(root, profile);
+  return out;
+}
+
+std::string RenderQErrorFooter(const plan::PhysicalOp& root,
+                               const QueryProfile& profile) {
+  QErrorSummary summary = SummarizeQError(root, profile);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "q-error: geomean=%.2f max=%.2f over %d operators\n",
+                summary.geomean, summary.max_q, summary.ops);
+  return buf;
+}
+
+}  // namespace exec
+}  // namespace relgo

@@ -1,0 +1,130 @@
+#ifndef RELGO_EXEC_PROFILE_H_
+#define RELGO_EXEC_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace relgo {
+
+namespace plan {
+struct PhysicalOp;
+}  // namespace plan
+
+namespace exec {
+
+/// Per-operator runtime measurements collected when profiling is enabled
+/// (EXPLAIN ANALYZE), keyed by physical plan node. Both engines feed the
+/// same structure, with engine-specific time semantics:
+///
+///  * the materializing interpreter records one invocation per operator;
+///    wall_ms is the operator's *subtree* wall time (children execute
+///    inside the timed region — the engine is operator-at-a-time);
+///  * the pipeline engine accumulates per-morsel counters in thread-local
+///    slots and merges them here once the pipeline drains: invocations =
+///    morsels processed, wall_ms = this operator's cumulative Process
+///    time summed over workers (self time, children excluded).
+///
+/// rows_out — the actual output cardinality — is engine-invariant (the
+/// engines are bag-equivalent) and is what Q-error compares against.
+/// rows_in is a per-engine diagnostic: for hash joins the materializing
+/// engine sums both children while the pipeline engine counts probe-side
+/// batches only (the build side is a separate profiled subtree).
+struct OperatorProfile {
+  uint64_t rows_in = 0;       ///< input tuples consumed (see note above)
+  uint64_t rows_out = 0;      ///< output tuples produced (actual cardinality)
+  uint64_t invocations = 0;   ///< calls: 1 (materialize) / morsels (pipeline)
+  double wall_ms = 0.0;       ///< operator time (see engine semantics above)
+
+  void Accumulate(const OperatorProfile& other) {
+    rows_in += other.rows_in;
+    rows_out += other.rows_out;
+    invocations += other.invocations;
+    wall_ms += other.wall_ms;
+  }
+};
+
+/// One executed pipeline of the morsel-driven engine, recorded so EXPLAIN
+/// ANALYZE can render the pipeline-shaped (pipelines + breakers) form of
+/// the plan. `stages` run bottom-up: source first, then streaming
+/// operators. Breaker-only steps (ORDER BY / LIMIT / NAIVE_MATCH, which
+/// materialize outside any pipeline) appear as a trace with no stages and
+/// `breaker` set.
+struct PipelineTrace {
+  std::vector<const plan::PhysicalOp*> stages;  ///< source + streaming ops
+  const plan::PhysicalOp* breaker = nullptr;    ///< sink/breaker plan node
+  std::string sink;                             ///< sink label, e.g. "MATERIALIZE"
+  uint64_t morsels = 0;
+  int threads = 1;
+  double wall_ms = 0.0;  ///< pipeline wall time (prepare -> sink finish)
+};
+
+/// Everything one profiled query execution produced, keyed by plan node so
+/// it is independent of which engine ran the plan. Filling it is
+/// single-threaded by construction: the pipeline engine merges thread-local
+/// worker counters into it only at sink finish.
+class QueryProfile {
+ public:
+  /// Adds `delta` onto the node's counters (creating the entry).
+  void Accumulate(const plan::PhysicalOp* op, const OperatorProfile& delta) {
+    ops_[op].Accumulate(delta);
+  }
+
+  const OperatorProfile* Find(const plan::PhysicalOp* op) const {
+    auto it = ops_.find(op);
+    return it == ops_.end() ? nullptr : &it->second;
+  }
+
+  void AddPipeline(PipelineTrace trace) {
+    pipelines_.push_back(std::move(trace));
+  }
+
+  const std::vector<PipelineTrace>& pipelines() const { return pipelines_; }
+  size_t num_profiled_ops() const { return ops_.size(); }
+
+ private:
+  std::unordered_map<const plan::PhysicalOp*, OperatorProfile> ops_;
+  std::vector<PipelineTrace> pipelines_;
+};
+
+/// Q-error of one estimate against the measured cardinality (Sec 5 style
+/// accuracy metric): max(est/act, act/est), with both sides clamped to
+/// >= 1 row so empty results do not divide by zero. Always >= 1.
+double QError(double estimated, double actual);
+
+/// Aggregate estimator accuracy over every plan node that carries both an
+/// optimizer estimate and a measured actual cardinality.
+struct QErrorSummary {
+  int ops = 0;               ///< nodes with estimate + actual
+  double geomean = 1.0;      ///< geometric mean Q-error
+  double max_q = 1.0;        ///< worst single-operator Q-error
+  const plan::PhysicalOp* worst = nullptr;  ///< node attaining max_q
+};
+
+QErrorSummary SummarizeQError(const plan::PhysicalOp& root,
+                              const QueryProfile& profile);
+
+/// Tree-shaped EXPLAIN ANALYZE rendering (the materializing engine's
+/// execution shape): one indented line per operator, annotated with
+/// estimated vs actual cardinality, per-operator Q-error, invocation count
+/// and operator time.
+std::string RenderAnalyzedTree(const plan::PhysicalOp& root,
+                               const QueryProfile& profile);
+
+/// Pipeline-shaped rendering (the morsel-driven engine's execution shape):
+/// pipelines in execution order, each listing source -> streaming ops ->
+/// sink, with the same per-operator annotations, followed by breaker
+/// steps that materialize between pipelines.
+std::string RenderAnalyzedPipelines(const plan::PhysicalOp& root,
+                                    const QueryProfile& profile);
+
+/// One-line aggregate footer, e.g.
+/// "q-error: geomean=1.42 max=13.07 over 9 operators".
+std::string RenderQErrorFooter(const plan::PhysicalOp& root,
+                               const QueryProfile& profile);
+
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_PROFILE_H_

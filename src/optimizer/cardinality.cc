@@ -46,7 +46,7 @@ CardinalityEstimator::CardinalityEstimator(
   }
 }
 
-double CardinalityEstimator::Estimate(VSet mask) {
+double CardinalityEstimator::Estimate(VSet mask) const {
   auto it = memo_.find(mask);
   if (it != memo_.end()) return it->second;
   double card = Structural(mask);
@@ -59,7 +59,7 @@ double CardinalityEstimator::Estimate(VSet mask) {
   return card;
 }
 
-double CardinalityEstimator::Structural(VSet mask) {
+double CardinalityEstimator::Structural(VSet mask) const {
   auto it = structural_memo_.find(mask);
   if (it != structural_memo_.end()) return it->second;
 

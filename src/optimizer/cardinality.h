@@ -37,15 +37,16 @@ class CardinalityEstimator {
                        const TableStats* tstats,
                        CardinalityOptions options = {});
 
-  /// Estimated matches of the induced sub-pattern on `mask`.
-  double Estimate(pattern::VSet mask);
+  /// Estimated matches of the induced sub-pattern on `mask`. Logically
+  /// read-only; the memo caches are mutable.
+  double Estimate(pattern::VSet mask) const;
 
   /// Sampled selectivity of vertex `v`'s predicate (1.0 if none).
   double VertexSelectivity(int v) const { return vertex_sel_[v]; }
   double EdgeSelectivity(int e) const { return edge_sel_[e]; }
 
  private:
-  double Structural(pattern::VSet mask);
+  double Structural(pattern::VSet mask) const;
 
   const pattern::PatternGraph* p_;
   const Glogue* glogue_;
@@ -55,8 +56,8 @@ class CardinalityEstimator {
   CardinalityOptions options_;
   std::vector<double> vertex_sel_;
   std::vector<double> edge_sel_;
-  std::unordered_map<pattern::VSet, double> memo_;
-  std::unordered_map<pattern::VSet, double> structural_memo_;
+  mutable std::unordered_map<pattern::VSet, double> memo_;
+  mutable std::unordered_map<pattern::VSet, double> structural_memo_;
 };
 
 }  // namespace optimizer

@@ -226,8 +226,10 @@ class PlanSearch {
   }
 
   /// Wraps `op` with NOT_EQUAL filters for distinct pairs that become
-  /// jointly bound at `mask` (and were not inside `child_masks`).
-  PhysicalOpPtr ApplyDistinct(PhysicalOpPtr op, VSet mask,
+  /// jointly bound at `mask` (and were not inside `child_masks`). The
+  /// wrappers inherit the mask's cardinality estimate (the estimator
+  /// already prices the whole sub-pattern, distinctness included).
+  PhysicalOpPtr ApplyDistinct(PhysicalOpPtr op, VSet mask, double card,
                               std::vector<VSet> child_masks) const {
     for (const auto& [a, b] : p_.distinct_pairs()) {
       VSet pair = Bit(a) | Bit(b);
@@ -240,6 +242,7 @@ class PlanSearch {
       auto ne = std::make_unique<plan::PhysNotEqual>();
       ne->var_a = p_.VertexVarName(a);
       ne->var_b = p_.VertexVarName(b);
+      ne->estimated_cardinality = card;
       ne->children.push_back(std::move(op));
       op = std::move(ne);
     }
@@ -251,7 +254,7 @@ class PlanSearch {
   Result<PhysicalOpPtr> Emit(VSet mask,
                              const std::set<int>& required_edges) const {
     const DpEntry& entry = dp_.at(mask);
-    double card = const_cast<CardinalityEstimator&>(estimator_).Estimate(mask);
+    double card = estimator_.Estimate(mask);
 
     switch (entry.choice.kind) {
       case Choice::Kind::kScan: {
@@ -261,6 +264,7 @@ class PlanSearch {
         scan->var = p_.VertexVarName(v);
         scan->filter = p_.vertex(v).predicate;
         scan->estimated_cardinality = card;
+        scan->estimated_cost = entry.cost;
         return PhysicalOpPtr(std::move(scan));
       }
       case Choice::Kind::kStar: {
@@ -274,6 +278,7 @@ class PlanSearch {
           if ((ends & rest) == ends) child_required.insert(e);
         }
         RELGO_ASSIGN_OR_RETURN(auto child, Emit(rest, child_required));
+        double card_rest = estimator_.Estimate(rest);
         PhysicalOpPtr op;
         std::string to_var = p_.VertexVarName(v);
 
@@ -292,6 +297,9 @@ class PlanSearch {
             ee->from_var = p_.VertexVarName(first.rest_vertex);
             ee->edge_var = p_.EdgeVarName(first.edge);
             ee->edge_filter = pe.predicate;
+            // Raw expansion estimate, before GET_VERTEX applies vertex
+            // constraints: |M(P_l)| * avg degree (Sec 4.2.1).
+            ee->estimated_cardinality = card_rest * AvgDegree(first);
             ee->children.push_back(std::move(child));
             auto gv = std::make_unique<plan::PhysGetVertex>();
             gv->edge_label = pe.label;
@@ -320,6 +328,7 @@ class PlanSearch {
               vf->is_edge = true;
               vf->label = pe.label;
               vf->predicate = pe.predicate;
+              vf->estimated_cardinality = card;
               vf->children.push_back(std::move(op));
               op = std::move(vf);
             }
@@ -335,6 +344,9 @@ class PlanSearch {
             ev->dst_var = to_var;
             ev->edge_var = need_e ? p_.EdgeVarName(links[i].edge) : "";
             ev->use_index = options_.use_index;
+            // Intermediate closures are approximated by the star's final
+            // estimate (each verify only shrinks the relation further).
+            ev->estimated_cardinality = card;
             ev->children.push_back(std::move(op));
             op = std::move(ev);
             if (pe_i.predicate) {
@@ -343,6 +355,7 @@ class PlanSearch {
               vf->is_edge = true;
               vf->label = pe_i.label;
               vf->predicate = pe_i.predicate;
+              vf->estimated_cardinality = card;
               vf->children.push_back(std::move(op));
               op = std::move(vf);
             }
@@ -374,12 +387,14 @@ class PlanSearch {
             vf->is_edge = true;
             vf->label = p_.edge(e).label;
             vf->predicate = pred;
+            vf->estimated_cardinality = card;
             vf->children.push_back(std::move(op));
             op = std::move(vf);
           }
         }
         op->estimated_cardinality = card;
-        return ApplyDistinct(std::move(op), mask, {rest});
+        op->estimated_cost = entry.cost;
+        return ApplyDistinct(std::move(op), mask, card, {rest});
       }
       case Choice::Kind::kJoin: {
         VSet s1 = entry.choice.s1, s2 = entry.choice.s2;
@@ -414,7 +429,9 @@ class PlanSearch {
         join->children.push_back(std::move(left));
         join->children.push_back(std::move(right));
         join->estimated_cardinality = card;
-        return ApplyDistinct(PhysicalOpPtr(std::move(join)), mask, {s1, s2});
+        join->estimated_cost = entry.cost;
+        return ApplyDistinct(PhysicalOpPtr(std::move(join)), mask, card,
+                             {s1, s2});
       }
     }
     return Status::Internal("unreachable");
@@ -425,7 +442,7 @@ class PlanSearch {
   GraphOptimizerOptions options_;
   const graph::RgMapping* mapping_;
   const graph::GraphStats* gstats_;
-  mutable CardinalityEstimator estimator_;
+  CardinalityEstimator estimator_;
   std::unordered_map<VSet, DpEntry> dp_;
 };
 

@@ -1,0 +1,41 @@
+#ifndef RELGO_OPTIMIZER_PLAN_ANNOTATOR_H_
+#define RELGO_OPTIMIZER_PLAN_ANNOTATOR_H_
+
+#include "graph/rg_mapping.h"
+#include "optimizer/stats.h"
+#include "plan/physical_plan.h"
+#include "storage/catalog.h"
+
+namespace relgo {
+namespace optimizer {
+
+/// Fills every estimated_cardinality / estimated_cost still holding the
+/// -1 sentinel, so EXPLAIN and EXPLAIN ANALYZE never render "est=-1" and
+/// per-operator Q-error is defined for the whole plan. The cost-based
+/// emission paths (graph DP, relational DP/greedy) annotate their nodes
+/// precisely; this pass covers the rest — output-clause post-ops
+/// (ORDER BY / LIMIT / PROJECT / FILTER / HASH_AGGREGATE), GdbmsSim's
+/// fixed-order join chain, and NAIVE_MATCH — with documented propagation
+/// heuristics:
+///
+///  * SCAN_TABLE           base rows x heuristic filter selectivity
+///  * FILTER / VERTEX_FILTER / NOT_EQUAL / EDGE_VERIFY
+///                         child estimate (conservative upper bound)
+///  * PROJECT / ORDER_BY / SCAN_GRAPH_TABLE / GET_VERTEX
+///                         child estimate (cardinality-preserving or
+///                         already constrained by the child)
+///  * LIMIT                min(child, limit)
+///  * HASH_AGGREGATE       1 when ungrouped, else 10% of the input
+///  * joins                max of the children (PK-FK heuristic)
+///  * expansions           child (no degree statistics at this layer)
+///
+/// Costs accumulate C_out-style: cost(op) = sum(children costs) + est(op)
+/// wherever the emitting optimizer did not set one.
+void AnnotatePlanEstimates(plan::PhysicalOp* root,
+                           const storage::Catalog* catalog,
+                           const TableStats* tstats);
+
+}  // namespace optimizer
+}  // namespace relgo
+
+#endif  // RELGO_OPTIMIZER_PLAN_ANNOTATOR_H_

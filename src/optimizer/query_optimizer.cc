@@ -1,6 +1,8 @@
 #include "optimizer/query_optimizer.h"
 
 #include "common/timer.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/plan_annotator.h"
 
 namespace relgo {
 namespace optimizer {
@@ -90,7 +92,29 @@ Result<OptimizeResult> QueryOptimizer::Optimize(const SpjmQuery& query,
     }
   }
   result.optimization_ms = timer.ElapsedMillis();
+  // EXPLAIN/Q-error bookkeeping, deliberately outside the timed window:
+  // it is not planning work (GdbmsSim in particular plans nothing, so its
+  // reported optimization time must not include estimator sampling).
+  if (mode == OptimizerMode::kGdbmsSim) {
+    AnnotateNaiveMatch(query, result.plan.get());
+  }
+  // Every emission path leaves some nodes (output-clause post-ops, fixed
+  // join chains) without estimates; fill them so EXPLAIN/EXPLAIN ANALYZE
+  // never render the -1 sentinel and Q-error is defined plan-wide.
+  AnnotatePlanEstimates(result.plan.get(), catalog_, tstats_);
   return result;
+}
+
+void QueryOptimizer::AnnotateNaiveMatch(const SpjmQuery& query,
+                                        plan::PhysicalOp* op) const {
+  if (op->kind == plan::OpKind::kNaiveMatch) {
+    CardinalityEstimator estimator(&query.pattern, glogue_, gstats_,
+                                   mapping_, catalog_, tstats_);
+    op->estimated_cardinality =
+        estimator.Estimate(query.pattern.AllVertices());
+    return;
+  }
+  for (auto& child : op->children) AnnotateNaiveMatch(query, child.get());
 }
 
 Result<PhysicalOpPtr> QueryOptimizer::OptimizeConverged(
@@ -189,7 +213,7 @@ Result<PhysicalOpPtr> QueryOptimizer::OptimizeGdbmsSim(
     limit->children.push_back(std::move(root));
     root = std::move(limit);
   }
-  return std::move(root);
+  return root;
 }
 
 }  // namespace optimizer

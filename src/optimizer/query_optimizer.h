@@ -76,6 +76,11 @@ class QueryOptimizer {
   Result<plan::PhysicalOpPtr> OptimizeConverged(plan::SpjmQuery query,
                                                 OptimizerMode mode) const;
   Result<plan::PhysicalOpPtr> OptimizeGdbmsSim(plan::SpjmQuery query) const;
+  /// Prices the NAIVE_MATCH leaf of a GdbmsSim plan (EXPLAIN/Q-error
+  /// bookkeeping; the mode itself plans nothing, so this runs outside the
+  /// timed optimization window).
+  void AnnotateNaiveMatch(const plan::SpjmQuery& query,
+                          plan::PhysicalOp* op) const;
 
   const storage::Catalog* catalog_;
   const graph::RgMapping* mapping_;

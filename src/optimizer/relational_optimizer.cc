@@ -280,7 +280,10 @@ class JoinPlanner {
     uint32_t all = (1u << n) - 1;
     for (size_t i = 0; i < n; ++i) {
       DpEntry leaf;
-      leaf.cost = node_cards_[i];
+      // Leaf constants (including the graph sub-plan's internal cost) are
+      // shared by every complete plan, so they never change the argmin —
+      // but they make the reported subtree costs meaningful.
+      leaf.cost = LeafCost(static_cast<int>(i));
       leaf.split = 0;
       plans_[1u << i] = leaf;
     }
@@ -306,16 +309,18 @@ class JoinPlanner {
   }
 
   Result<PhysicalOpPtr> BuildGreedy() {
-    // Each partition: (mask, plan, card).
+    // Each partition: (mask, plan, card, accumulated C_out cost).
     struct Part {
       uint32_t mask;
       PhysicalOpPtr op;
       double card;
+      double cost;
     };
     std::vector<Part> parts;
     for (size_t i = 0; i < nodes_.size(); ++i) {
       RELGO_ASSIGN_OR_RETURN(auto leaf, EmitLeaf(static_cast<int>(i)));
-      parts.push_back({1u << i, std::move(leaf), node_cards_[i]});
+      parts.push_back({1u << i, std::move(leaf), node_cards_[i],
+                       LeafCost(static_cast<int>(i))});
     }
     while (parts.size() > 1) {
       double best_card = std::numeric_limits<double>::infinity();
@@ -335,16 +340,27 @@ class JoinPlanner {
         return Status::InvalidArgument(
             "join graph is disconnected (cross products unsupported)");
       }
+      double joined_cost = parts[bi].cost + parts[bj].cost + best_card;
       RELGO_ASSIGN_OR_RETURN(
           auto joined,
           EmitJoin(parts[bi].mask, parts[bj].mask, std::move(parts[bi].op),
-                   std::move(parts[bj].op)));
+                   std::move(parts[bj].op), joined_cost));
       parts[bi].mask |= parts[bj].mask;
       parts[bi].op = std::move(joined);
       parts[bi].card = best_card;
+      parts[bi].cost = joined_cost;
       parts.erase(parts.begin() + bj);
     }
     return std::move(parts[0].op);
+  }
+
+  /// C_out cost of one leaf: its (filtered) cardinality, plus the graph
+  /// optimizer's internal plan cost for the SCAN_GRAPH_TABLE leaf.
+  double LeafCost(int i) const {
+    const RelNode& node = nodes_[i];
+    double cost = node_cards_[i];
+    if (node.kind == RelNode::Kind::kGraphTable) cost += node.graph_cost;
+    return cost;
   }
 
   Result<PhysicalOpPtr> EmitLeaf(int i) {
@@ -362,6 +378,7 @@ class JoinPlanner {
         }
       }
       scan->estimated_cardinality = node_cards_[i];
+      scan->estimated_cost = node_cards_[i];
       return PhysicalOpPtr(std::move(scan));
     }
     auto sgt = std::make_unique<plan::PhysScanGraphTable>();
@@ -370,12 +387,14 @@ class JoinPlanner {
     sgt->edge_var_labels = node.edge_var_labels;
     sgt->children.push_back(std::move(node.graph_root));
     sgt->estimated_cardinality = node.graph_cardinality;
+    sgt->estimated_cost = node.graph_cost + node.graph_cardinality;
     PhysicalOpPtr op = std::move(sgt);
     if (node.post_filter) {
       auto filter = std::make_unique<plan::PhysFilter>();
       filter->predicate = node.post_filter;
       filter->children.push_back(std::move(op));
       filter->estimated_cardinality = node_cards_[i];
+      filter->estimated_cost = LeafCost(i);
       op = std::move(filter);
     }
     return op;
@@ -389,7 +408,7 @@ class JoinPlanner {
     uint32_t s1 = entry.split, s2 = mask ^ entry.split;
     RELGO_ASSIGN_OR_RETURN(auto left, EmitMask(s1));
     RELGO_ASSIGN_OR_RETURN(auto right, EmitMask(s2));
-    return EmitJoin(s1, s2, std::move(left), std::move(right));
+    return EmitJoin(s1, s2, std::move(left), std::move(right), entry.cost);
   }
 
   /// Crossing join conditions between two masks, oriented (s1 col, s2 col).
@@ -406,7 +425,7 @@ class JoinPlanner {
   }
 
   Result<PhysicalOpPtr> EmitJoin(uint32_t s1, uint32_t s2, PhysicalOpPtr left,
-                                 PhysicalOpPtr right) {
+                                 PhysicalOpPtr right, double subtree_cost) {
     auto crossing = CrossingEdges(s1, s2);
     if (crossing.empty()) return Status::Internal("no crossing join edges");
     double out_card = MaskCard(s1 | s2);
@@ -487,6 +506,7 @@ class JoinPlanner {
           }
           rj->children.push_back(std::move(child));
           rj->estimated_cardinality = out_card;
+          rj->estimated_cost = subtree_cost;
           op = std::move(rj);
         } else {
           auto rj = std::make_unique<plan::PhysRidExpandJoin>();
@@ -504,6 +524,7 @@ class JoinPlanner {
           }
           rj->children.push_back(std::move(child));
           rj->estimated_cardinality = out_card;
+          rj->estimated_cost = subtree_cost;
           op = std::move(rj);
         }
         // Remaining crossing conditions become a residual filter.
@@ -518,6 +539,7 @@ class JoinPlanner {
           filter->predicate = Expr::And(residual);
           filter->children.push_back(std::move(op));
           filter->estimated_cardinality = out_card;
+          filter->estimated_cost = subtree_cost;
           op = std::move(filter);
         }
         return op;
@@ -533,6 +555,7 @@ class JoinPlanner {
     hj->children.push_back(std::move(left));
     hj->children.push_back(std::move(right));
     hj->estimated_cardinality = out_card;
+    hj->estimated_cost = subtree_cost;
     return PhysicalOpPtr(std::move(hj));
   }
 
@@ -861,6 +884,7 @@ Result<PhysicalOpPtr> RelationalOptimizer::PlanWithGraphLeaf(
   gnode.graph_root = std::move(graph_plan.root);
   gnode.projections = query.graph_projections;
   gnode.graph_cardinality = graph_plan.estimated_cardinality;
+  gnode.graph_cost = graph_plan.estimated_cost;
   for (int v = 0; v < p.num_vertices(); ++v) {
     gnode.vertex_var_labels.emplace_back(p.VertexVarName(v),
                                          p.vertex(v).label);

@@ -47,6 +47,7 @@ struct RelNode {
   std::vector<std::pair<std::string, int>> edge_var_labels;
   storage::ExprPtr post_filter;  ///< residual filter over projected columns
   double graph_cardinality = 0.0;
+  double graph_cost = 0.0;  ///< graph optimizer's cost for graph_root
 
   /// Qualified output column names this node exposes.
   std::vector<std::string> output_columns;

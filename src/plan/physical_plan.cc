@@ -58,7 +58,11 @@ std::string PrintPlan(const PhysicalOp& op, int indent) {
   for (int i = 0; i < indent; ++i) os << "  ";
   os << op.Describe();
   if (op.estimated_cardinality >= 0) {
-    os << "  [est=" << StrFormat("%.0f", op.estimated_cardinality) << "]";
+    os << "  [est=" << StrFormat("%.0f", op.estimated_cardinality);
+    if (op.estimated_cost >= 0) {
+      os << " cost=" << StrFormat("%.0f", op.estimated_cost);
+    }
+    os << "]";
   }
   os << "\n";
   for (const auto& child : op.children) {

@@ -54,6 +54,12 @@ struct PhysicalOp {
   OpKind kind;
   std::vector<std::unique_ptr<PhysicalOp>> children;
   double estimated_cardinality = -1.0;  ///< optimizer estimate, for EXPLAIN
+  /// Cumulative optimizer cost of the subtree rooted here (C_out-style:
+  /// the sum of intermediate cardinalities the optimizer expects this
+  /// subtree to materialize). -1 when the emitting path has no cost model;
+  /// optimizer::AnnotatePlanEstimates fills such gaps before plans leave
+  /// the optimizer.
+  double estimated_cost = -1.0;
 
   /// One-line operator label for plan rendering, e.g.
   /// "HASH_JOIN(g.p1_place_id = place.id)".

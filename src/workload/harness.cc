@@ -26,8 +26,25 @@ RunMeasurement Harness::Run(const WorkloadQuery& wq,
   m.mode = optimizer::ModeName(mode);
 
   double total_opt = 0.0, total_exec = 0.0;
-  // Warm-up + timed repetitions; a failure on any run is terminal.
-  for (int rep = -1; rep < repetitions_; ++rep) {
+  // Profiled warm-up: besides warming caches it feeds the estimate-vs-
+  // actual loop, charging the Q-error fields. Profiling cost stays out of
+  // the timed repetitions below.
+  {
+    auto warm = db_->RunProfiled(wq.query, mode, exec_options_);
+    if (!warm.ok()) {
+      m.out_of_memory = warm.status().code() == StatusCode::kOutOfMemory;
+      m.timed_out = warm.status().code() == StatusCode::kTimeout;
+      m.failed = !m.out_of_memory && !m.timed_out;
+      m.error = warm.status().ToString();
+      return m;
+    }
+    exec::QErrorSummary q = exec::SummarizeQError(*warm->plan, warm->profile);
+    m.qerror_geomean = q.geomean;
+    m.qerror_max = q.max_q;
+    m.qerror_ops = q.ops;
+  }
+  // Timed repetitions; a failure on any run is terminal.
+  for (int rep = 0; rep < repetitions_; ++rep) {
     auto result = db_->Run(wq.query, mode, exec_options_);
     if (!result.ok()) {
       m.out_of_memory = result.status().code() == StatusCode::kOutOfMemory;
@@ -36,11 +53,9 @@ RunMeasurement Harness::Run(const WorkloadQuery& wq,
       m.error = result.status().ToString();
       return m;
     }
-    if (rep >= 0) {
-      total_opt += result->optimization_ms;
-      total_exec += result->execution_ms;
-      m.result_rows = result->table->num_rows();
-    }
+    total_opt += result->optimization_ms;
+    total_exec += result->execution_ms;
+    m.result_rows = result->table->num_rows();
   }
   m.optimization_ms = total_opt / repetitions_;
   m.execution_ms = total_exec / repetitions_;
@@ -140,6 +155,29 @@ std::string Harness::FormatSpeedups(const std::vector<RunMeasurement>& runs,
       } else {
         os << StrFormat("%13.2fx", base->execution_ms /
                                        std::max(r->execution_ms, 1e-3));
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Harness::FormatQErrors(const std::vector<RunMeasurement>& runs) {
+  auto queries = OrderedQueries(runs);
+  auto modes = OrderedModes(runs);
+  std::ostringstream os;
+  os << StrFormat("%-10s", "q-error");
+  for (const auto& m : modes) os << StrFormat("%14s", m.c_str());
+  os << "\n";
+  for (const auto& q : queries) {
+    os << StrFormat("%-10s", q.c_str());
+    for (const auto& m : modes) {
+      const RunMeasurement* r = Find(runs, q, m);
+      if (r == nullptr || r->qerror_ops == 0) {
+        os << StrFormat("%14s", "-");
+      } else {
+        os << StrFormat("%14s",
+                        StrFormat("%.2f", r->qerror_geomean).c_str());
       }
     }
     os << "\n";

@@ -21,6 +21,13 @@ struct RunMeasurement {
   bool failed = false;
   std::string error;
 
+  /// Estimator accuracy, measured on the profiled warm-up run (Sec 5
+  /// style): geometric-mean and worst per-operator Q-error over all plan
+  /// nodes carrying both an optimizer estimate and an actual cardinality.
+  double qerror_geomean = 0.0;  ///< 0 == not measured (run failed)
+  double qerror_max = 0.0;
+  int qerror_ops = 0;
+
   double TotalMs() const { return optimization_ms + execution_ms; }
   /// "OT" / "OOM" / formatted milliseconds.
   std::string StatusOrMs(bool end_to_end) const;
@@ -53,6 +60,10 @@ class Harness {
   /// (Time(baseline) / Time(mode), the paper's Fig 11 metric).
   static std::string FormatSpeedups(const std::vector<RunMeasurement>& runs,
                                     const std::string& baseline_mode);
+
+  /// Renders per-(query, mode) geometric-mean Q-error — the estimator
+  /// accuracy grid mirroring the paper's Sec 5 accuracy analysis.
+  static std::string FormatQErrors(const std::vector<RunMeasurement>& runs);
 
   /// Geometric-mean speedup of `mode` vs `baseline_mode` over queries where
   /// both completed.
