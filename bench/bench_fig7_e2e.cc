@@ -34,9 +34,10 @@ void RunSide(const relgo::Database* db, const char* workload, double scale,
   std::printf("%-8s %12s %12s %12s %12s %10s\n", "query", "RelGo Opt",
               "RelGo Exe", "GRainDB Opt", "GRainDB Exe", "engine");
   for (const auto* runs : {&mat_runs, &pipe_runs}) {
-    const char* engine = runs == &mat_runs
-                             ? relgo::bench::EngineLabel(EngineKind::kMaterialize)
-                             : relgo::bench::EngineLabel(EngineKind::kPipeline);
+    const char* engine =
+        runs == &mat_runs
+            ? relgo::bench::EngineLabel(EngineKind::kMaterialize)
+            : relgo::bench::EngineLabel(EngineKind::kPipeline);
     for (size_t i = 0; i + 1 < runs->size(); i += 2) {
       const auto& relgo_run = (*runs)[i];
       const auto& graindb_run = (*runs)[i + 1];

@@ -83,6 +83,11 @@ struct BenchRecord {
   /// from the profiled warm-up); 0 when not measured.
   double qerror = 0.0;
   double qerror_max = 0.0;
+  /// Breaker serial sections of the profiled warm-up (pipeline engine):
+  /// hash-join build and sort/top-k finish wall time. Tracks how much of a
+  /// query the breakers still serialize across PRs.
+  double build_ms = 0.0;
+  double sort_ms = 0.0;
 };
 
 /// Process-wide collector; call Write() once at the end of main(). Every
@@ -119,6 +124,8 @@ class BenchJson {
                                    : "ok";
       rec.qerror = r.qerror_geomean;
       rec.qerror_max = r.qerror_max;
+      rec.build_ms = r.build_ms;
+      rec.sort_ms = r.sort_ms;
       Add(std::move(rec));
     }
   }
@@ -172,12 +179,13 @@ class BenchJson {
           "\"scale\": %.3f, \"query\": \"%s\", \"mode\": \"%s\", "
           "\"engine\": \"%s\", \"threads\": %d, \"optimization_ms\": %.3f, "
           "\"execution_ms\": %.3f, \"rows\": %llu, \"status\": \"%s\", "
-          "\"qerror\": %.3f, \"qerror_max\": %.3f}%s\n",
+          "\"qerror\": %.3f, \"qerror_max\": %.3f, \"build_ms\": %.3f, "
+          "\"sort_ms\": %.3f}%s\n",
           static_cast<long long>(run_ts_), r.bench.c_str(),
           r.workload.c_str(), r.scale, r.query.c_str(), r.mode.c_str(),
           r.engine.c_str(), r.threads, r.optimization_ms, r.execution_ms,
           static_cast<unsigned long long>(r.rows), r.status.c_str(),
-          r.qerror, r.qerror_max,
+          r.qerror, r.qerror_max, r.build_ms, r.sort_ms,
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
@@ -212,9 +220,9 @@ inline double EngineSpeedup(const std::vector<workload::RunMeasurement>& a,
 }
 
 inline void Banner(const char* figure, const char* what) {
-  std::printf("=============================================================\n");
+  std::printf("===========================================================\n");
   std::printf("%s — %s\n", figure, what);
-  std::printf("=============================================================\n");
+  std::printf("===========================================================\n");
 }
 
 inline Database* MakeLdbc(double scale) {

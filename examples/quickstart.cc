@@ -153,9 +153,11 @@ Status RunQuickstart() {
               analyzed.c_str());
 
   // On the pipeline engine the same query renders in its execution shape:
-  // pipelines (source -> streaming ops -> sink) plus the breakers that
-  // materialize between them, with identical actual row counts per plan
-  // node (the engines are bag-equivalent).
+  // pipelines (source -> streaming ops -> sink), with identical actual row
+  // counts per plan node (the engines are bag-equivalent). There are no
+  // materializing post-op lines: join build sides appear as HASH_BUILD
+  // pipelines and ORDER BY / LIMIT as TOP_K/ORDER_BY/LIMIT sinks, with
+  // breaker build/sort time summarized in a "breakers:" footer.
   RELGO_ASSIGN_OR_RETURN(
       auto piped_analyzed,
       db.ExplainAnalyze(query, optimizer::OptimizerMode::kRelGo,

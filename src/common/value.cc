@@ -76,7 +76,8 @@ std::string FormatDate(int32_t days) {
   }
   int month = 0;
   while (true) {
-    int in_month = kDaysInMonth[month] + (month == 1 && IsLeapYear(year) ? 1 : 0);
+    int in_month =
+        kDaysInMonth[month] + (month == 1 && IsLeapYear(year) ? 1 : 0);
     if (remaining >= in_month) {
       remaining -= in_month;
       ++month;

@@ -60,7 +60,9 @@ class Value {
   bool bool_value() const { return std::get<bool>(data_); }
   int64_t int_value() const { return std::get<int64_t>(data_); }
   double double_value() const { return std::get<double>(data_); }
-  const std::string& string_value() const { return std::get<std::string>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
   int32_t date_value() const {
     return static_cast<int32_t>(std::get<int64_t>(data_));
   }

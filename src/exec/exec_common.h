@@ -80,6 +80,23 @@ inline Result<std::vector<uint8_t>> FilterBitmap(
   return bitmap;
 }
 
+/// Three-way ORDER BY key comparison: the single source of truth for sort
+/// semantics (Value comparison incl. null ordering, per-key direction) in
+/// BOTH engines — SortTableByKeys below (materializing ORDER BY) and the
+/// pipeline engine's TopKSink. `a` / `b` map a key index to that row's
+/// key Value; template accessors so the O(n log n) sort paths inline the
+/// loads. Returns <0 / 0 / >0; ties are the caller's to break (stable
+/// sort order, or the pipeline's (morsel, row) sequence).
+template <typename AValueAt, typename BValueAt>
+int CompareSortKeyValues(const std::vector<plan::SortKey>& keys,
+                         const AValueAt& a, const BValueAt& b) {
+  for (size_t i = 0; i < keys.size(); ++i) {
+    int c = a(i).Compare(b(i));
+    if (c != 0) return keys[i].ascending ? c : -c;
+  }
+  return 0;
+}
+
 /// ORDER BY over a materialized table (stable sort; charges the full row
 /// count). Shared by both engines so their comparator semantics — null
 /// ordering, multi-key tie-breaking — can never diverge.
@@ -95,13 +112,9 @@ inline Result<storage::TablePtr> SortTableByKeys(
   std::vector<uint64_t> sel(child->num_rows());
   std::iota(sel.begin(), sel.end(), 0);
   std::stable_sort(sel.begin(), sel.end(), [&](uint64_t a, uint64_t b) {
-    for (size_t i = 0; i < key_cols.size(); ++i) {
-      Value va = child->GetValue(a, key_cols[i]);
-      Value vb = child->GetValue(b, key_cols[i]);
-      int c = va.Compare(vb);
-      if (c != 0) return keys[i].ascending ? c < 0 : c > 0;
-    }
-    return false;
+    return CompareSortKeyValues(
+               keys, [&](size_t i) { return child->GetValue(a, key_cols[i]); },
+               [&](size_t i) { return child->GetValue(b, key_cols[i]); }) < 0;
   });
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
   return GatherTable(*child, sel, child->name());

@@ -621,7 +621,8 @@ Result<TablePtr> ExecExpandIntersect(const plan::PhysExpandIntersect& op,
   }
   // The target vertex label (for the optional filter) comes from the first
   // leaf's mapping.
-  const graph::EdgeMapping& em0 = ctx->mapping().edge_mapping(op.edge_labels[0]);
+  const graph::EdgeMapping& em0 =
+      ctx->mapping().edge_mapping(op.edge_labels[0]);
   int to_label = op.dirs[0] == graph::Direction::kOut
                      ? ctx->mapping().FindVertexLabel(em0.dst_label)
                      : ctx->mapping().FindVertexLabel(em0.src_label);

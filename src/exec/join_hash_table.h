@@ -1,6 +1,8 @@
 #ifndef RELGO_EXEC_JOIN_HASH_TABLE_H_
 #define RELGO_EXEC_JOIN_HASH_TABLE_H_
 
+#include <algorithm>
+#include <array>
 #include <unordered_map>
 #include <vector>
 
@@ -12,13 +14,53 @@ namespace exec {
 
 /// Composite int64 join-key hash table: hash -> row buckets with exact
 /// re-check on probe (collision-safe). Shared by the materializing executor
-/// and the pipeline engine's hash-join probe operator. Build is
-/// single-threaded; Probe is const and safe to call concurrently.
+/// and the pipeline engine's hash-join probe operator.
+///
+/// Construction is two-phase so the pipeline engine can build in parallel
+/// (partition -> finalize), while Probe stays const and safe to call
+/// concurrently:
+///
+///  1. BeginBuild() resolves the key columns and fixes the partition
+///     directory: the bucket space is split into kNumPartitions shards by
+///     high hash bits, each shard an independent hash map.
+///  2. PartitionRows() is const and thread-safe: each worker scatters the
+///     (hash, row) pairs of a disjoint row range into a private
+///     BuildPartial, one append-only run per partition.
+///  3. FinalizePartition() inserts every partial's entries for ONE
+///     partition into that partition's shard. Distinct partitions touch
+///     disjoint state, so all kNumPartitions finalize calls can run
+///     concurrently. Entries are sorted by row id first, which makes the
+///     bucket contents (and therefore probe match order) identical to a
+///     sequential 0..n build regardless of how rows were partitioned
+///     across workers.
+///
+/// Build() wraps the three phases into the serial convenience the
+/// materializing engine uses.
 class JoinHashTable {
  public:
-  Status Build(const storage::Table& table,
-               const std::vector<std::string>& keys) {
+  /// Shard count of the partition directory. Power of two; large enough to
+  /// keep 16 workers busy during finalize, small enough that tiny build
+  /// sides do not pay directory overhead.
+  static constexpr size_t kNumPartitions = 64;
+
+  struct Entry {
+    size_t hash;
+    uint64_t row;
+  };
+
+  /// One worker's scatter output: an append-only (hash, row) run per
+  /// partition. No ordering is assumed across (or within) runs —
+  /// FinalizePartition sorts by row id before inserting.
+  struct BuildPartial {
+    std::array<std::vector<Entry>, kNumPartitions> runs;
+  };
+
+  /// Phase 1 of 3: resolves `keys` against the build table and preallocates
+  /// the partition directory. The table must outlive the hash table.
+  Status BeginBuild(const storage::Table& table,
+                    const std::vector<std::string>& keys) {
     table_ = &table;
+    key_cols_.clear();
     for (const auto& k : keys) {
       RELGO_ASSIGN_OR_RETURN(size_t idx, table.schema().GetColumnIndex(k));
       if (table.schema().column(idx).type != LogicalType::kInt64) {
@@ -27,9 +69,51 @@ class JoinHashTable {
       }
       key_cols_.push_back(idx);
     }
-    buckets_.reserve(table.num_rows() * 2);
-    for (uint64_t r = 0; r < table.num_rows(); ++r) {
-      buckets_[HashRow(table, r)].push_back(r);
+    return Status::OK();
+  }
+
+  /// Phase 2 of 3: scatters rows [begin, begin + count) into `partial`.
+  /// Const and thread-safe over disjoint ranges.
+  void PartitionRows(uint64_t begin, uint64_t count,
+                     BuildPartial* partial) const {
+    for (uint64_t r = begin; r < begin + count; ++r) {
+      size_t h = HashRow(*table_, r);
+      partial->runs[PartitionOf(h)].push_back(Entry{h, r});
+    }
+  }
+
+  /// Phase 3 of 3: merges every partial's run for partition `p` into shard
+  /// `p`. Safe to call concurrently for distinct `p`.
+  void FinalizePartition(size_t p, std::vector<BuildPartial>* partials) {
+    size_t total = 0;
+    for (const BuildPartial& partial : *partials) {
+      total += partial.runs[p].size();
+    }
+    if (total == 0) return;
+    // Restore global row order (rows are unique, so a plain sort suffices)
+    // so bucket vectors equal the sequential build's — probe emit order is
+    // part of the engine-parity contract.
+    std::vector<Entry> entries;
+    entries.reserve(total);
+    for (const BuildPartial& partial : *partials) {
+      entries.insert(entries.end(), partial.runs[p].begin(),
+                     partial.runs[p].end());
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.row < b.row; });
+    auto& shard = shards_[p];
+    shard.reserve(total * 2);
+    for (const Entry& e : entries) shard[e.hash].push_back(e.row);
+  }
+
+  /// Serial convenience: the three phases on the calling thread.
+  Status Build(const storage::Table& table,
+               const std::vector<std::string>& keys) {
+    RELGO_RETURN_NOT_OK(BeginBuild(table, keys));
+    std::vector<BuildPartial> partials(1);
+    PartitionRows(0, table.num_rows(), &partials[0]);
+    for (size_t p = 0; p < kNumPartitions; ++p) {
+      FinalizePartition(p, &partials);
     }
     return Status::OK();
   }
@@ -43,7 +127,8 @@ class JoinHashTable {
     for (size_t c : probe_cols) {
       h = HashCombine(h, static_cast<size_t>(probe.column(c).int_at(row)));
     }
-    ProbeHash(h, [&](size_t i) { return probe.column(probe_cols[i]).int_at(row); },
+    ProbeHash(h,
+              [&](size_t i) { return probe.column(probe_cols[i]).int_at(row); },
               out);
   }
 
@@ -58,11 +143,20 @@ class JoinHashTable {
   }
 
  private:
+  using Shard = std::unordered_map<size_t, std::vector<uint64_t>>;
+
+  /// Partition selector. unordered_map consumes the low hash bits for its
+  /// bucket index, so the directory uses higher bits to stay uncorrelated.
+  static size_t PartitionOf(size_t h) {
+    return (h >> 24) & (kNumPartitions - 1);
+  }
+
   template <typename KeyAt>
   void ProbeHash(size_t h, const KeyAt& key_at,
                  std::vector<uint64_t>* out) const {
-    auto it = buckets_.find(h);
-    if (it == buckets_.end()) return;
+    const Shard& shard = shards_[PartitionOf(h)];
+    auto it = shard.find(h);
+    if (it == shard.end()) return;
     for (uint64_t build_row : it->second) {
       bool match = true;
       for (size_t i = 0; i < key_cols_.size(); ++i) {
@@ -85,7 +179,7 @@ class JoinHashTable {
 
   const storage::Table* table_ = nullptr;
   std::vector<size_t> key_cols_;
-  std::unordered_map<size_t, std::vector<uint64_t>> buckets_;
+  std::array<Shard, kNumPartitions> shards_;
 };
 
 }  // namespace exec

@@ -1,9 +1,7 @@
 #include "exec/pipeline/engine.h"
 
 #include <algorithm>
-#include <numeric>
 
-#include "exec/exec_common.h"
 #include "exec/naive_matcher.h"
 #include "exec/pipeline/pipeline.h"
 
@@ -43,10 +41,36 @@ bool IsStreamable(OpKind kind) {
 
 Result<TablePtr> ExecNode(const PhysicalOp& op, ExecutionContext* ctx,
                           TaskScheduler* scheduler);
+Result<Pipeline> BuildPipeline(const PhysicalOp& op, ExecutionContext* ctx,
+                               TaskScheduler* scheduler);
+
+/// A join's materialized build side plus the hash table constructed over
+/// it (partition-parallel, HashBuildSink).
+struct BuiltSide {
+  TablePtr table;
+  std::shared_ptr<const JoinHashTable> ht;
+};
+
+/// Executes a join's build subtree (pipeline breaker) into a HashBuildSink:
+/// the build rows are materialized by parallel morsels and the shared
+/// JoinHashTable is constructed partition-parallel before the probe
+/// pipeline is assembled. `join_node` receives the build wall time in the
+/// query profile.
+Result<BuiltSide> ExecBuildSide(const PhysicalOp& op,
+                                const std::vector<std::string>& keys,
+                                const PhysicalOp* join_node,
+                                ExecutionContext* ctx,
+                                TaskScheduler* scheduler) {
+  RELGO_ASSIGN_OR_RETURN(auto pipeline, BuildPipeline(op, ctx, scheduler));
+  HashBuildSink sink(keys, join_node);
+  RELGO_ASSIGN_OR_RETURN(auto table,
+                         RunPipeline(&pipeline, &sink, scheduler, ctx));
+  return BuiltSide{std::move(table), sink.hash_table()};
+}
 
 /// Builds the streaming operator for one plan node. Join builds recurse
-/// into ExecNode, materializing the build side (pipeline breaker) before
-/// the probe pipeline is assembled.
+/// into ExecBuildSide, materializing + hashing the build side (pipeline
+/// breaker) before the probe pipeline is assembled.
 Result<StreamingOpPtr> MakeStreamingOp(const PhysicalOp& op,
                                        ExecutionContext* ctx,
                                        TaskScheduler* scheduler) {
@@ -59,18 +83,20 @@ Result<StreamingOpPtr> MakeStreamingOp(const PhysicalOp& op,
           new ProjectOp(static_cast<const plan::PhysProject&>(op)));
     case OpKind::kHashJoin: {
       const auto& join = static_cast<const plan::PhysHashJoin&>(op);
-      RELGO_ASSIGN_OR_RETURN(auto build,
-                             ExecNode(*op.children[1], ctx, scheduler));
+      RELGO_ASSIGN_OR_RETURN(
+          auto built, ExecBuildSide(*op.children[1], join.right_keys, &op,
+                                    ctx, scheduler));
       return StreamingOpPtr(new HashJoinProbeOp(
-          join.left_keys, join.right_keys, {}, std::move(build)));
+          join.left_keys, {}, std::move(built.table), std::move(built.ht)));
     }
     case OpKind::kPatternJoin: {
       const auto& join = static_cast<const plan::PhysPatternJoin&>(op);
-      RELGO_ASSIGN_OR_RETURN(auto build,
-                             ExecNode(*op.children[1], ctx, scheduler));
+      RELGO_ASSIGN_OR_RETURN(
+          auto built, ExecBuildSide(*op.children[1], join.common_vars, &op,
+                                    ctx, scheduler));
       return StreamingOpPtr(new HashJoinProbeOp(
-          join.common_vars, join.common_vars, join.common_vars,
-          std::move(build)));
+          join.common_vars, join.common_vars, std::move(built.table),
+          std::move(built.ht)));
     }
     case OpKind::kRidLookupJoin:
       return StreamingOpPtr(new RidLookupJoinOp(
@@ -160,9 +186,10 @@ Result<TablePtr> RunToTable(const PhysicalOp& op, const char* name,
 }
 
 /// Profiles one breaker step that materializes outside any pipeline
-/// (ORDER BY / LIMIT / NAIVE_MATCH): records the node's counters and a
-/// stage-less pipeline trace so EXPLAIN ANALYZE shows it between the
-/// pipelines it separates. No-op when profiling is off.
+/// (NAIVE_MATCH only — ORDER BY / LIMIT run inside pipelines as TopKSink):
+/// records the node's counters and a stage-less pipeline trace so EXPLAIN
+/// ANALYZE shows it between the pipelines it separates. No-op when
+/// profiling is off.
 Result<TablePtr> RecordBreaker(const PhysicalOp& op, uint64_t rows_in,
                                double wall_ms, Result<TablePtr> result,
                                ExecutionContext* ctx) {
@@ -194,28 +221,32 @@ Result<TablePtr> ExecNode(const PhysicalOp& op, ExecutionContext* ctx,
       return RunPipeline(&pipeline, &sink, scheduler, ctx);
     }
     case OpKind::kOrderBy: {
-      RELGO_ASSIGN_OR_RETURN(auto child,
-                             ExecNode(*op.children[0], ctx, scheduler));
-      uint64_t rows_in = child->num_rows();
-      Timer timer;
-      // Shared with the materializing executor (exec_common.h) so ORDER BY
-      // semantics can never diverge between engines.
-      auto sorted =
-          SortTableByKeys(static_cast<const plan::PhysOrderBy&>(op).keys,
-                          std::move(child), ctx);
-      return RecordBreaker(op, rows_in, timer.ElapsedMillis(),
-                           std::move(sorted), ctx);
+      // Full ORDER BY runs inside the pipeline as a parallel-merge sort
+      // sink (no materializing post-op).
+      const auto& order = static_cast<const plan::PhysOrderBy&>(op);
+      RELGO_ASSIGN_OR_RETURN(auto pipeline,
+                             BuildPipeline(*op.children[0], ctx, scheduler));
+      TopKSink sink(&order, nullptr, /*limit=*/-1);
+      return RunPipeline(&pipeline, &sink, scheduler, ctx);
     }
     case OpKind::kLimit: {
-      RELGO_ASSIGN_OR_RETURN(auto child,
-                             ExecNode(*op.children[0], ctx, scheduler));
-      uint64_t rows_in = child->num_rows();
-      Timer timer;
-      auto limited =
-          LimitTableRows(static_cast<const plan::PhysLimit&>(op).limit,
-                         std::move(child), ctx);
-      return RecordBreaker(op, rows_in, timer.ElapsedMillis(),
-                           std::move(limited), ctx);
+      const auto& limit = static_cast<const plan::PhysLimit&>(op);
+      const PhysicalOp* child = op.children[0].get();
+      if (child->kind == OpKind::kOrderBy) {
+        // ORDER BY + LIMIT fuse into one top-k sink over the pipeline
+        // below the sort: per-worker bounded heaps merged at finish.
+        const auto& order = static_cast<const plan::PhysOrderBy&>(*child);
+        RELGO_ASSIGN_OR_RETURN(
+            auto pipeline,
+            BuildPipeline(*child->children[0], ctx, scheduler));
+        TopKSink sink(&order, &limit, limit.limit);
+        return RunPipeline(&pipeline, &sink, scheduler, ctx);
+      }
+      // Plain LIMIT: first-k in morsel order, with exact early-exit.
+      RELGO_ASSIGN_OR_RETURN(auto pipeline,
+                             BuildPipeline(*child, ctx, scheduler));
+      TopKSink sink(nullptr, &limit, limit.limit);
+      return RunPipeline(&pipeline, &sink, scheduler, ctx);
     }
     case OpKind::kNaiveMatch: {
       // The backtracking matcher is inherently sequential; it runs as its

@@ -1,8 +1,12 @@
 #include "exec/pipeline/operators.h"
 
 #include <algorithm>
+#include <numeric>
+#include <queue>
 
+#include "common/timer.h"
 #include "exec/exec_common.h"
+#include "exec/pipeline/scheduler.h"
 
 namespace relgo {
 namespace exec {
@@ -92,7 +96,6 @@ Status ProjectOp::Process(const Batch& in, Batch* out,
 
 Status HashJoinProbeOp::Prepare(const Schema& input, ExecutionContext* ctx) {
   (void)ctx;
-  RELGO_RETURN_NOT_OK(ht_.Build(*build_, right_keys_));
   probe_cols_.clear();
   for (const auto& k : left_keys_) {
     RELGO_ASSIGN_OR_RETURN(size_t idx, input.GetColumnIndex(k));
@@ -125,7 +128,7 @@ Status HashJoinProbeOp::Process(const Batch& in, Batch* out,
   std::vector<uint64_t> left_sel, right_sel, matches;
   for (uint64_t r = 0; r < in.num_rows(); ++r) {
     matches.clear();
-    ht_.Probe(keys.data(), r, &matches);
+    ht_->Probe(keys.data(), r, &matches);
     for (uint64_t b : matches) {
       left_sel.push_back(r);
       right_sel.push_back(b);
@@ -783,14 +786,50 @@ Status ScanGraphTableOp::Process(const Batch& in, Batch* out,
 }
 
 // ---------------------------------------------------------------------------
-// MaterializeSink
+// MaterializeSink / HashBuildSink
 // ---------------------------------------------------------------------------
 
 namespace {
 
-struct MaterializeState : SinkState {
+/// Per-worker (morsel, batch) collection, the shared state of every
+/// batch-collecting sink (MaterializeSink, HashBuildSink, and TopKSink's
+/// sort/limit modes — which derive from it).
+struct BatchListState : SinkState {
   std::vector<std::pair<uint64_t, Batch>> batches;  // (morsel, batch)
 };
+
+/// Per-worker (morsel, batch) lists sorted into global morsel order — the
+/// sequential (num_threads = 1) order, which in turn equals the
+/// materializing executor's, so downstream order-sensitive consumers break
+/// ties identically.
+std::vector<const std::pair<uint64_t, Batch>*> OrderedBatches(
+    const std::vector<std::unique_ptr<SinkState>>& states) {
+  std::vector<const std::pair<uint64_t, Batch>*> ordered;
+  for (const auto& state : states) {
+    for (const auto& entry :
+         static_cast<BatchListState*>(state.get())->batches) {
+      ordered.push_back(&entry);
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return ordered;
+}
+
+/// Concatenates morsel-ordered batches into one table.
+TablePtr ConcatBatches(
+    const std::vector<const std::pair<uint64_t, Batch>*>& ordered,
+    const std::string& name, const Schema& schema) {
+  auto out = std::make_shared<Table>(name, schema);
+  for (const auto* entry : ordered) {
+    const Batch& b = entry->second;
+    for (size_t c = 0; c < b.num_columns(); ++c) {
+      out->column(c).AppendRange(b.column(c), 0, b.num_rows());
+    }
+  }
+  out->FinishBulkAppend();
+  return out;
+}
 
 }  // namespace
 
@@ -801,40 +840,89 @@ Status MaterializeSink::Prepare(const Schema& input, ExecutionContext* ctx) {
 }
 
 std::unique_ptr<SinkState> MaterializeSink::MakeState() const {
-  return std::make_unique<MaterializeState>();
+  return std::make_unique<BatchListState>();
 }
 
 Status MaterializeSink::Consume(SinkState* state, const Batch& in,
                                 uint64_t morsel, ExecutionContext* ctx) const {
   (void)ctx;
-  static_cast<MaterializeState*>(state)->batches.emplace_back(morsel, in);
+  static_cast<BatchListState*>(state)->batches.emplace_back(morsel, in);
   return Status::OK();
 }
 
 Result<TablePtr> MaterializeSink::Finish(
-    std::vector<std::unique_ptr<SinkState>> states, ExecutionContext* ctx) {
+    std::vector<std::unique_ptr<SinkState>> states, TaskScheduler* scheduler,
+    ExecutionContext* ctx) {
+  (void)scheduler;
   (void)ctx;
-  // Morsel-ordered merge: the output row order equals the sequential
-  // (num_threads = 1) order, which in turn equals the materializing
-  // executor's — so downstream ORDER BY + LIMIT breaks ties identically.
-  std::vector<const std::pair<uint64_t, Batch>*> ordered;
-  for (const auto& state : states) {
-    for (const auto& entry :
-         static_cast<MaterializeState*>(state.get())->batches) {
-      ordered.push_back(&entry);
+  return ConcatBatches(OrderedBatches(states), name_, schema_);
+}
+
+Status HashBuildSink::Prepare(const Schema& input, ExecutionContext* ctx) {
+  (void)ctx;
+  schema_ = input;
+  return Status::OK();
+}
+
+std::unique_ptr<SinkState> HashBuildSink::MakeState() const {
+  return std::make_unique<BatchListState>();
+}
+
+Status HashBuildSink::Consume(SinkState* state, const Batch& in,
+                              uint64_t morsel, ExecutionContext* ctx) const {
+  (void)ctx;
+  static_cast<BatchListState*>(state)->batches.emplace_back(morsel, in);
+  return Status::OK();
+}
+
+Result<TablePtr> HashBuildSink::Finish(
+    std::vector<std::unique_ptr<SinkState>> states, TaskScheduler* scheduler,
+    ExecutionContext* ctx) {
+  TablePtr table = ConcatBatches(OrderedBatches(states), "build", schema_);
+
+  Timer timer;
+  ht_ = std::make_shared<JoinHashTable>();
+  RELGO_RETURN_NOT_OK(ht_->BeginBuild(*table, keys_));
+
+  // Phase 1: morsel-parallel scatter into per-worker partition runs (no
+  // ordering assumed; FinalizePartition sorts each partition by row id).
+  uint64_t total_rows = table->num_rows();
+  uint64_t morsels = (total_rows + kBatchRows - 1) / kBatchRows;
+  std::vector<JoinHashTable::BuildPartial> partials(
+      static_cast<size_t>(scheduler->num_threads()));
+  JoinHashTable* ht = ht_.get();
+  RELGO_RETURN_NOT_OK(
+      scheduler->Run(morsels, [&](int worker, uint64_t morsel) -> Status {
+        RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+        uint64_t begin = morsel * kBatchRows;
+        uint64_t count = std::min(kBatchRows, total_rows - begin);
+        ht->PartitionRows(begin, count, &partials[worker]);
+        return Status::OK();
+      }));
+
+  // Phase 2: partition-parallel finalize into the preallocated directory.
+  RELGO_RETURN_NOT_OK(scheduler->Run(
+      JoinHashTable::kNumPartitions, [&](int, uint64_t p) -> Status {
+        ht->FinalizePartition(static_cast<size_t>(p), &partials);
+        return Status::OK();
+      }));
+
+  double build_ms = timer.ElapsedMillis();
+  if (QueryProfile* qp = ctx->profile()) {
+    qp->AddBuildMs(build_ms);
+    if (join_node_ != nullptr) {
+      // The join's breaker-side cost: rows_in counts the hashed build rows
+      // (the probe pipeline adds its own rows_in later); rows_out stays
+      // zero so the join's actual output cardinality remains engine-
+      // invariant.
+      OperatorProfile prof;
+      prof.rows_in = total_rows;
+      prof.invocations = 1;
+      prof.wall_ms = build_ms;
+      qp->Accumulate(join_node_, prof);
     }
   }
-  std::sort(ordered.begin(), ordered.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
-  auto out = std::make_shared<Table>(name_, schema_);
-  for (const auto* entry : ordered) {
-    const Batch& b = entry->second;
-    for (size_t c = 0; c < b.num_columns(); ++c) {
-      out->column(c).AppendRange(b.column(c), 0, b.num_rows());
-    }
-  }
-  out->FinishBulkAppend();
-  return out;
+  return table;
 }
 
 // ---------------------------------------------------------------------------
@@ -956,7 +1044,9 @@ Status AggregateSink::Consume(SinkState* state, const Batch& in,
 }
 
 Result<TablePtr> AggregateSink::Finish(
-    std::vector<std::unique_ptr<SinkState>> states, ExecutionContext* ctx) {
+    std::vector<std::unique_ptr<SinkState>> states, TaskScheduler* scheduler,
+    ExecutionContext* ctx) {
+  (void)scheduler;
   // Merge thread-local partials; a group's position is its globally
   // earliest first-seen (morsel, row), so the output order matches the
   // sequential scan regardless of which worker saw which morsel.
@@ -1041,6 +1131,274 @@ Result<TablePtr> AggregateSink::Finish(
     RELGO_RETURN_NOT_OK(out->AppendRow(row));
   }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(out->num_rows()));
+  return TablePtr(out);
+}
+
+// ---------------------------------------------------------------------------
+// TopKSink
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One kept candidate row in heap mode: the full row as Values plus its
+/// global (morsel, row) sequence coordinate for stable tie-breaking.
+struct HeapRow {
+  std::vector<Value> vals;
+  uint64_t morsel = 0;
+  uint64_t row = 0;
+};
+
+struct TopKState : BatchListState {  // batches used by sort / limit modes
+  std::vector<HeapRow> heap;         // heap mode
+  uint64_t rows_seen = 0;
+};
+
+}  // namespace
+
+Status TopKSink::Prepare(const Schema& input, ExecutionContext* ctx) {
+  schema_ = input;
+  key_cols_.clear();
+  if (order_ != nullptr) {
+    for (const auto& k : order_->keys) {
+      RELGO_ASSIGN_OR_RETURN(size_t idx, input.GetColumnIndex(k.column));
+      key_cols_.push_back(idx);
+    }
+  }
+  // Early-exit is exact but consumes fewer upstream rows than the oracle;
+  // profiled runs keep it off so per-node actual counts stay
+  // engine-invariant (profile_test's parity grids).
+  early_exit_ = order_ == nullptr && limit_ >= 0 && ctx->profile() == nullptr;
+  frontier_next_ = 0;
+  pending_.clear();
+  prefix_rows_.store(0, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void TopKSink::MorselFinished(uint64_t morsel, uint64_t rows) const {
+  if (!early_exit_) return;
+  std::lock_guard<std::mutex> lock(exit_mu_);
+  if (morsel != frontier_next_) {
+    pending_.emplace(morsel, rows);
+    return;
+  }
+  uint64_t prefix = prefix_rows_.load(std::memory_order_relaxed) + rows;
+  ++frontier_next_;
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == frontier_next_;
+       it = pending_.erase(it)) {
+    prefix += it->second;
+    ++frontier_next_;
+  }
+  prefix_rows_.store(prefix, std::memory_order_relaxed);
+}
+
+std::unique_ptr<SinkState> TopKSink::MakeState() const {
+  return std::make_unique<TopKState>();
+}
+
+Status TopKSink::Consume(SinkState* state, const Batch& in, uint64_t morsel,
+                         ExecutionContext* ctx) const {
+  (void)ctx;
+  auto* s = static_cast<TopKState*>(state);
+  s->rows_seen += in.num_rows();
+
+  if (!HeapMode()) {
+    if (limit_ != 0) s->batches.emplace_back(morsel, in);
+    // The early-exit frontier advances in MorselFinished, which the
+    // pipeline calls after this batch is safely stored.
+    return Status::OK();
+  }
+
+  if (limit_ == 0) return Status::OK();
+  auto k = static_cast<size_t>(limit_);
+  std::vector<HeapRow>& heap = s->heap;
+  // Max-heap under the sort order: the worst kept row sits on top and
+  // fences off non-qualifying candidates without materializing them.
+  auto heap_cmp = [&](const HeapRow& a, const HeapRow& b) {
+    int c = CompareSortKeyValues(
+        order_->keys, [&](size_t i) { return a.vals[key_cols_[i]]; },
+        [&](size_t i) { return b.vals[key_cols_[i]]; });
+    if (c != 0) return c < 0;
+    return std::make_pair(a.morsel, a.row) < std::make_pair(b.morsel, b.row);
+  };
+  for (uint64_t r = 0; r < in.num_rows(); ++r) {
+    if (heap.size() == k) {
+      const HeapRow& worst = heap.front();
+      int c = CompareSortKeyValues(
+          order_->keys,
+          [&](size_t i) { return in.column(key_cols_[i]).GetValue(r); },
+          [&](size_t i) { return worst.vals[key_cols_[i]]; });
+      bool before_worst =
+          c != 0 ? c < 0
+                 : std::make_pair(morsel, r) <
+                       std::make_pair(worst.morsel, worst.row);
+      if (!before_worst) continue;
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      heap.pop_back();
+    }
+    HeapRow candidate;
+    candidate.vals.reserve(in.num_columns());
+    for (size_t c = 0; c < in.num_columns(); ++c) {
+      candidate.vals.push_back(in.column(c).GetValue(r));
+    }
+    candidate.morsel = morsel;
+    candidate.row = r;
+    heap.push_back(std::move(candidate));
+    std::push_heap(heap.begin(), heap.end(), heap_cmp);
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> TopKSink::Finish(
+    std::vector<std::unique_ptr<SinkState>> states, TaskScheduler* scheduler,
+    ExecutionContext* ctx) {
+  uint64_t total = 0;
+  for (const auto& state : states) {
+    total += static_cast<TopKState*>(state.get())->rows_seen;
+  }
+  Timer timer;
+  auto out = std::make_shared<Table>("result", schema_);
+
+  if (HeapMode()) {
+    // Merge the per-worker top-k candidates (<= workers * k rows) and sort
+    // them once; the (morsel, row) tie-break reproduces the oracle's
+    // stable sort over the sequential row order.
+    std::vector<HeapRow> candidates;
+    for (auto& state : states) {
+      auto& heap = static_cast<TopKState*>(state.get())->heap;
+      std::move(heap.begin(), heap.end(), std::back_inserter(candidates));
+      heap.clear();
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](const HeapRow& a, const HeapRow& b) {
+                int c = CompareSortKeyValues(
+                    order_->keys,
+                    [&](size_t i) { return a.vals[key_cols_[i]]; },
+                    [&](size_t i) { return b.vals[key_cols_[i]]; });
+                if (c != 0) return c < 0;
+                return std::make_pair(a.morsel, a.row) <
+                       std::make_pair(b.morsel, b.row);
+              });
+    if (candidates.size() > static_cast<size_t>(limit_)) {
+      candidates.resize(static_cast<size_t>(limit_));
+    }
+    for (const HeapRow& row : candidates) {
+      RELGO_RETURN_NOT_OK(out->AppendRow(row.vals));
+    }
+  } else if (order_ != nullptr) {
+    // Parallel merge sort over the morsel-ordered row space: chunk-sort on
+    // the scheduler, then k-way merge the sorted runs.
+    auto ordered = OrderedBatches(states);
+    struct RowRef {
+      const Batch* batch;
+      uint64_t row;
+    };
+    std::vector<RowRef> refs;
+    refs.reserve(total);
+    for (const auto* entry : ordered) {
+      for (uint64_t r = 0; r < entry->second.num_rows(); ++r) {
+        refs.push_back(RowRef{&entry->second, r});
+      }
+    }
+    uint64_t n = refs.size();
+    // Position in `refs` IS the global sequence number, so index order is
+    // the stable-sort tie-break.
+    auto before = [&](uint64_t i, uint64_t j) {
+      int c = CompareSortKeyValues(
+          order_->keys,
+          [&](size_t k) {
+            return refs[i].batch->column(key_cols_[k]).GetValue(refs[i].row);
+          },
+          [&](size_t k) {
+            return refs[j].batch->column(key_cols_[k]).GetValue(refs[j].row);
+          });
+      if (c != 0) return c < 0;
+      return i < j;
+    };
+    std::vector<uint64_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    uint64_t chunks = static_cast<uint64_t>(scheduler->num_threads()) * 2;
+    if (n < 4096 || chunks < 2) chunks = 1;
+    std::vector<std::pair<uint64_t, uint64_t>> runs;  // [begin, end)
+    for (uint64_t c = 0; c < chunks; ++c) {
+      uint64_t lo = n * c / chunks, hi = n * (c + 1) / chunks;
+      if (lo < hi) runs.emplace_back(lo, hi);
+    }
+    RELGO_RETURN_NOT_OK(
+        scheduler->Run(runs.size(), [&](int, uint64_t run) -> Status {
+          RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+          std::sort(order.begin() + runs[run].first,
+                    order.begin() + runs[run].second, before);
+          return Status::OK();
+        }));
+    std::vector<uint64_t> merged;
+    merged.reserve(n);
+    if (runs.size() <= 1) {
+      merged = std::move(order);
+    } else {
+      std::vector<uint64_t> cursor(runs.size());
+      auto run_after = [&](size_t a, size_t b) {  // min-heap on run heads
+        return before(order[runs[b].first + cursor[b]],
+                      order[runs[a].first + cursor[a]]);
+      };
+      std::priority_queue<size_t, std::vector<size_t>, decltype(run_after)>
+          heads(run_after);
+      for (size_t r = 0; r < runs.size(); ++r) heads.push(r);
+      while (!heads.empty()) {
+        size_t r = heads.top();
+        heads.pop();
+        merged.push_back(order[runs[r].first + cursor[r]]);
+        if (runs[r].first + ++cursor[r] < runs[r].second) heads.push(r);
+      }
+    }
+    uint64_t emit = limit_ >= 0 && static_cast<uint64_t>(limit_) < n
+                        ? static_cast<uint64_t>(limit_)
+                        : n;
+    for (size_t c = 0; c < out->num_columns(); ++c) {
+      Column& col = out->column(c);
+      col.Reserve(emit);
+      for (uint64_t i = 0; i < emit; ++i) {
+        col.AppendFrom(refs[merged[i]].batch->column(c), refs[merged[i]].row);
+      }
+    }
+    out->FinishBulkAppend();
+  } else {
+    // Plain LIMIT: truncate the morsel-ordered concatenation at k rows.
+    auto ordered = OrderedBatches(states);
+    uint64_t remaining = limit_ >= 0 ? static_cast<uint64_t>(limit_) : total;
+    for (const auto* entry : ordered) {
+      if (remaining == 0) break;
+      const Batch& b = entry->second;
+      uint64_t take = std::min(remaining, b.num_rows());
+      for (size_t c = 0; c < b.num_columns(); ++c) {
+        out->column(c).AppendRange(b.column(c), 0, take);
+      }
+      remaining -= take;
+    }
+    out->FinishBulkAppend();
+  }
+  double finish_ms = timer.ElapsedMillis();
+
+  // Budget parity with the materializing post-ops: SortTableByKeys charges
+  // the full row count, LimitTableRows charges k only when it truncates.
+  if (order_ != nullptr) RELGO_RETURN_NOT_OK(ctx->ChargeRows(total));
+  if (limit_ >= 0 && static_cast<uint64_t>(limit_) < total) {
+    RELGO_RETURN_NOT_OK(ctx->ChargeRows(static_cast<uint64_t>(limit_)));
+  }
+
+  if (QueryProfile* qp = ctx->profile()) {
+    if (order_ != nullptr) qp->AddSortMs(finish_ms);
+    if (order_ != nullptr && limit_node_ != nullptr) {
+      // The fused ORDER BY's entry (the generic sink attribution goes to
+      // the LIMIT node): sorting preserves cardinality, like the oracle.
+      OperatorProfile prof;
+      prof.rows_in = total;
+      prof.rows_out = total;
+      prof.invocations = 1;
+      prof.wall_ms = finish_ms;
+      qp->Accumulate(order_, prof);
+    }
+  }
   return TablePtr(out);
 }
 

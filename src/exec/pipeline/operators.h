@@ -1,7 +1,10 @@
 #ifndef RELGO_EXEC_PIPELINE_OPERATORS_H_
 #define RELGO_EXEC_PIPELINE_OPERATORS_H_
 
+#include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -15,6 +18,8 @@
 namespace relgo {
 namespace exec {
 namespace pipeline {
+
+class TaskScheduler;
 
 // ---------------------------------------------------------------------------
 // Streaming operators
@@ -70,27 +75,30 @@ class ProjectOp : public StreamingOp {
   std::vector<size_t> src_cols_;
 };
 
-/// Probe side of a hash join whose build side was materialized by an
-/// upstream pipeline (PhysHashJoin and PhysPatternJoin both lower to this;
-/// the pattern join passes its shared variables as drop_right).
+/// Probe side of a hash join whose build side was materialized AND hashed
+/// by an upstream pipeline ending in a HashBuildSink (PhysHashJoin and
+/// PhysPatternJoin both lower to this; the pattern join passes its shared
+/// variables as drop_right). The JoinHashTable arrives fully constructed —
+/// partition-parallel, see HashBuildSink — so Prepare only resolves the
+/// probe-side columns and the output schema.
 class HashJoinProbeOp : public StreamingOp {
  public:
   HashJoinProbeOp(std::vector<std::string> left_keys,
-                  std::vector<std::string> right_keys,
                   std::vector<std::string> drop_right,
-                  storage::TablePtr build)
+                  storage::TablePtr build,
+                  std::shared_ptr<const JoinHashTable> ht)
       : left_keys_(std::move(left_keys)),
-        right_keys_(std::move(right_keys)),
         drop_right_(std::move(drop_right)),
-        build_(std::move(build)) {}
+        build_(std::move(build)),
+        ht_(std::move(ht)) {}
   Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
   Status Process(const Batch& in, Batch* out,
                  ExecutionContext* ctx) const override;
 
  private:
-  std::vector<std::string> left_keys_, right_keys_, drop_right_;
+  std::vector<std::string> left_keys_, drop_right_;
   storage::TablePtr build_;
-  JoinHashTable ht_;
+  std::shared_ptr<const JoinHashTable> ht_;
   std::vector<size_t> probe_cols_;
   std::vector<size_t> build_out_cols_;  // build columns kept in the output
 };
@@ -276,7 +284,9 @@ struct SinkState {
 
 /// Terminal consumer of a pipeline. Consume() runs concurrently, but each
 /// worker owns a private SinkState, so no synchronization is needed until
-/// Finish() merges the partials single-threaded.
+/// Finish() merges the partials on the owning thread — with the query's
+/// TaskScheduler in hand, so breaker work that parallelizes (hash-table
+/// finalize, sort-run sorting) can fan back out.
 ///
 /// `morsel` is the source morsel index the batch came from. Sinks merge in
 /// morsel order, which makes the pipeline result *order* deterministic and
@@ -292,15 +302,33 @@ class Sink {
   virtual Status Consume(SinkState* state, const Batch& in, uint64_t morsel,
                          ExecutionContext* ctx) const = 0;
   virtual Result<storage::TablePtr> Finish(
-      std::vector<std::unique_ptr<SinkState>> states,
+      std::vector<std::unique_ptr<SinkState>> states, TaskScheduler* scheduler,
       ExecutionContext* ctx) = 0;
 
   /// The breaker plan node this sink implements (profiling attribution);
   /// null for plain materialization, whose rows belong to the last
   /// streaming operator.
   virtual const plan::PhysicalOp* plan_node() const { return nullptr; }
+  /// A second breaker plan node fused below plan_node() into the same sink
+  /// (the ORDER BY a TOP_K sink absorbs under its LIMIT); null otherwise.
+  /// Its profile entry is recorded by the sink itself during Finish.
+  virtual const plan::PhysicalOp* fused_node() const { return nullptr; }
   /// Short label for pipeline-shaped EXPLAIN ANALYZE rendering.
   virtual const char* label() const { return "MATERIALIZE"; }
+  /// True once consuming further morsels cannot change the result (LIMIT
+  /// early-exit). The scheduler still claims the remaining morsels but
+  /// skips their source emit and operator work. Must only depend on
+  /// *contiguous-prefix* completion (see MorselFinished): a morsel being
+  /// checked may have been claimed before later morsels completed.
+  virtual bool Saturated() const { return false; }
+  /// Called once per morsel after it fully finished — consumed, emitted
+  /// zero rows, or was skipped because Saturated() — with the row count it
+  /// contributed. Thread-safe like Consume. Default no-op; TopKSink uses
+  /// it to advance its completed-morsel frontier.
+  virtual void MorselFinished(uint64_t morsel, uint64_t rows) const {
+    (void)morsel;
+    (void)rows;
+  }
 };
 
 /// Collects (morsel, batch) pairs per worker and concatenates them in
@@ -314,12 +342,133 @@ class MaterializeSink : public Sink {
   Status Consume(SinkState* state, const Batch& in, uint64_t morsel,
                  ExecutionContext* ctx) const override;
   Result<storage::TablePtr> Finish(
-      std::vector<std::unique_ptr<SinkState>> states,
+      std::vector<std::unique_ptr<SinkState>> states, TaskScheduler* scheduler,
       ExecutionContext* ctx) override;
 
  private:
   std::string name_;
   storage::Schema schema_;
+};
+
+/// Materializes a join build side AND constructs the shared JoinHashTable,
+/// partition-parallel (PhysHashJoin / PhysPatternJoin build sides):
+/// Consume collects per-worker (morsel, batch) lists like MaterializeSink;
+/// Finish concatenates them in morsel order, then builds the hash table in
+/// two parallel phases on the query's scheduler — morsel-parallel scatter
+/// into per-worker partition runs, then partition-parallel finalize into
+/// the preallocated shard directory (JoinHashTable's two-phase API). The
+/// build wall time is recorded as breaker build time on the owning join
+/// node, and the finished table plus hash table are handed to
+/// HashJoinProbeOp, whose probe path is unchanged.
+class HashBuildSink : public Sink {
+ public:
+  HashBuildSink(std::vector<std::string> keys,
+                const plan::PhysicalOp* join_node)
+      : keys_(std::move(keys)), join_node_(join_node) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  std::unique_ptr<SinkState> MakeState() const override;
+  Status Consume(SinkState* state, const Batch& in, uint64_t morsel,
+                 ExecutionContext* ctx) const override;
+  Result<storage::TablePtr> Finish(
+      std::vector<std::unique_ptr<SinkState>> states, TaskScheduler* scheduler,
+      ExecutionContext* ctx) override;
+  const char* label() const override { return "HASH_BUILD"; }
+
+  /// The constructed hash table; valid after a successful Finish. Shared
+  /// with the probe operator (which holds the build table alive).
+  std::shared_ptr<const JoinHashTable> hash_table() const { return ht_; }
+
+ private:
+  std::vector<std::string> keys_;
+  const plan::PhysicalOp* join_node_;
+  storage::Schema schema_;
+  std::shared_ptr<JoinHashTable> ht_;
+};
+
+/// In-pipeline ORDER BY / LIMIT sink replacing the old materializing
+/// post-op path: the three output-clause shapes run as one sink at the end
+/// of the probe pipeline instead of materializing between pipelines.
+///
+///  * ORDER BY + LIMIT k (top-k): each worker keeps a bounded max-heap of
+///    its k best rows; Finish merges the <= workers*k candidates and sorts
+///    them once. Rows past a full heap's fence are discarded O(1).
+///  * ORDER BY without LIMIT: workers collect their batches; Finish sorts
+///    per-chunk runs in parallel on the scheduler and k-way merges them —
+///    a parallel merge sort over the morsel-ordered row space.
+///  * LIMIT without ORDER BY: workers collect batches until the rows of
+///    the *contiguous completed-morsel prefix* reach k (Saturated() — an
+///    exact early-exit: once morsels [0, f) are all finished and hold
+///    >= k rows, no morsel >= f can contribute to the first k; a morsel
+///    being skipped is never inside the prefix, because prefix morsels
+///    have finished and it has not). The frontier advances in
+///    MorselFinished, which also counts empty and skipped morsels.
+///    Finish truncates the morsel-ordered concatenation. Early-exit is
+///    disabled while profiling so per-node actual row counts stay
+///    engine-invariant.
+///
+/// Every comparison tie-breaks on the global (morsel, row) sequence, which
+/// equals the sequential scan order — so the selected rows and their order
+/// match the materializing engine's stable sort exactly, independent of
+/// thread count.
+class TopKSink : public Sink {
+ public:
+  /// `order` may be null (plain LIMIT); `limit_node` may be null (plain
+  /// ORDER BY, pass limit = -1). At least one must be set.
+  TopKSink(const plan::PhysOrderBy* order, const plan::PhysLimit* limit_node,
+           int64_t limit)
+      : order_(order), limit_node_(limit_node), limit_(limit) {}
+  Status Prepare(const storage::Schema& input, ExecutionContext* ctx) override;
+  std::unique_ptr<SinkState> MakeState() const override;
+  Status Consume(SinkState* state, const Batch& in, uint64_t morsel,
+                 ExecutionContext* ctx) const override;
+  Result<storage::TablePtr> Finish(
+      std::vector<std::unique_ptr<SinkState>> states, TaskScheduler* scheduler,
+      ExecutionContext* ctx) override;
+  const plan::PhysicalOp* plan_node() const override {
+    return limit_node_ != nullptr
+               ? static_cast<const plan::PhysicalOp*>(limit_node_)
+               : static_cast<const plan::PhysicalOp*>(order_);
+  }
+  const plan::PhysicalOp* fused_node() const override {
+    return limit_node_ != nullptr && order_ != nullptr
+               ? static_cast<const plan::PhysicalOp*>(order_)
+               : nullptr;
+  }
+  const char* label() const override {
+    if (order_ == nullptr) return "LIMIT";
+    return limit_node_ != nullptr ? "TOP_K" : "ORDER_BY";
+  }
+  bool Saturated() const override {
+    return early_exit_ &&
+           prefix_rows_.load(std::memory_order_relaxed) >=
+               static_cast<uint64_t>(limit_);
+  }
+  void MorselFinished(uint64_t morsel, uint64_t rows) const override;
+
+ private:
+  /// Above this k, bounded per-worker heaps of Value rows cost more memory
+  /// than collecting batches; fall back to sort-then-truncate.
+  static constexpr int64_t kMaxHeapLimit = 1 << 14;
+
+  bool HeapMode() const {
+    return order_ != nullptr && limit_ >= 0 && limit_ <= kMaxHeapLimit;
+  }
+
+  const plan::PhysOrderBy* order_;
+  const plan::PhysLimit* limit_node_;
+  int64_t limit_;
+  storage::Schema schema_;
+  std::vector<size_t> key_cols_;
+  bool early_exit_ = false;  // plain LIMIT, profiling off
+
+  // Completed-morsel frontier (early-exit mode only): morsels [0,
+  // frontier_next_) have all finished and contributed frontier-counted
+  // rows; finished morsels beyond the frontier wait in pending_.
+  // prefix_rows_ mirrors the frontier row count for lock-free Saturated().
+  mutable std::mutex exit_mu_;
+  mutable uint64_t frontier_next_ = 0;
+  mutable std::map<uint64_t, uint64_t> pending_;  // finished morsel -> rows
+  mutable std::atomic<uint64_t> prefix_rows_{0};
 };
 
 /// Parallel hash aggregation (PhysHashAggregate): each worker accumulates a
@@ -335,7 +484,7 @@ class AggregateSink : public Sink {
   Status Consume(SinkState* state, const Batch& in, uint64_t morsel,
                  ExecutionContext* ctx) const override;
   Result<storage::TablePtr> Finish(
-      std::vector<std::unique_ptr<SinkState>> states,
+      std::vector<std::unique_ptr<SinkState>> states, TaskScheduler* scheduler,
       ExecutionContext* ctx) override;
   const plan::PhysicalOp* plan_node() const override { return &op_; }
   const char* label() const override { return "HASH_AGGREGATE"; }

@@ -125,9 +125,15 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
     states.push_back(sink->MakeState());
   }
 
-  // The default morsel body: no profiling branches on the hot path.
+  // The default morsel body: no profiling branches on the hot path. Every
+  // non-error exit reports the morsel as finished (with its contributed
+  // rows) so LIMIT early-exit can track its contiguous completed prefix.
   auto run_morsel = [&](int worker_id, uint64_t morsel) -> Status {
     RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+    if (sink->Saturated()) {  // LIMIT early-exit
+      sink->MorselFinished(morsel, 0);
+      return Status::OK();
+    }
     uint64_t begin = morsel * kBatchRows;
     uint64_t count = std::min(kBatchRows, total_rows - begin);
     Batch batch;
@@ -138,8 +144,14 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
       RELGO_RETURN_NOT_OK(op->Process(batch, &next, ctx));
       batch = std::move(next);
     }
-    if (batch.num_rows() == 0) return Status::OK();
-    return sink->Consume(states[worker_id].get(), batch, morsel, ctx);
+    if (batch.num_rows() == 0) {
+      sink->MorselFinished(morsel, 0);
+      return Status::OK();
+    }
+    RELGO_RETURN_NOT_OK(
+        sink->Consume(states[worker_id].get(), batch, morsel, ctx));
+    sink->MorselFinished(morsel, batch.num_rows());
+    return Status::OK();
   };
 
   // Profiled morsel body: each worker accumulates rows in/out, invocation
@@ -154,6 +166,10 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
   }
   auto run_morsel_profiled = [&](int worker_id, uint64_t morsel) -> Status {
     RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+    if (sink->Saturated()) {
+      sink->MorselFinished(morsel, 0);
+      return Status::OK();
+    }
     uint64_t begin = morsel * kBatchRows;
     uint64_t count = std::min(kBatchRows, total_rows - begin);
     std::vector<OperatorProfile>& slots = worker_profs[worker_id];
@@ -176,7 +192,10 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
       slot.invocations += 1;
       batch = std::move(next);
     }
-    if (batch.num_rows() == 0) return Status::OK();
+    if (batch.num_rows() == 0) {
+      sink->MorselFinished(morsel, 0);
+      return Status::OK();
+    }
     OperatorProfile& sink_slot = slots[pipeline->ops.size() + 1];
     timer.Restart();
     Status consumed =
@@ -184,6 +203,7 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
     sink_slot.wall_ms += timer.ElapsedMillis();
     sink_slot.rows_in += batch.num_rows();
     sink_slot.invocations += 1;
+    if (consumed.ok()) sink->MorselFinished(morsel, batch.num_rows());
     return consumed;
   };
 
@@ -191,8 +211,12 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
       qp == nullptr ? scheduler->Run(morsels, run_morsel)
                     : scheduler->Run(morsels, run_morsel_profiled);
   RELGO_RETURN_NOT_OK(run_status);
+  // Captured before Finish: breaker sinks run their own scheduler jobs
+  // (hash-table build phases, sort chunks), which overwrite the pipeline's
+  // worker count.
+  int run_workers = morsels == 0 ? 1 : scheduler->last_run_workers();
   Timer finish_timer;
-  auto finished = sink->Finish(std::move(states), ctx);
+  auto finished = sink->Finish(std::move(states), scheduler, ctx);
   double finish_ms = finish_timer.ElapsedMillis();
 
   if (qp != nullptr) {
@@ -224,9 +248,10 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
       trace.stages.push_back(node);
     }
     trace.breaker = sink->plan_node();
+    trace.fused = sink->fused_node();
     trace.sink = sink->label();
     trace.morsels = morsels;
-    trace.threads = morsels == 0 ? 1 : scheduler->last_run_workers();
+    trace.threads = run_workers;
     trace.wall_ms = pipeline_timer.ElapsedMillis();
     qp->AddPipeline(std::move(trace));
   }

@@ -106,8 +106,7 @@ std::string RenderAnalyzedPipelines(const plan::PhysicalOp& root,
   int index = 0;
   for (const PipelineTrace& trace : profile.pipelines()) {
     if (trace.stages.empty() && trace.breaker != nullptr) {
-      // A materializing step outside any pipeline (ORDER BY / LIMIT /
-      // NAIVE_MATCH).
+      // A materializing step outside any pipeline (NAIVE_MATCH).
       out += "BREAKER " + trace.breaker->Describe();
       AppendAnnotation(*trace.breaker, profile, &out);
       out += "\n";
@@ -126,11 +125,24 @@ std::string RenderAnalyzedPipelines(const plan::PhysicalOp& root,
       if (stage != nullptr) AppendAnnotation(*stage, profile, &out);
       out += "\n";
     }
+    if (trace.fused != nullptr) {
+      // The breaker fused below the sink's own plan node (ORDER BY under a
+      // TOP_K sink): rendered first, matching its position in the plan.
+      out += "  sink: " + trace.fused->Describe();
+      AppendAnnotation(*trace.fused, profile, &out);
+      out += "\n";
+    }
     if (trace.breaker != nullptr) {
       out += "  sink: " + trace.breaker->Describe();
       AppendAnnotation(*trace.breaker, profile, &out);
       out += "\n";
     }
+  }
+  if (profile.build_ms() > 0.0 || profile.sort_ms() > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "breakers: build=%.2f ms sort=%.2f ms\n",
+                  profile.build_ms(), profile.sort_ms());
+    out += buf;
   }
   out += RenderQErrorFooter(root, profile);
   return out;

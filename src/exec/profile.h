@@ -48,13 +48,15 @@ struct OperatorProfile {
 /// One executed pipeline of the morsel-driven engine, recorded so EXPLAIN
 /// ANALYZE can render the pipeline-shaped (pipelines + breakers) form of
 /// the plan. `stages` run bottom-up: source first, then streaming
-/// operators. Breaker-only steps (ORDER BY / LIMIT / NAIVE_MATCH, which
-/// materialize outside any pipeline) appear as a trace with no stages and
-/// `breaker` set.
+/// operators. Breaker-only steps (NAIVE_MATCH, which materializes outside
+/// any pipeline) appear as a trace with no stages and `breaker` set.
 struct PipelineTrace {
   std::vector<const plan::PhysicalOp*> stages;  ///< source + streaming ops
   const plan::PhysicalOp* breaker = nullptr;    ///< sink/breaker plan node
-  std::string sink;                             ///< sink label, e.g. "MATERIALIZE"
+  /// Second plan node fused into the same sink, rendered before `breaker`
+  /// (the ORDER BY under a TOP_K sink's LIMIT); null otherwise.
+  const plan::PhysicalOp* fused = nullptr;
+  std::string sink;  ///< sink label, e.g. "MATERIALIZE"
   uint64_t morsels = 0;
   int threads = 1;
   double wall_ms = 0.0;  ///< pipeline wall time (prepare -> sink finish)
@@ -80,12 +82,26 @@ class QueryProfile {
     pipelines_.push_back(std::move(trace));
   }
 
+  /// Serial-section accounting of the pipeline engine's breakers: wall time
+  /// spent constructing shared JoinHashTables (after the parallel partition
+  /// phase this is the parallel finalize, measured end-to-end) and wall
+  /// time spent in sort/top-k sink finish (run sorting + merge). Recorded
+  /// by the breaker sinks; BENCH_pipeline.json carries the totals as
+  /// build_ms / sort_ms so the perf trajectory tracks how much of a query
+  /// the breakers still serialize.
+  void AddBuildMs(double ms) { build_ms_ += ms; }
+  void AddSortMs(double ms) { sort_ms_ += ms; }
+  double build_ms() const { return build_ms_; }
+  double sort_ms() const { return sort_ms_; }
+
   const std::vector<PipelineTrace>& pipelines() const { return pipelines_; }
   size_t num_profiled_ops() const { return ops_.size(); }
 
  private:
   std::unordered_map<const plan::PhysicalOp*, OperatorProfile> ops_;
   std::vector<PipelineTrace> pipelines_;
+  double build_ms_ = 0.0;
+  double sort_ms_ = 0.0;
 };
 
 /// Q-error of one estimate against the measured cardinality (Sec 5 style

@@ -660,7 +660,8 @@ Status RelationalOptimizer::FlattenPattern(
   std::vector<int> vertex_node(p.num_vertices(), -1);
 
   for (int v = 0; v < p.num_vertices(); ++v) {
-    const graph::VertexMapping& vm = mapping_->vertex_mapping(p.vertex(v).label);
+    const graph::VertexMapping& vm =
+        mapping_->vertex_mapping(p.vertex(v).label);
     RelNode node;
     node.kind = RelNode::Kind::kTableScan;
     node.alias = p.VertexVarName(v);
@@ -736,8 +737,10 @@ Status RelationalOptimizer::FlattenPattern(
 
   // Distinct pairs become key inequalities over the flattened relations.
   for (const auto& [a, b] : p.distinct_pairs()) {
-    const graph::VertexMapping& vma = mapping_->vertex_mapping(p.vertex(a).label);
-    const graph::VertexMapping& vmb = mapping_->vertex_mapping(p.vertex(b).label);
+    const graph::VertexMapping& vma =
+        mapping_->vertex_mapping(p.vertex(a).label);
+    const graph::VertexMapping& vmb =
+        mapping_->vertex_mapping(p.vertex(b).label);
     conjuncts->push_back(Expr::Compare(
         storage::CompareOp::kNe,
         Expr::Column(p.VertexVarName(a) + "." + vma.key_column),
@@ -862,7 +865,9 @@ Result<PhysicalOpPtr> RelationalOptimizer::PlanAgnostic(
     a.input_column = ApplyRename(a.input_column, renames);
   }
   for (auto& k : rewritten.order_by) k.column = ApplyRename(k.column, renames);
-  for (auto& j : rewritten.joins) j.left_column = ApplyRename(j.left_column, renames);
+  for (auto& j : rewritten.joins) {
+    j.left_column = ApplyRename(j.left_column, renames);
+  }
 
   RELGO_RETURN_NOT_OK(
       AppendRelationalJoins(rewritten, mapping_, &nodes, &edges));

@@ -209,7 +209,8 @@ bool Expr::EvaluateBool(const Table& table, uint64_t row) const {
   return !v.is_null() && v.type() == LogicalType::kBool && v.bool_value();
 }
 
-bool Expr::EvaluateBool(const class Column* const* columns, uint64_t row) const {
+bool Expr::EvaluateBool(const class Column* const* columns,
+                        uint64_t row) const {
   Value v = Evaluate(columns, row);
   return !v.is_null() && v.type() == LogicalType::kBool && v.bool_value();
 }

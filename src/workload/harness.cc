@@ -42,6 +42,8 @@ RunMeasurement Harness::Run(const WorkloadQuery& wq,
     m.qerror_geomean = q.geomean;
     m.qerror_max = q.max_q;
     m.qerror_ops = q.ops;
+    m.build_ms = warm->profile.build_ms();
+    m.sort_ms = warm->profile.sort_ms();
   }
   // Timed repetitions; a failure on any run is terminal.
   for (int rep = 0; rep < repetitions_; ++rep) {

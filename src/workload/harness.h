@@ -28,6 +28,12 @@ struct RunMeasurement {
   double qerror_max = 0.0;
   int qerror_ops = 0;
 
+  /// Breaker serial-section accounting from the profiled warm-up (pipeline
+  /// engine only; 0 on the materializing engine): wall time of hash-join
+  /// hash-table construction and of sort/top-k sink finish.
+  double build_ms = 0.0;
+  double sort_ms = 0.0;
+
   double TotalMs() const { return optimization_ms + execution_ms; }
   /// "OT" / "OOM" / formatted milliseconds.
   std::string StatusOrMs(bool end_to_end) const;

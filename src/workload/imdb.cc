@@ -44,7 +44,8 @@ const char* kGenres[] = {"Drama",  "Comedy",   "Action",      "Horror",
 // The first keywords are the named ones JOB predicates use.
 const char* kNamedKeywords[] = {"character-name-in-title", "sequel",
                                 "superhero",               "blood",
-                                "violence",                "marvel-cinematic-universe"};
+                                "violence",
+                                "marvel-cinematic-universe"};
 
 int64_t ArrayLen(const char* const* arr, size_t bytes) {
   (void)arr;
@@ -68,7 +69,7 @@ Status GenerateImdb(Database* db, const ImdbOptions& options) {
   Permutation pi_name_perm(options.names(), options.seed + 8);
   Permutation ml_title_perm(options.titles(), options.seed + 9);
 
-  // ---- Dimension tables ------------------------------------------------------
+  // ---- Dimension tables ----------------------------------------------------
   auto make_enum_table = [&](const char* name, const char* col,
                              const char* const* values,
                              int64_t n) -> Status {
@@ -129,7 +130,7 @@ Status GenerateImdb(Database* db, const ImdbOptions& options) {
         {Value::Int(i), Value::String("char_" + std::to_string(i))}));
   }
 
-  // ---- Entity tables ---------------------------------------------------------
+  // ---- Entity tables -------------------------------------------------------
   RELGO_ASSIGN_OR_RETURN(
       auto title,
       db->CreateTable("title",
@@ -163,7 +164,7 @@ Status GenerateImdb(Database* db, const ImdbOptions& options) {
          Value::String(rng.Chance(0.45) ? "f" : "m")}));
   }
 
-  // ---- Link tables (vertices that carry FK edges) ----------------------------
+  // ---- Link tables (vertices that carry FK edges) --------------------------
   RELGO_ASSIGN_OR_RETURN(
       auto cast_info,
       db->CreateTable("cast_info",
@@ -304,7 +305,7 @@ Status GenerateImdb(Database* db, const ImdbOptions& options) {
          Value::Int(rng.Zipf(ARRAY_LEN(kLinkTypes), 1.0))}));
   }
 
-  // ---- RGMapping: every table is a vertex; FKs are identity edges. -----------
+  // ---- RGMapping: every table is a vertex; FKs are identity edges. ---------
   for (const char* t :
        {"kind_type", "info_type", "company_type", "role_type", "link_type",
         "keyword", "company_name", "char_name", "title", "name", "cast_info",

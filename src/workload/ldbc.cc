@@ -297,7 +297,7 @@ Status GenerateLdbc(Database* db, const LdbcOptions& options) {
          Value::Int(rng.Uniform(1990, 2013))}));
   }
 
-  // ---- RGMapping -------------------------------------------------------------
+  // ---- RGMapping -----------------------------------------------------------
   RELGO_RETURN_NOT_OK(db->AddVertexTable("Person", "id"));
   RELGO_RETURN_NOT_OK(db->AddVertexTable("Place", "id"));
   RELGO_RETURN_NOT_OK(db->AddVertexTable("Tag", "id"));

@@ -1,0 +1,320 @@
+// Tests of the parallel breakers: the in-pipeline TopKSink (ORDER BY /
+// LIMIT / top-k replacing the materializing post-op path) and the
+// partition-parallel JoinHashTable build. The materializing executor is
+// the oracle throughout; parity is asserted on EXACT row order (not just
+// bags), across 1/2/4 threads, because the morsel-ordered tie-break is
+// part of the engine contract.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/join_hash_table.h"
+#include "exec/pipeline/engine.h"
+#include "fixtures.h"
+
+namespace relgo {
+namespace {
+
+using exec::ExecutionContext;
+using exec::ExecutionOptions;
+using exec::Executor;
+using exec::JoinHashTable;
+using storage::ColumnDef;
+using storage::Expr;
+using storage::Schema;
+
+/// Rows of `t` rendered in table order (order-sensitive, unlike
+/// testing::SortedRows).
+std::vector<std::string> RowsInOrder(const storage::Table& t) {
+  std::vector<std::string> rows;
+  for (uint64_t r = 0; r < t.num_rows(); ++r) {
+    std::string row;
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      if (c) row += "|";
+      row += t.GetValue(r, c).ToString();
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// A database whose "Item" table spans several morsels (kBatchRows = 2048)
+/// with heavily duplicated sort keys, so the parallel breakers actually
+/// fan out and tie-breaking is exercised at every chunk boundary.
+class BreakerTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kItems = 6000;
+
+  void SetUp() override {
+    auto item = db_.CreateTable(
+        "Item", Schema({ColumnDef{"id", LogicalType::kInt64},
+                        ColumnDef{"grp", LogicalType::kInt64},
+                        ColumnDef{"val", LogicalType::kInt64}}));
+    ASSERT_TRUE(item.ok());
+    auto grp_info = db_.CreateTable(
+        "GrpInfo", Schema({ColumnDef{"gid", LogicalType::kInt64},
+                           ColumnDef{"weight", LogicalType::kInt64}}));
+    ASSERT_TRUE(grp_info.ok());
+    for (int64_t i = 0; i < kItems; ++i) {
+      // grp has only 7 distinct values (massive duplication); val has 97.
+      ASSERT_TRUE((*item)
+                      ->AppendRow({Value::Int(i), Value::Int(i % 7),
+                                   Value::Int((i * 131) % 97)})
+                      .ok());
+    }
+    // GrpInfo holds duplicate join keys too: three rows per gid.
+    for (int64_t g = 0; g < 7; ++g) {
+      for (int64_t dup = 0; dup < 3; ++dup) {
+        ASSERT_TRUE(
+            (*grp_info)
+                ->AppendRow({Value::Int(g), Value::Int(g * 10 + dup)})
+                .ok());
+      }
+    }
+  }
+
+  /// Oracle run + pipeline runs at 1/2/4 threads, asserting exact row
+  /// order equality (and optionally row-budget charge parity).
+  void ExpectExactParity(const plan::PhysicalOp& op,
+                         bool check_charges = true) {
+    ExecutionContext oracle_ctx(&db_.catalog(), &db_.mapping(), &db_.index());
+    auto oracle = Executor::Run(op, &oracle_ctx);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    for (int threads : {1, 2, 4}) {
+      ExecutionOptions options;
+      options.engine = exec::EngineKind::kPipeline;
+      options.num_threads = threads;
+      ExecutionContext ctx(&db_.catalog(), &db_.mapping(), &db_.index(),
+                           options);
+      auto piped = exec::pipeline::Run(op, &ctx);
+      ASSERT_TRUE(piped.ok())
+          << "threads=" << threads << ": " << piped.status().ToString();
+      EXPECT_EQ(RowsInOrder(**piped), RowsInOrder(**oracle))
+          << "threads=" << threads;
+      if (check_charges) {
+        EXPECT_EQ(ctx.rows_produced(), oracle_ctx.rows_produced())
+            << "row-budget charging diverged at threads=" << threads;
+      }
+    }
+  }
+
+  static std::unique_ptr<plan::PhysScanTable> ScanItems() {
+    auto scan = std::make_unique<plan::PhysScanTable>();
+    scan->table = "Item";
+    scan->alias = "i";
+    return scan;
+  }
+
+  static std::unique_ptr<plan::PhysOrderBy> OrderBy(
+      plan::PhysicalOpPtr child, std::vector<plan::SortKey> keys) {
+    auto order = std::make_unique<plan::PhysOrderBy>();
+    order->keys = std::move(keys);
+    order->children.push_back(std::move(child));
+    return order;
+  }
+
+  static std::unique_ptr<plan::PhysLimit> Limit(plan::PhysicalOpPtr child,
+                                                int64_t k) {
+    auto limit = std::make_unique<plan::PhysLimit>();
+    limit->limit = k;
+    limit->children.push_back(std::move(child));
+    return limit;
+  }
+
+  Database db_;
+};
+
+// ---------------------------------------------------------------------------
+// TopKSink
+// ---------------------------------------------------------------------------
+
+TEST_F(BreakerTest, OrderByWithoutLimitIsStableAcrossThreads) {
+  // 6000 rows, 7 distinct keys: the parallel-merge sort must reproduce the
+  // oracle's stable sort (ties resolved by original scan order) exactly.
+  auto plan = OrderBy(ScanItems(), {{"i.grp", true}});
+  ExpectExactParity(*plan);
+}
+
+TEST_F(BreakerTest, OrderByDescendingMultiKey) {
+  auto plan = OrderBy(ScanItems(), {{"i.grp", false}, {"i.val", true}});
+  ExpectExactParity(*plan);
+}
+
+TEST_F(BreakerTest, TopKWithDuplicateKeysMatchesStableSort) {
+  // The cut at k = 100 lands inside a run of duplicate grp values; the
+  // bounded per-worker heaps must keep exactly the rows the oracle's
+  // stable sort keeps.
+  auto plan = Limit(OrderBy(ScanItems(), {{"i.grp", true}}), 100);
+  ExpectExactParity(*plan);
+}
+
+TEST_F(BreakerTest, TopKDescendingWithValTies) {
+  auto plan =
+      Limit(OrderBy(ScanItems(), {{"i.val", false}, {"i.grp", true}}), 37);
+  ExpectExactParity(*plan);
+}
+
+TEST_F(BreakerTest, LimitLargerThanResultPassesEverythingThrough) {
+  auto filtered = ScanItems();
+  filtered->filter = Expr::Eq("id", Value::Int(17));
+  auto plan = Limit(OrderBy(std::move(filtered), {{"i.val", true}}),
+                    /*k=*/1000);
+  ExpectExactParity(*plan);
+}
+
+TEST_F(BreakerTest, PlainLimitLargerThanResult) {
+  auto plan = Limit(ScanItems(), kItems * 2);
+  ExpectExactParity(*plan);
+}
+
+TEST_F(BreakerTest, LimitZeroYieldsEmptyResult) {
+  // Plain LIMIT 0 early-exits before emitting a single morsel, so its
+  // row-budget charges are legitimately lower than the oracle's full scan.
+  ExpectExactParity(*Limit(ScanItems(), 0), /*check_charges=*/false);
+  ExpectExactParity(*Limit(OrderBy(ScanItems(), {{"i.grp", true}}), 0));
+}
+
+TEST_F(BreakerTest, PlainLimitTakesFirstKInScanOrder) {
+  // The early-exit path (profiling off) must still return exactly the
+  // first k rows of the sequential scan order; row-budget charges may
+  // legitimately differ (skipped morsels), so they are not compared.
+  auto plan = Limit(ScanItems(), 100);
+  ExpectExactParity(*plan, /*check_charges=*/false);
+}
+
+TEST_F(BreakerTest, TopKOverEmptyInput) {
+  auto filtered = ScanItems();
+  filtered->filter = Expr::Eq("id", Value::Int(-1));
+  auto plan = Limit(OrderBy(std::move(filtered), {{"i.grp", true}}), 5);
+  ExpectExactParity(*plan);
+}
+
+// ---------------------------------------------------------------------------
+// Partition-parallel hash-join build
+// ---------------------------------------------------------------------------
+
+TEST_F(BreakerTest, TwoPhaseBuildMatchesSerialBuild) {
+  auto table = *db_.catalog().GetTable("Item");
+  std::vector<std::string> keys = {"grp"};
+
+  JoinHashTable serial;
+  ASSERT_TRUE(serial.Build(*table, keys).ok());
+
+  // Simulate three workers claiming interleaved morsel-sized ranges (each
+  // worker's ranges increasing, like the scheduler guarantees).
+  JoinHashTable parallel;
+  ASSERT_TRUE(parallel.BeginBuild(*table, keys).ok());
+  std::vector<JoinHashTable::BuildPartial> partials(3);
+  constexpr uint64_t kMorsel = 512;
+  uint64_t n = table->num_rows();
+  for (uint64_t begin = 0, m = 0; begin < n; begin += kMorsel, ++m) {
+    parallel.PartitionRows(begin, std::min(kMorsel, n - begin),
+                           &partials[m % 3]);
+  }
+  for (size_t p = 0; p < JoinHashTable::kNumPartitions; ++p) {
+    parallel.FinalizePartition(p, &partials);
+  }
+
+  // Every key must probe to the identical match vector — same rows, same
+  // order (bucket order is part of the engine-parity contract).
+  auto probe_keys = *db_.catalog().GetTable("GrpInfo");
+  std::vector<size_t> probe_cols = {0};  // gid
+  for (uint64_t r = 0; r < probe_keys->num_rows(); ++r) {
+    std::vector<uint64_t> expect, actual;
+    serial.Probe(*probe_keys, probe_cols, r, &expect);
+    parallel.Probe(*probe_keys, probe_cols, r, &actual);
+    EXPECT_EQ(actual, expect) << "probe row " << r;
+    EXPECT_FALSE(expect.empty());  // every gid exists in Item.grp
+  }
+}
+
+TEST_F(BreakerTest, ParallelBuildJoinExactParity) {
+  // Multi-morsel probe side (6000 rows) against a duplicated-key build
+  // side: output must match the oracle row-for-row, including the order of
+  // duplicate build matches per probe row.
+  auto make_plan = [this]() {
+    auto build = std::make_unique<plan::PhysScanTable>();
+    build->table = "GrpInfo";
+    build->alias = "g";
+    auto join = std::make_unique<plan::PhysHashJoin>();
+    join->left_keys = {"i.grp"};
+    join->right_keys = {"g.gid"};
+    join->children.push_back(ScanItems());
+    join->children.push_back(std::move(build));
+    return join;
+  };
+  ExpectExactParity(*make_plan());
+}
+
+TEST_F(BreakerTest, EmptyBuildSideYieldsEmptyJoin) {
+  auto build = std::make_unique<plan::PhysScanTable>();
+  build->table = "GrpInfo";
+  build->alias = "g";
+  build->filter = Expr::Eq("gid", Value::Int(-42));  // matches nothing
+  auto join = std::make_unique<plan::PhysHashJoin>();
+  join->left_keys = {"i.grp"};
+  join->right_keys = {"g.gid"};
+  join->children.push_back(ScanItems());
+  join->children.push_back(std::move(build));
+  ExpectExactParity(*join);
+}
+
+TEST_F(BreakerTest, TopKAboveParallelBuildJoin) {
+  // The full tentpole in one plan: parallel build below, top-k sink above.
+  auto build = std::make_unique<plan::PhysScanTable>();
+  build->table = "GrpInfo";
+  build->alias = "g";
+  auto join = std::make_unique<plan::PhysHashJoin>();
+  join->left_keys = {"i.grp"};
+  join->right_keys = {"g.gid"};
+  join->children.push_back(ScanItems());
+  join->children.push_back(std::move(build));
+  auto plan = Limit(
+      OrderBy(std::move(join), {{"g.weight", false}, {"i.id", true}}), 25);
+  ExpectExactParity(*plan);
+}
+
+TEST_F(BreakerTest, ProfiledTopKRecordsSortAndBuildTimes) {
+  // The breaker satellites: QueryProfile must carry sort/build wall time
+  // and both fused nodes' actual row counts.
+  auto build = std::make_unique<plan::PhysScanTable>();
+  build->table = "GrpInfo";
+  build->alias = "g";
+  auto join = std::make_unique<plan::PhysHashJoin>();
+  join->left_keys = {"i.grp"};
+  join->right_keys = {"g.gid"};
+  join->children.push_back(ScanItems());
+  join->children.push_back(std::move(build));
+  const plan::PhysicalOp* join_node = join.get();
+  auto order = OrderBy(std::move(join), {{"i.id", false}});
+  const plan::PhysicalOp* order_node = order.get();
+  auto plan = Limit(std::move(order), 10);
+
+  ExecutionOptions options;
+  options.engine = exec::EngineKind::kPipeline;
+  options.num_threads = 4;
+  ExecutionContext ctx(&db_.catalog(), &db_.mapping(), &db_.index(), options);
+  exec::QueryProfile profile;
+  ctx.EnableProfiling(&profile);
+  auto result = exec::pipeline::Run(*plan, &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ((*result)->num_rows(), 10u);
+
+  EXPECT_GT(profile.build_ms(), 0.0);
+  EXPECT_GT(profile.sort_ms(), 0.0);
+  const exec::OperatorProfile* order_prof = profile.Find(order_node);
+  ASSERT_NE(order_prof, nullptr);
+  EXPECT_EQ(order_prof->rows_out, kItems * 3u);  // 3 GrpInfo rows per item
+  const exec::OperatorProfile* limit_prof = profile.Find(plan.get());
+  ASSERT_NE(limit_prof, nullptr);
+  EXPECT_EQ(limit_prof->rows_out, 10u);
+  const exec::OperatorProfile* join_prof = profile.Find(join_node);
+  ASSERT_NE(join_prof, nullptr);
+  EXPECT_EQ(join_prof->rows_out, kItems * 3u);
+}
+
+}  // namespace
+}  // namespace relgo

@@ -44,8 +44,8 @@ plan::SpjmQuery Unordered(const plan::SpjmQuery& q) {
 
 /// Sorted multiset of the ORDER BY key tuples of `table`: invariant across
 /// engines even when ties make the selected top-k rows differ.
-std::vector<std::string> SortedOrderKeys(const storage::Table& table,
-                                         const std::vector<plan::SortKey>& keys) {
+std::vector<std::string> SortedOrderKeys(
+    const storage::Table& table, const std::vector<plan::SortKey>& keys) {
   std::vector<std::string> out;
   std::vector<int> cols;
   for (const auto& k : keys) {

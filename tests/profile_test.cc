@@ -44,7 +44,8 @@ void CollectNodes(const plan::PhysicalOp& op,
 }
 
 /// Strips the volatile parts of an EXPLAIN ANALYZE rendering (timings,
-/// thread counts, the q-error footer), leaving the structural shape.
+/// thread counts, the breaker-time and q-error footers), leaving the
+/// structural shape.
 std::string ShapeOf(const std::string& rendered) {
   std::string out;
   for (size_t i = 0; i < rendered.size();) {
@@ -57,7 +58,8 @@ std::string ShapeOf(const std::string& rendered) {
       size_t close = rendered.find(')', i);
       if (close == std::string::npos) break;
       i = close + 1;
-    } else if (rendered.compare(i, 8, "q-error:") == 0) {
+    } else if (rendered.compare(i, 8, "q-error:") == 0 ||
+               rendered.compare(i, 9, "breakers:") == 0) {
       size_t nl = rendered.find('\n', i);
       if (nl == std::string::npos) break;
       i = nl + 1;
@@ -187,14 +189,24 @@ TEST_F(Figure2ProfileTest, PipelineShapeIsStableAcrossRunsAndThreads) {
   EXPECT_EQ(ShapeOf(*one), ShapeOf(*four));
 }
 
-TEST_F(Figure2ProfileTest, BreakersAppearInPipelineShape) {
+TEST_F(Figure2ProfileTest, TopKSinkReplacesPostOpBreakers) {
+  // ORDER BY + LIMIT no longer materialize outside the pipelines: they run
+  // as a fused TOP_K sink whose two plan nodes render as sink lines, and
+  // the sort time lands in the breaker-time footer.
   auto analyzed = db_.ExplainAnalyze(PostOpQuery(), OptimizerMode::kRelGo,
                                      PipelineOptions(2));
   ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
   EXPECT_NE(analyzed->find("HASH_AGGREGATE"), std::string::npos) << *analyzed;
-  EXPECT_NE(analyzed->find("BREAKER ORDER_BY"), std::string::npos)
+  EXPECT_NE(analyzed->find("-> TOP_K"), std::string::npos) << *analyzed;
+  EXPECT_NE(analyzed->find("sink: ORDER_BY"), std::string::npos) << *analyzed;
+  EXPECT_NE(analyzed->find("sink: LIMIT"), std::string::npos) << *analyzed;
+  EXPECT_NE(analyzed->find("breakers: build="), std::string::npos)
       << *analyzed;
-  EXPECT_NE(analyzed->find("BREAKER LIMIT"), std::string::npos) << *analyzed;
+  EXPECT_NE(analyzed->find("sort="), std::string::npos) << *analyzed;
+  // No materializing post-op path remains.
+  EXPECT_EQ(analyzed->find("BREAKER ORDER_BY"), std::string::npos)
+      << *analyzed;
+  EXPECT_EQ(analyzed->find("BREAKER LIMIT"), std::string::npos) << *analyzed;
 }
 
 TEST_F(Figure2ProfileTest, EnginesAgreePerNodeOnFigure2) {
