@@ -88,6 +88,14 @@ struct BenchRecord {
   /// query the breakers still serialize across PRs.
   double build_ms = 0.0;
   double sort_ms = 0.0;
+  /// Adaptive-statistics loop (Harness::RunAdaptive records): Q-error
+  /// geomean / worst-operator Q-error after `feedback_rounds` warm-up ->
+  /// feedback -> re-plan rounds; all 0 on non-adaptive records. Compare
+  /// qerror_after against qerror (always the first run) to read the
+  /// feedback gain.
+  double qerror_after = 0.0;
+  double qerror_max_after = 0.0;
+  int feedback_rounds = 0;
 };
 
 /// Process-wide collector; call Write() once at the end of main(). Every
@@ -126,6 +134,9 @@ class BenchJson {
       rec.qerror_max = r.qerror_max;
       rec.build_ms = r.build_ms;
       rec.sort_ms = r.sort_ms;
+      rec.qerror_after = r.qerror_geomean_after;
+      rec.qerror_max_after = r.qerror_max_after;
+      rec.feedback_rounds = r.feedback_rounds;
       Add(std::move(rec));
     }
   }
@@ -180,12 +191,14 @@ class BenchJson {
           "\"engine\": \"%s\", \"threads\": %d, \"optimization_ms\": %.3f, "
           "\"execution_ms\": %.3f, \"rows\": %llu, \"status\": \"%s\", "
           "\"qerror\": %.3f, \"qerror_max\": %.3f, \"build_ms\": %.3f, "
-          "\"sort_ms\": %.3f}%s\n",
+          "\"sort_ms\": %.3f, \"qerror_after\": %.3f, "
+          "\"qerror_max_after\": %.3f, \"feedback_rounds\": %d}%s\n",
           static_cast<long long>(run_ts_), r.bench.c_str(),
           r.workload.c_str(), r.scale, r.query.c_str(), r.mode.c_str(),
           r.engine.c_str(), r.threads, r.optimization_ms, r.execution_ms,
           static_cast<unsigned long long>(r.rows), r.status.c_str(),
-          r.qerror, r.qerror_max, r.build_ms, r.sort_ms,
+          r.qerror, r.qerror_max, r.build_ms, r.sort_ms, r.qerror_after,
+          r.qerror_max_after, r.feedback_rounds,
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate (CI `docs` job).
+
+Checks, over the repo's tracked markdown set:
+  1. every intra-repo markdown link resolves to an existing file/dir;
+  2. README.md quotes the ROADMAP tier-1 verify command verbatim, so the
+     quickstart can never drift from the line the driver actually runs.
+
+Stdlib only; run from anywhere inside the repo.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The markdown surface we guarantee: top-level docs plus docs/.
+DOC_FILES = [
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "PAPER.md",
+    "PAPERS.md",
+    "SNIPPETS.md",
+] + [
+    os.path.join("docs", name)
+    for name in sorted(os.listdir(os.path.join(REPO, "docs")))
+    if name.endswith(".md")
+]
+
+# Inline markdown links [text](target); images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Fenced code blocks are not link surface (sample snippets may contain
+# bracket/paren sequences that only look like links).
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def check_links():
+    errors = []
+    for rel in DOC_FILES:
+        path = os.path.join(REPO, rel)
+        if not os.path.exists(path):
+            continue  # optional docs (e.g. CHANGES.md on a fresh clone)
+        with open(path, encoding="utf-8") as f:
+            text = FENCE_RE.sub("", f.read())
+        for target in LINK_RE.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            if target.startswith("#"):  # intra-document anchor
+                continue
+            target_path = target.split("#", 1)[0]
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target_path))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def check_readme_matches_roadmap():
+    """README's quickstart must contain the tier-1 verify line verbatim."""
+    with open(os.path.join(REPO, "ROADMAP.md"), encoding="utf-8") as f:
+        roadmap = f.read()
+    m = re.search(r"\*\*Tier-1 verify:\*\*\s*`([^`]+)`", roadmap)
+    if not m:
+        return ["ROADMAP.md: no '**Tier-1 verify:** `...`' line found"]
+    verify_line = m.group(1).strip()
+    with open(os.path.join(REPO, "README.md"), encoding="utf-8") as f:
+        readme = f.read()
+    if verify_line not in readme:
+        return [
+            "README.md: build/test quickstart does not contain the ROADMAP "
+            f"tier-1 verify line verbatim:\n  {verify_line}"
+        ]
+    return []
+
+
+def main():
+    errors = check_links() + check_readme_matches_roadmap()
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"docs check OK ({len(DOC_FILES)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

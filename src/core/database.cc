@@ -11,8 +11,10 @@ Status Database::Finalize(optimizer::GlogueOptions glogue_options) {
   RELGO_RETURN_NOT_OK(graph_stats_.Build(catalog_, mapping_, index_));
   RELGO_RETURN_NOT_OK(glogue_.Build(catalog_, mapping_, index_, graph_stats_,
                                     glogue_options));
+  table_stats_.SetFeedback(&feedback_);
   optimizer_ = std::make_unique<optimizer::QueryOptimizer>(
-      &catalog_, &mapping_, &graph_stats_, &glogue_, &table_stats_);
+      &catalog_, &mapping_, &graph_stats_, &glogue_, &table_stats_,
+      &feedback_);
   finalized_ = true;
   return Status::OK();
 }
@@ -70,6 +72,16 @@ Result<ProfiledRunResult> Database::RunProfiled(
                            exec::Executor::Run(*result.plan, &ctx));
   }
   result.execution_ms = timer.ElapsedMillis();
+  if (options.adaptive_stats) {
+    // The adaptive loop: hand the profile's per-operator actuals back to
+    // the statistics sink, then migrate structural (predicate-free)
+    // pattern corrections into the GLogue catalog itself. The next
+    // Optimize over this or an overlapping query consults the refined
+    // statistics and may pick a different, better join order.
+    result.feedback_observations =
+        feedback_.Absorb(*result.plan, result.profile);
+    feedback_.PushIntoGlogue(&glogue_);
+  }
   return result;
 }
 

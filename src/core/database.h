@@ -28,6 +28,9 @@ struct ProfiledRunResult {
   exec::QueryProfile profile;
   double optimization_ms = 0.0;
   double execution_ms = 0.0;
+  /// Estimate-vs-actual observations absorbed into the adaptive
+  /// statistics sink (0 unless ExecutionOptions::adaptive_stats).
+  int feedback_observations = 0;
 };
 
 /// The top-level handle of the RelGo library: owns the relational catalog,
@@ -80,6 +83,21 @@ class Database {
   const graph::GraphStats& graph_stats() const { return graph_stats_; }
   const optimizer::Glogue& glogue() const { return glogue_; }
   const optimizer::TableStats& table_stats() const { return table_stats_; }
+
+  /// The adaptive-statistics sink (ROADMAP "Adaptive feedback"). Empty
+  /// until a profiled run executes with ExecutionOptions::adaptive_stats;
+  /// corrections persist across queries so overlapping workloads re-plan
+  /// with refined statistics.
+  const optimizer::StatsFeedback& stats_feedback() const { return feedback_; }
+
+  /// Drops all pending keyed corrections (GLogue counts already refined
+  /// via the structural push-down keep their — execution-measured, hence
+  /// more accurate — values). Used to isolate per-query feedback
+  /// experiments: Harness::RunAdaptiveGrid resets between cells so each
+  /// record's "first run" measures a cold-corrections baseline. `const`
+  /// for the same reason the sink is mutable: corrections are estimator
+  /// cache state, not database content.
+  void ResetAdaptiveStats() const { feedback_.Clear(); }
 
   /// Validates the mapping, builds the graph index (EV + VE), low-order
   /// statistics, and GLogue. Call after all data is loaded.
@@ -135,8 +153,16 @@ class Database {
   graph::RgMapping mapping_;
   graph::GraphIndex index_;
   graph::GraphStats graph_stats_;
-  optimizer::Glogue glogue_;
+  /// `mutable`: adaptive-statistics feedback refines estimator state (the
+  /// GLogue counts and the correction sink below) from inside the
+  /// logically-const RunProfiled — statistics caches, not database
+  /// content, following the TableStats::distinct_cache_ precedent.
+  /// Concurrency caveat: GLogue refinement is unsynchronized, so
+  /// adaptive profiled runs must not race other queries on this
+  /// Database (see StatsFeedback's thread-safety note).
+  mutable optimizer::Glogue glogue_;
   optimizer::TableStats table_stats_;
+  mutable optimizer::StatsFeedback feedback_;
   std::unique_ptr<optimizer::QueryOptimizer> optimizer_;
   bool finalized_ = false;
 };

@@ -53,6 +53,15 @@ struct ExecutionOptions {
   /// 1 = single-threaded deterministic mode (used by tests). Ignored by the
   /// materializing engine.
   int num_threads = 0;
+  /// Opt-in adaptive statistics (ROADMAP "Adaptive feedback"): after a
+  /// profiled run (Database::RunProfiled / ExplainAnalyze), per-operator
+  /// actual cardinalities are fed back into the optimizer's statistics
+  /// (GLogue pattern counts, TableStats scan selectivities, join-output
+  /// corrections) via bounded exponential smoothing, and persist on the
+  /// Database across queries. Off by default: with the flag off nothing
+  /// is absorbed and — on a database that never absorbed feedback — all
+  /// plans and estimates are bit-identical to the non-adaptive build.
+  bool adaptive_stats = false;
 };
 
 /// Resolves ExecutionOptions::num_threads to a concrete worker count.

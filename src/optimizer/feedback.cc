@@ -1,0 +1,187 @@
+#include "optimizer/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/profile.h"
+#include "optimizer/glogue.h"
+#include "pattern/pattern_graph.h"
+#include "plan/physical_plan.h"
+
+namespace relgo {
+namespace optimizer {
+
+double StatsFeedback::Factor(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = corrections_.find(key);
+  if (it == corrections_.end() || it->second.log_factor == 0.0) return 1.0;
+  return std::exp(it->second.log_factor);
+}
+
+bool StatsFeedback::Observe(const std::string& key, double estimated,
+                            double actual) {
+  if (estimated <= 0.0 || key.empty()) return false;
+  // Q-error clamps both sides to >= 1 row; mirror that here so an empty
+  // actual against a fractional estimate doesn't register as a huge error.
+  double ratio = std::max(actual, 1.0) / std::max(estimated, 1.0);
+  double bound = std::max(options_.max_correction, 1.0);
+  ratio = std::min(std::max(ratio, 1.0 / bound), bound);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Correction& c = corrections_[key];
+  // The estimate being observed already includes the current factor, so
+  // `ratio` is the *residual* error: smooth the factor additively in log
+  // space (f -> f * ratio^smoothing). The residual then shrinks by
+  // (1 - smoothing) per warm-up -> feedback -> re-plan round — a plain
+  // EMA toward the per-observation ratio would instead stall at half the
+  // needed correction. The hard cap keeps the factor inside
+  // [1/max_correction, max_correction] no matter how many rounds run.
+  double cap = std::log(bound);
+  c.log_factor += options_.smoothing * std::log(ratio);
+  c.log_factor = std::min(std::max(c.log_factor, -cap), cap);
+  ++c.observations;
+  num_corrections_.store(corrections_.size(), std::memory_order_release);
+  return true;
+}
+
+int StatsFeedback::Absorb(const plan::PhysicalOp& root,
+                          const exec::QueryProfile& profile) {
+  int absorbed = 0;
+  for (const exec::EstimateObservation& obs :
+       exec::CollectObservations(root, profile)) {
+    if (Observe(obs.op->feedback_key, obs.estimated,
+                static_cast<double>(obs.actual))) {
+      ++absorbed;
+    }
+  }
+  return absorbed;
+}
+
+int StatsFeedback::PushIntoGlogue(Glogue* glogue) {
+  if (glogue == nullptr || !glogue->built()) return 0;
+  int refined = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, correction] : corrections_) {
+    if (correction.log_factor == 0.0) continue;
+    // Structural pattern keys are "pat|<code>|" — the canonical code
+    // contains no '|' and the constraint signature is empty.
+    if (key.compare(0, 4, "pat|") != 0 || key.back() != '|') continue;
+    std::string code = key.substr(4, key.size() - 5);
+    if (glogue->RefineCode(code, std::exp(correction.log_factor))) {
+      // The refinement now lives in the catalog; keep the observation
+      // count but reset the local factor so it is not applied twice.
+      correction.log_factor = 0.0;
+      ++refined;
+    }
+  }
+  return refined;
+}
+
+size_t StatsFeedback::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corrections_.size();
+}
+
+void StatsFeedback::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  corrections_.clear();
+  num_corrections_.store(0, std::memory_order_release);
+}
+
+std::vector<StatsFeedback::Entry> StatsFeedback::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(corrections_.size());
+  for (const auto& [key, c] : corrections_) {
+    out.push_back({key, std::exp(c.log_factor), c.observations});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  return out;
+}
+
+std::string ConstraintSignature(const pattern::PatternGraph& induced) {
+  // Constraints are rendered per *position* (plus label): two
+  // same-labeled vertices with swapped predicates must not collide onto
+  // one key — a correction learned for a filtered end-vertex would
+  // contaminate the filtered-middle variant. The price is that
+  // constraint-bearing keys are only shared between identically
+  // constructed patterns (workload queries are, every run); purely
+  // structural keys stay renaming-invariant and GLogue-pushable.
+  std::vector<std::string> parts;
+  for (int v = 0; v < induced.num_vertices(); ++v) {
+    const auto& pv = induced.vertex(v);
+    if (pv.predicate) {
+      parts.push_back("v" + std::to_string(v) + "L" +
+                      std::to_string(pv.label) + ":" +
+                      pv.predicate->ToString());
+    }
+  }
+  for (int e = 0; e < induced.num_edges(); ++e) {
+    const auto& pe = induced.edge(e);
+    if (pe.predicate) {
+      parts.push_back("e" + std::to_string(e) + "L" +
+                      std::to_string(pe.label) + ":" +
+                      pe.predicate->ToString());
+    }
+  }
+  for (const auto& [a, b] : induced.distinct_pairs()) {
+    parts.push_back("ne" + std::to_string(std::min(a, b)) + "," +
+                    std::to_string(std::max(a, b)));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string sig;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) sig += "&";
+    sig += parts[i];
+  }
+  return sig;
+}
+
+namespace {
+
+/// Linear-time positional rendering of a typed pattern: vertex labels in
+/// position order plus edge triples in index order. Deterministic for a
+/// given construction order (workload queries are rebuilt identically
+/// every run) but NOT renaming-invariant — used for patterns too large
+/// for the factorial canonical code.
+std::string PositionalCode(const pattern::PatternGraph& p) {
+  std::string code;
+  for (int v = 0; v < p.num_vertices(); ++v) {
+    code += "v" + std::to_string(p.vertex(v).label) + ";";
+  }
+  for (int e = 0; e < p.num_edges(); ++e) {
+    const auto& pe = p.edge(e);
+    code += std::to_string(pe.src) + ">" + std::to_string(pe.dst) + ":" +
+            std::to_string(pe.label) + ";";
+  }
+  return code;
+}
+
+}  // namespace
+
+std::string PatternFeedbackKey(const pattern::PatternGraph& induced) {
+  // Structural GLogue-sized patterns use the renaming-invariant
+  // canonical code (its O(n!) cost is trivial at n <= 3, and
+  // PushIntoGlogue requires it to address catalog entries). Everything
+  // else — larger sub-patterns (canonicalizing 6-8 vertex patterns
+  // inside the DP would dominate optimization time) and any
+  // constraint-bearing pattern (the constraint signature is positional;
+  // pairing it with a renaming-invariant code would let isomorphic
+  // patterns with predicates on non-corresponding vertices share a key)
+  // gets the linear positional code under the "patl|" prefix, which is
+  // never pushed into GLogue.
+  std::string sig = ConstraintSignature(induced);
+  if (induced.num_vertices() <= 3 && sig.empty()) {
+    return "pat|" + induced.CanonicalCode() + "|";
+  }
+  return "patl|" + PositionalCode(induced) + "|" + sig;
+}
+
+std::string ScanFeedbackKey(const std::string& table,
+                            const storage::ExprPtr& filter, bool sampled) {
+  return std::string(sampled ? "scan|s|" : "scan|h|") + table + "|" +
+         (filter ? filter->ToString() : "");
+}
+
+}  // namespace optimizer
+}  // namespace relgo

@@ -1,0 +1,168 @@
+#ifndef RELGO_OPTIMIZER_FEEDBACK_H_
+#define RELGO_OPTIMIZER_FEEDBACK_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/expression.h"
+
+namespace relgo {
+
+namespace pattern {
+class PatternGraph;
+}  // namespace pattern
+
+namespace plan {
+struct PhysicalOp;
+}  // namespace plan
+
+namespace exec {
+class QueryProfile;
+}  // namespace exec
+
+namespace optimizer {
+
+class Glogue;
+
+/// Tuning knobs of the adaptive-statistics feedback loop.
+struct FeedbackOptions {
+  /// Exponential-smoothing weight of one observation (in log space):
+  /// after observing actual `a` against the (already-corrected) estimate
+  /// `e`, the stored correction factor moves from f to
+  /// f * (a/e)^smoothing — a fraction of the *residual* error, so the
+  /// estimate never overshoots the actual and the remaining log-error
+  /// shrinks by (1 - smoothing) per warm-up -> feedback -> re-plan round.
+  double smoothing = 0.5;
+  /// Hard bound on the total correction: each observation's ratio a/e is
+  /// clamped to [1/max_correction, max_correction] and the accumulated
+  /// factor is capped to the same interval, so neither a single wild
+  /// actual (empty intermediate, timeout remnant) nor many consistent
+  /// ones can blow up the estimator.
+  double max_correction = 1e4;
+};
+
+/// The feedback-driven statistics sink (ROADMAP "Adaptive feedback"):
+/// consumes the per-operator estimate-vs-actual pairs of a profiled run
+/// (exec::QueryProfile) and maintains bounded, exponentially smoothed
+/// multiplicative corrections keyed by *estimator input signature* —
+/// GLogue pattern signatures for graph operators, (table, predicate)
+/// signatures for relational scans, join-graph signatures for join
+/// outputs. The optimizers consult these factors on the next
+/// optimization, so re-planning the same (or an overlapping) query
+/// produces estimates closer to the measured truth and potentially a
+/// different, better join order.
+///
+/// Keys are plain strings built by the helpers below; the emitting
+/// optimizer stamps each plan node with the key its estimate came from
+/// (plan::PhysicalOp::feedback_key), which is what ties an executed
+/// node's actual cardinality back to its estimator input.
+///
+/// Thread-safety: the correction map itself is mutex-protected
+/// (Factor/Observe/Absorb may run concurrently). The GLogue push-down
+/// (PushIntoGlogue) mutates the shared, unsynchronized GLogue catalog,
+/// so adaptive profiled runs must not execute concurrently with other
+/// queries on the same Database — Database does not serialize this;
+/// single-session use (tests, benches, the harness) satisfies it by
+/// construction.
+class StatsFeedback {
+ public:
+  explicit StatsFeedback(FeedbackOptions options = {}) : options_(options) {}
+
+  /// Correction factor for `key`; exactly 1.0 when the key has never been
+  /// observed (so an empty sink leaves every estimate bit-identical).
+  double Factor(const std::string& key) const;
+
+  /// Records one estimate-vs-actual observation under `key` (bounded
+  /// exponential smoothing, see FeedbackOptions). Returns false when the
+  /// pair is rejected (non-positive estimate or empty key).
+  bool Observe(const std::string& key, double estimated, double actual);
+
+  /// Walks a profiled plan and observes every node carrying a feedback
+  /// key, a non-negative estimate and a measured actual cardinality.
+  /// Returns the number of observations absorbed.
+  int Absorb(const plan::PhysicalOp& root, const exec::QueryProfile& profile);
+
+  /// Migrates corrections for *structural* pattern keys (no predicates,
+  /// no distinct constraints — their actuals are true homomorphism
+  /// counts) into the GLogue catalog itself: the stored |M(P')| is
+  /// multiplied by the correction and the local factor resets to 1, so
+  /// the refinement benefits every query containing that sub-pattern
+  /// (including GLogue's sampled triangle counts, which execution
+  /// feedback turns exact over time). Keys whose pattern GLogue does not
+  /// track stay as local factors. Returns the number of counts refined.
+  int PushIntoGlogue(Glogue* glogue);
+
+  size_t size() const;
+  /// Lock-free emptiness probe: the optimizers snapshot this once per
+  /// optimization and skip all signature/correction work while the sink
+  /// has never absorbed anything, so the non-adaptive paths stay at
+  /// their pre-feedback cost.
+  bool empty() const {
+    return num_corrections_.load(std::memory_order_acquire) == 0;
+  }
+  void Clear();
+
+  /// Snapshot of the current corrections (diagnostics, tests, demos).
+  struct Entry {
+    std::string key;
+    double factor = 1.0;
+    uint64_t observations = 0;
+  };
+  std::vector<Entry> Entries() const;
+
+  const FeedbackOptions& options() const { return options_; }
+
+ private:
+  struct Correction {
+    double log_factor = 0.0;
+    uint64_t observations = 0;
+  };
+
+  FeedbackOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Correction> corrections_;
+  std::atomic<size_t> num_corrections_{0};  ///< == corrections_.size()
+};
+
+// ---------------------------------------------------------------------------
+// Key builders — the shared signature namespace of observers (plan
+// emission) and consumers (estimators). Formats:
+//   "pat|<canonical-code>|<constraint-sig>"   graph sub-pattern estimate
+//   "scan|<table>|<predicate>"                relational scan selectivity
+// Composite graph keys ("xe|", "vf|", "ev|") and relational join-mask
+// keys ("rel|...") are derived from these by the emitting optimizers.
+// ---------------------------------------------------------------------------
+
+/// Sorted signature of the constraints of an induced sub-pattern:
+/// vertex/edge predicates and distinct-pair constraints, rendered per
+/// position + label (position-dependent on purpose — same-labeled
+/// elements with different predicate placements must not share a key).
+/// Empty iff the sub-pattern is purely structural, i.e. its match count
+/// is a plain homomorphism count.
+std::string ConstraintSignature(const pattern::PatternGraph& induced);
+
+/// Feedback key of an induced sub-pattern's cardinality estimate. For
+/// *structural* GLogue-sized patterns (<= 3 vertices, no constraints)
+/// this is "pat|" + the renaming-invariant canonical code + "|" — the
+/// only keys eligible for GLogue push-down. All other patterns (larger,
+/// or carrying predicates/distinct pairs) use a linear positional code
+/// under the "patl|" prefix: canonicalization is factorial, and the
+/// constraint signature is positional, so the whole key must be too.
+std::string PatternFeedbackKey(const pattern::PatternGraph& induced);
+
+/// Feedback key of a relational scan's (table, pushed predicate)
+/// selectivity, tagged with the base estimator that produced it
+/// (`sampled`: Umbra-like reservoir sampling vs System-R heuristics) —
+/// a correction is the *residual* of its base, so bases must never
+/// share a key. A scan without a filter has no estimation error to
+/// correct (base cardinalities are exact), so callers skip null filters.
+std::string ScanFeedbackKey(const std::string& table,
+                            const storage::ExprPtr& filter, bool sampled);
+
+}  // namespace optimizer
+}  // namespace relgo
+
+#endif  // RELGO_OPTIMIZER_FEEDBACK_H_

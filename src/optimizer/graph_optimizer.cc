@@ -45,14 +45,14 @@ class PlanSearch {
              const graph::RgMapping* mapping,
              const storage::Catalog* catalog,
              const graph::GraphStats* gstats, const Glogue* glogue,
-             const TableStats* tstats)
+             const TableStats* tstats, const StatsFeedback* feedback)
       : p_(p),
         needed_edges_(needed_edges),
         options_(options),
         mapping_(mapping),
         gstats_(gstats),
         estimator_(&p, glogue, gstats, mapping, catalog, tstats,
-                   {options.use_high_order, 1024}) {}
+                   {options.use_high_order, 1024}, feedback) {}
 
   Result<GraphPlanResult> Run() {
     VSet all = p_.AllVertices();
@@ -80,6 +80,18 @@ class PlanSearch {
   double AvgDegree(const Link& link) const {
     return std::max(1e-3,
                     gstats_->AverageDegree(p_.edge(link.edge).label, link.dir));
+  }
+
+  /// Descriptor of pattern edge `e` for composite feedback keys: the
+  /// index keeps keys unique within one plan, and the edge/endpoint
+  /// labels keep a persisted correction from ever being applied to a
+  /// differently-typed edge of another query whose mask happens to share
+  /// the canonical code under a different numbering.
+  std::string EdgeKeyPart(int e) const {
+    const auto& pe = p_.edge(e);
+    return std::to_string(e) + ":" + std::to_string(pe.label) + "," +
+           std::to_string(p_.vertex(pe.src).label) + ">" +
+           std::to_string(p_.vertex(pe.dst).label);
   }
 
   /// Cost of implementing the star/EI/join transition (Sec 4.2.1).
@@ -265,6 +277,7 @@ class PlanSearch {
         scan->filter = p_.vertex(v).predicate;
         scan->estimated_cardinality = card;
         scan->estimated_cost = entry.cost;
+        scan->feedback_key = estimator_.MaskKey(mask);
         return PhysicalOpPtr(std::move(scan));
       }
       case Choice::Kind::kStar: {
@@ -298,8 +311,14 @@ class PlanSearch {
             ee->edge_var = p_.EdgeVarName(first.edge);
             ee->edge_filter = pe.predicate;
             // Raw expansion estimate, before GET_VERTEX applies vertex
-            // constraints: |M(P_l)| * avg degree (Sec 4.2.1).
-            ee->estimated_cardinality = card_rest * AvgDegree(first);
+            // constraints: |M(P_l)| * avg degree (Sec 4.2.1), corrected by
+            // the extend-count feedback of this (sub-pattern, edge) pair.
+            ee->feedback_key = "xe|" + estimator_.MaskKey(rest) + "|" +
+                               EdgeKeyPart(first.edge) +
+                               (first.dir == Direction::kOut ? ">" : "<");
+            ee->estimated_cardinality =
+                card_rest * AvgDegree(first) *
+                estimator_.CorrectionFactor(ee->feedback_key);
             ee->children.push_back(std::move(child));
             auto gv = std::make_unique<plan::PhysGetVertex>();
             gv->edge_label = pe.label;
@@ -328,7 +347,10 @@ class PlanSearch {
               vf->is_edge = true;
               vf->label = pe.label;
               vf->predicate = pe.predicate;
-              vf->estimated_cardinality = card;
+              vf->feedback_key = "vf|" + estimator_.MaskKey(mask) + "|e" +
+                                 EdgeKeyPart(first.edge);
+              vf->estimated_cardinality =
+                  card * estimator_.CorrectionFactor(vf->feedback_key);
               vf->children.push_back(std::move(op));
               op = std::move(vf);
             }
@@ -345,8 +367,14 @@ class PlanSearch {
             ev->edge_var = need_e ? p_.EdgeVarName(links[i].edge) : "";
             ev->use_index = options_.use_index;
             // Intermediate closures are approximated by the star's final
-            // estimate (each verify only shrinks the relation further).
-            ev->estimated_cardinality = card;
+            // estimate (each verify only shrinks the relation further);
+            // the per-node feedback factor learns this closure's residual.
+            ev->feedback_key =
+                "ev|" + estimator_.MaskKey(mask) + "|e" +
+                EdgeKeyPart(links[i].edge) +
+                (links[i].dir == Direction::kOut ? ">" : "<");
+            ev->estimated_cardinality =
+                card * estimator_.CorrectionFactor(ev->feedback_key);
             ev->children.push_back(std::move(op));
             op = std::move(ev);
             if (pe_i.predicate) {
@@ -355,7 +383,10 @@ class PlanSearch {
               vf->is_edge = true;
               vf->label = pe_i.label;
               vf->predicate = pe_i.predicate;
-              vf->estimated_cardinality = card;
+              vf->feedback_key = "vf|" + estimator_.MaskKey(mask) + "|e" +
+                                 EdgeKeyPart(links[i].edge);
+              vf->estimated_cardinality =
+                  card * estimator_.CorrectionFactor(vf->feedback_key);
               vf->children.push_back(std::move(op));
               op = std::move(vf);
             }
@@ -387,14 +418,22 @@ class PlanSearch {
             vf->is_edge = true;
             vf->label = p_.edge(e).label;
             vf->predicate = pred;
-            vf->estimated_cardinality = card;
+            vf->feedback_key = "vf|" + estimator_.MaskKey(mask) + "|e" +
+                               EdgeKeyPart(e);
+            vf->estimated_cardinality =
+                card * estimator_.CorrectionFactor(vf->feedback_key);
             vf->children.push_back(std::move(op));
             op = std::move(vf);
           }
         }
-        op->estimated_cardinality = card;
         op->estimated_cost = entry.cost;
-        return ApplyDistinct(std::move(op), mask, card, {rest});
+        PhysicalOpPtr out = ApplyDistinct(std::move(op), mask, card, {rest});
+        // The sub-pattern's topmost node is the one whose actual equals
+        // |M(P')| — it carries the mask signature (overriding any
+        // intermediate composite key) and the estimator's estimate.
+        out->feedback_key = estimator_.MaskKey(mask);
+        out->estimated_cardinality = card;
+        return out;
       }
       case Choice::Kind::kJoin: {
         VSet s1 = entry.choice.s1, s2 = entry.choice.s2;
@@ -430,8 +469,11 @@ class PlanSearch {
         join->children.push_back(std::move(right));
         join->estimated_cardinality = card;
         join->estimated_cost = entry.cost;
-        return ApplyDistinct(PhysicalOpPtr(std::move(join)), mask, card,
-                             {s1, s2});
+        PhysicalOpPtr out = ApplyDistinct(PhysicalOpPtr(std::move(join)),
+                                          mask, card, {s1, s2});
+        out->feedback_key = estimator_.MaskKey(mask);
+        out->estimated_cardinality = card;
+        return out;
       }
     }
     return Status::Internal("unreachable");
@@ -458,7 +500,7 @@ Result<GraphPlanResult> GraphOptimizer::Optimize(
     return Status::InvalidArgument("pattern must be connected");
   }
   PlanSearch search(p, needed_edges, options, mapping_, catalog_, gstats_,
-                    glogue_, tstats_);
+                    glogue_, tstats_, feedback_);
   return search.Run();
 }
 

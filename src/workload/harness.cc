@@ -19,49 +19,137 @@ std::string RunMeasurement::StatusOrMs(bool end_to_end) const {
   return StrFormat("%.2f", ms);
 }
 
+namespace {
+
+/// Classifies a failed run into the OT/OOM/ERR reporting buckets.
+void SetFailure(const Status& status, RunMeasurement* m) {
+  m->out_of_memory = status.code() == StatusCode::kOutOfMemory;
+  m->timed_out = status.code() == StatusCode::kTimeout;
+  m->failed = !m->out_of_memory && !m->timed_out;
+  m->error = status.ToString();
+}
+
+/// Charges Q-error fields off one profiled run. Breaker times are NOT
+/// recorded here: they always describe the *first* profiled run, so an
+/// adaptive measurement never mixes first-run Q-error with after-run
+/// breaker timings of a potentially different plan.
+void RecordQError(const ProfiledRunResult& run, double* geomean,
+                  double* max_q, int* ops) {
+  exec::QErrorSummary q = exec::SummarizeQError(*run.plan, run.profile);
+  *geomean = q.geomean;
+  *max_q = q.max_q;
+  if (ops != nullptr) *ops = q.ops;
+}
+
+}  // namespace
+
+bool Harness::TimedRepetitions(const WorkloadQuery& wq,
+                               optimizer::OptimizerMode mode,
+                               RunMeasurement* m) const {
+  double total_opt = 0.0, total_exec = 0.0;
+  // A failure on any run is terminal.
+  for (int rep = 0; rep < repetitions_; ++rep) {
+    auto result = db_->Run(wq.query, mode, exec_options_);
+    if (!result.ok()) {
+      SetFailure(result.status(), m);
+      return false;
+    }
+    total_opt += result->optimization_ms;
+    total_exec += result->execution_ms;
+    m->result_rows = result->table->num_rows();
+  }
+  m->optimization_ms = total_opt / repetitions_;
+  m->execution_ms = total_exec / repetitions_;
+  return true;
+}
+
 RunMeasurement Harness::Run(const WorkloadQuery& wq,
                             optimizer::OptimizerMode mode) const {
   RunMeasurement m;
   m.query = wq.query.name;
   m.mode = optimizer::ModeName(mode);
 
-  double total_opt = 0.0, total_exec = 0.0;
   // Profiled warm-up: besides warming caches it feeds the estimate-vs-
   // actual loop, charging the Q-error fields. Profiling cost stays out of
   // the timed repetitions below.
   {
     auto warm = db_->RunProfiled(wq.query, mode, exec_options_);
     if (!warm.ok()) {
-      m.out_of_memory = warm.status().code() == StatusCode::kOutOfMemory;
-      m.timed_out = warm.status().code() == StatusCode::kTimeout;
-      m.failed = !m.out_of_memory && !m.timed_out;
-      m.error = warm.status().ToString();
+      SetFailure(warm.status(), &m);
       return m;
     }
-    exec::QErrorSummary q = exec::SummarizeQError(*warm->plan, warm->profile);
-    m.qerror_geomean = q.geomean;
-    m.qerror_max = q.max_q;
-    m.qerror_ops = q.ops;
+    RecordQError(*warm, &m.qerror_geomean, &m.qerror_max, &m.qerror_ops);
     m.build_ms = warm->profile.build_ms();
     m.sort_ms = warm->profile.sort_ms();
   }
-  // Timed repetitions; a failure on any run is terminal.
-  for (int rep = 0; rep < repetitions_; ++rep) {
-    auto result = db_->Run(wq.query, mode, exec_options_);
-    if (!result.ok()) {
-      m.out_of_memory = result.status().code() == StatusCode::kOutOfMemory;
-      m.timed_out = result.status().code() == StatusCode::kTimeout;
-      m.failed = !m.out_of_memory && !m.timed_out;
-      m.error = result.status().ToString();
+  TimedRepetitions(wq, mode, &m);
+  return m;
+}
+
+RunMeasurement Harness::RunAdaptive(const WorkloadQuery& wq,
+                                    optimizer::OptimizerMode mode,
+                                    int feedback_rounds) const {
+  RunMeasurement m;
+  m.query = wq.query.name;
+  m.mode = optimizer::ModeName(mode);
+  m.feedback_rounds = std::max(feedback_rounds, 1);
+
+  exec::ExecutionOptions adaptive = exec_options_;
+  adaptive.adaptive_stats = true;
+
+  // Round 0: baseline accuracy — and the first feedback absorption.
+  {
+    auto warm = db_->RunProfiled(wq.query, mode, adaptive);
+    if (!warm.ok()) {
+      SetFailure(warm.status(), &m);
       return m;
     }
-    total_opt += result->optimization_ms;
-    total_exec += result->execution_ms;
-    m.result_rows = result->table->num_rows();
+    RecordQError(*warm, &m.qerror_geomean, &m.qerror_max, &m.qerror_ops);
+    m.build_ms = warm->profile.build_ms();
+    m.sort_ms = warm->profile.sort_ms();
   }
-  m.optimization_ms = total_opt / repetitions_;
-  m.execution_ms = total_exec / repetitions_;
+  // Further warm-up -> feedback rounds.
+  for (int round = 1; round < m.feedback_rounds; ++round) {
+    auto mid = db_->RunProfiled(wq.query, mode, adaptive);
+    if (!mid.ok()) {
+      SetFailure(mid.status(), &m);
+      return m;
+    }
+  }
+  // Re-planned accuracy after feedback (still adaptive: grids keep
+  // accumulating corrections across queries).
+  {
+    auto after = db_->RunProfiled(wq.query, mode, adaptive);
+    if (!after.ok()) {
+      SetFailure(after.status(), &m);
+      return m;
+    }
+    RecordQError(*after, &m.qerror_geomean_after, &m.qerror_max_after,
+                 nullptr);
+  }
+  TimedRepetitions(wq, mode, &m);
   return m;
+}
+
+std::vector<RunMeasurement> Harness::RunAdaptiveGrid(
+    const std::vector<WorkloadQuery>& queries,
+    const std::vector<optimizer::OptimizerMode>& modes,
+    int feedback_rounds) const {
+  std::vector<RunMeasurement> out;
+  for (const auto& wq : queries) {
+    for (auto mode : modes) {
+      // Reset keyed corrections between cells so every record's
+      // qerror_geomean is a cold-corrections baseline and the
+      // before -> after delta is attributable to this cell's own
+      // feedback rounds. GLogue counts already refined by earlier cells
+      // keep their execution-measured values (they move the catalog
+      // toward truth and cannot be un-measured) — that part of the
+      // baseline legitimately improves over the grid.
+      db_->ResetAdaptiveStats();
+      out.push_back(RunAdaptive(wq, mode, feedback_rounds));
+    }
+  }
+  return out;
 }
 
 std::vector<RunMeasurement> Harness::RunGrid(
@@ -180,6 +268,40 @@ std::string Harness::FormatQErrors(const std::vector<RunMeasurement>& runs) {
       } else {
         os << StrFormat("%14s",
                         StrFormat("%.2f", r->qerror_geomean).c_str());
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Harness::FormatAdaptiveQErrors(
+    const std::vector<RunMeasurement>& runs) {
+  auto queries = OrderedQueries(runs);
+  auto modes = OrderedModes(runs);
+  std::ostringstream os;
+  os << StrFormat("%-10s", "q-error");
+  for (const auto& m : modes) os << StrFormat("%16s", m.c_str());
+  os << "\n";
+  for (const auto& q : queries) {
+    os << StrFormat("%-10s", q.c_str());
+    for (const auto& m : modes) {
+      const RunMeasurement* r = Find(runs, q, m);
+      if (r != nullptr &&
+          (r->out_of_memory || r->timed_out || r->failed)) {
+        // A failed round leaves qerror_geomean_after at 0 (Q-error is
+        // always >= 1); render the failure, not a bogus "->0.00".
+        os << StrFormat("%16s", r->out_of_memory ? "OOM"
+                                : r->timed_out   ? "OT"
+                                                 : "ERR");
+      } else if (r == nullptr || r->qerror_ops == 0 ||
+                 r->feedback_rounds == 0 ||
+                 r->qerror_geomean_after == 0.0) {
+        os << StrFormat("%16s", "-");
+      } else {
+        std::string cell = StrFormat("%.2f->%.2f", r->qerror_geomean,
+                                     r->qerror_geomean_after);
+        os << StrFormat("%16s", cell.c_str());
       }
     }
     os << "\n";

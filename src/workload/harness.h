@@ -34,6 +34,14 @@ struct RunMeasurement {
   double build_ms = 0.0;
   double sort_ms = 0.0;
 
+  /// Adaptive-statistics loop results (RunAdaptive only; 0 otherwise):
+  /// Q-error of the re-planned query after `feedback_rounds` warm-up ->
+  /// feedback -> re-plan rounds, to compare against qerror_geomean /
+  /// qerror_max (which always measure the *first* profiled run).
+  double qerror_geomean_after = 0.0;
+  double qerror_max_after = 0.0;
+  int feedback_rounds = 0;
+
   double TotalMs() const { return optimization_ms + execution_ms; }
   /// "OT" / "OOM" / formatted milliseconds.
   std::string StatusOrMs(bool end_to_end) const;
@@ -57,6 +65,26 @@ class Harness {
       const std::vector<WorkloadQuery>& queries,
       const std::vector<optimizer::OptimizerMode>& modes) const;
 
+  /// The adaptive-statistics protocol: a profiled first run (recorded as
+  /// qerror_geomean/_max) whose actuals are absorbed into the database's
+  /// StatsFeedback, `feedback_rounds - 1` further absorb rounds, then a
+  /// re-planned profiled run recorded as qerror_*_after — followed by the
+  /// usual timed repetitions (which re-plan with the refined statistics).
+  /// Feedback persists on the database across calls, so repeated or
+  /// overlapping queries keep benefiting.
+  RunMeasurement RunAdaptive(const WorkloadQuery& wq,
+                             optimizer::OptimizerMode mode,
+                             int feedback_rounds = 2) const;
+
+  /// Adaptive grid: RunAdaptive over (queries x modes), resetting keyed
+  /// corrections between cells (Database::ResetAdaptiveStats) so each
+  /// record's before/after pair measures that cell's own feedback gain
+  /// rather than accumulated cross-query state.
+  std::vector<RunMeasurement> RunAdaptiveGrid(
+      const std::vector<WorkloadQuery>& queries,
+      const std::vector<optimizer::OptimizerMode>& modes,
+      int feedback_rounds = 2) const;
+
   /// Renders a fixed-width table: one row per query, one column per mode,
   /// values as milliseconds (end-to-end when `end_to_end`).
   static std::string FormatTable(const std::vector<RunMeasurement>& runs,
@@ -71,6 +99,11 @@ class Harness {
   /// accuracy grid mirroring the paper's Sec 5 accuracy analysis.
   static std::string FormatQErrors(const std::vector<RunMeasurement>& runs);
 
+  /// Renders the adaptive before -> after Q-error grid of RunAdaptive
+  /// measurements ("2.41->1.18" per cell).
+  static std::string FormatAdaptiveQErrors(
+      const std::vector<RunMeasurement>& runs);
+
   /// Geometric-mean speedup of `mode` vs `baseline_mode` over queries where
   /// both completed.
   static double AverageSpeedup(const std::vector<RunMeasurement>& runs,
@@ -78,6 +111,12 @@ class Harness {
                                const std::string& mode);
 
  private:
+  /// Timed repetitions shared by Run and RunAdaptive; false on failure
+  /// (with the failure recorded in `m`).
+  bool TimedRepetitions(const WorkloadQuery& wq,
+                        optimizer::OptimizerMode mode,
+                        RunMeasurement* m) const;
+
   const Database* db_;
   exec::ExecutionOptions exec_options_;
   int repetitions_;

@@ -1,0 +1,286 @@
+// Tests of the adaptive-statistics feedback subsystem
+// (src/optimizer/feedback.*): the correction math is bounded and monotone
+// toward actuals and converges under repeated observation; flag-off runs
+// leave plans, estimates and results byte-identical; GLogue counts are
+// refined by structural observations; and — the end-to-end guarantee —
+// Q-error strictly improves on repeated queries with adaptive_stats on,
+// on the Fig 2 database and on the LDBC workload, with result bags
+// unchanged.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "exec/profile.h"
+#include "fixtures.h"
+#include "optimizer/feedback.h"
+#include "workload/harness.h"
+#include "workload/ldbc.h"
+
+namespace relgo {
+namespace {
+
+using optimizer::FeedbackOptions;
+using optimizer::OptimizerMode;
+using optimizer::StatsFeedback;
+
+constexpr OptimizerMode kAllModes[] = {
+    OptimizerMode::kDuckDB,        OptimizerMode::kGRainDB,
+    OptimizerMode::kUmbraLike,     OptimizerMode::kRelGo,
+    OptimizerMode::kRelGoHash,     OptimizerMode::kRelGoNoEI,
+    OptimizerMode::kRelGoNoRule,   OptimizerMode::kRelGoNoFuse,
+    OptimizerMode::kRelGoLowOrder, OptimizerMode::kGdbmsSim,
+};
+
+TEST(StatsFeedbackMath, UnknownKeysHaveExactlyUnitFactor) {
+  StatsFeedback fb;
+  EXPECT_EQ(fb.Factor("never-seen"), 1.0);
+  EXPECT_TRUE(fb.empty());
+}
+
+TEST(StatsFeedbackMath, CorrectionMovesMonotonicallyTowardActual) {
+  StatsFeedback fb(FeedbackOptions{0.5, 1e4});
+  // Underestimate by 100x: the corrected estimate must land strictly
+  // between the old estimate and the actual (no overshoot).
+  fb.Observe("under", 10.0, 1000.0);
+  double f = fb.Factor("under");
+  EXPECT_GT(10.0 * f, 10.0);
+  EXPECT_LT(10.0 * f, 1000.0);
+  // Overestimate, symmetrically.
+  fb.Observe("over", 1000.0, 10.0);
+  double g = fb.Factor("over");
+  EXPECT_LT(1000.0 * g, 1000.0);
+  EXPECT_GT(1000.0 * g, 10.0);
+}
+
+TEST(StatsFeedbackMath, CorrectionsAreBoundedByConstruction) {
+  StatsFeedback fb(FeedbackOptions{0.5, 100.0});
+  for (int i = 0; i < 64; ++i) fb.Observe("wild", 1.0, 1e12);
+  EXPECT_LE(fb.Factor("wild"), 100.0 + 1e-9);
+  for (int i = 0; i < 64; ++i) fb.Observe("tiny", 1e12, 1.0);
+  EXPECT_GE(fb.Factor("tiny"), 1.0 / 100.0 - 1e-12);
+}
+
+TEST(StatsFeedbackMath, SmoothingConvergesUnderRepeatedObservation) {
+  StatsFeedback fb(FeedbackOptions{0.5, 1e4});
+  const double base = 10.0, actual = 640.0;
+  double prev_err = std::fabs(std::log(base / actual));
+  // Simulate the re-plan loop: each round estimates base * factor, then
+  // observes the unchanged actual. Log-error must halve every round.
+  for (int round = 0; round < 12; ++round) {
+    double est = base * fb.Factor("k");
+    fb.Observe("k", est, actual);
+    double err = std::fabs(std::log(base * fb.Factor("k") / actual));
+    EXPECT_LT(err, prev_err + 1e-12);
+    prev_err = err;
+  }
+  EXPECT_LT(std::fabs(base * fb.Factor("k") / actual - 1.0), 0.01);
+}
+
+TEST(StatsFeedbackMath, IgnoresNonPositiveEstimates) {
+  StatsFeedback fb;
+  fb.Observe("k", 0.0, 100.0);
+  fb.Observe("k", -1.0, 100.0);
+  EXPECT_TRUE(fb.empty());
+}
+
+TEST(FeedbackKeys, StructuralPatternsHaveEmptyConstraintSignature) {
+  pattern::PatternGraph p;
+  int a = p.AddVertex(0), b = p.AddVertex(1);
+  p.AddEdge(0, a, b);
+  EXPECT_EQ(optimizer::ConstraintSignature(p), "");
+  std::string key = optimizer::PatternFeedbackKey(p);
+  EXPECT_EQ(key.compare(0, 4, "pat|"), 0);
+  EXPECT_EQ(key.back(), '|');  // empty signature == GLogue-pushable
+
+  p.vertex(a).predicate = storage::Expr::Eq("name", Value::String("Tom"));
+  EXPECT_NE(optimizer::ConstraintSignature(p), "");
+  // Constraint-bearing patterns switch to the positional "patl|" key
+  // space: never GLogue-pushable, and never shared with an isomorphic
+  // pattern whose predicate sits on a non-corresponding position.
+  std::string constrained = optimizer::PatternFeedbackKey(p);
+  EXPECT_EQ(constrained.compare(0, 5, "patl|"), 0);
+  EXPECT_NE(constrained.back(), '|');
+}
+
+class Figure2FeedbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(testing::BuildFigure2Database(&db_).ok());
+  }
+
+  /// The Example 1 triangle with a selective predicate — its sampled
+  /// selectivity (Laplace-smoothed) and PK-FK join heuristics leave real
+  /// estimation error for the feedback loop to burn down.
+  plan::SpjmQuery ExampleQuery() const {
+    auto pattern = db_.ParsePattern(
+        "(p1:Person)-[:Likes]->(m:Message), (p2:Person)-[:Likes]->(m), "
+        "(p1)-[:Knows]->(p2)");
+    EXPECT_TRUE(pattern.ok());
+    return plan::SpjmQueryBuilder("example")
+        .Match(std::move(*pattern))
+        .Column("p1", "name", "p1_name")
+        .Column("p2", "name", "p2_name")
+        .Where(storage::Expr::Eq("p1_name", Value::String("Tom")))
+        .Select("p2_name")
+        .Build();
+  }
+
+  double AdaptiveRoundQError(const plan::SpjmQuery& query,
+                             OptimizerMode mode) {
+    exec::ExecutionOptions adaptive;
+    adaptive.adaptive_stats = true;
+    auto run = db_.RunProfiled(query, mode, adaptive);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return exec::SummarizeQError(*run->plan, run->profile).geomean;
+  }
+
+  Database db_;
+};
+
+TEST_F(Figure2FeedbackTest, FlagOffRunsAreByteIdenticalAndStateless) {
+  auto query = ExampleQuery();
+  for (OptimizerMode mode : kAllModes) {
+    auto before = db_.Explain(query, mode);
+    ASSERT_TRUE(before.ok());
+    std::vector<std::string> rows_before;
+    {
+      auto run = db_.RunProfiled(query, mode, {});
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      rows_before = testing::SortedRows(*run->table);
+    }
+    // A second flag-off profiled run: same plan text, same results, and
+    // no feedback state accrued anywhere.
+    auto run = db_.RunProfiled(query, mode, {});
+    ASSERT_TRUE(run.ok());
+    EXPECT_EQ(run->feedback_observations, 0);
+    auto after = db_.Explain(query, mode);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*before, *after) << optimizer::ModeName(mode);
+    EXPECT_EQ(rows_before, testing::SortedRows(*run->table));
+  }
+  EXPECT_EQ(db_.stats_feedback().size(), 0u);
+}
+
+TEST_F(Figure2FeedbackTest, AdaptiveRunAbsorbsKeyedObservations) {
+  exec::ExecutionOptions adaptive;
+  adaptive.adaptive_stats = true;
+  auto run = db_.RunProfiled(ExampleQuery(), OptimizerMode::kRelGo, adaptive);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->feedback_observations, 0);
+  EXPECT_GT(db_.stats_feedback().size(), 0u);
+  // The observations come from stamped plan nodes in the shared key
+  // namespace (graph sub-patterns at minimum on this query).
+  auto observations = exec::CollectObservations(*run->plan, run->profile);
+  ASSERT_FALSE(observations.empty());
+  bool saw_pattern_key = false;
+  for (const auto& obs : observations) {
+    const std::string& key = obs.op->feedback_key;
+    EXPECT_FALSE(key.empty());
+    saw_pattern_key |= key.compare(0, 3, "pat") == 0;  // "pat|" or "patl|"
+  }
+  EXPECT_TRUE(saw_pattern_key);
+}
+
+TEST_F(Figure2FeedbackTest, QErrorImprovesOnRepeatedQuery) {
+  auto query = ExampleQuery();
+  for (OptimizerMode mode :
+       {OptimizerMode::kRelGo, OptimizerMode::kDuckDB}) {
+    Database db;
+    ASSERT_TRUE(testing::BuildFigure2Database(&db).ok());
+    exec::ExecutionOptions adaptive;
+    adaptive.adaptive_stats = true;
+    auto first = db.RunProfiled(query, mode, adaptive);
+    ASSERT_TRUE(first.ok());
+    double q1 =
+        exec::SummarizeQError(*first->plan, first->profile).geomean;
+    ASSERT_GT(q1, 1.001) << "query must start with real estimation error";
+    auto second = db.RunProfiled(query, mode, adaptive);
+    ASSERT_TRUE(second.ok());
+    double q2 =
+        exec::SummarizeQError(*second->plan, second->profile).geomean;
+    EXPECT_LT(q2, q1) << optimizer::ModeName(mode);
+    // Results are plan-invariant: feedback must never change semantics.
+    EXPECT_EQ(testing::SortedRows(*first->table),
+              testing::SortedRows(*second->table));
+  }
+}
+
+TEST_F(Figure2FeedbackTest, SmoothingConvergesUnderRepeatedRuns) {
+  auto query = ExampleQuery();
+  double first = AdaptiveRoundQError(query, OptimizerMode::kRelGo);
+  ASSERT_GT(first, 1.001);
+  double q = first;
+  for (int round = 0; round < 6; ++round) {
+    q = AdaptiveRoundQError(query, OptimizerMode::kRelGo);
+  }
+  EXPECT_LT(q, first);
+  // Within a few rounds the remaining geomean error is a small fraction
+  // of the initial one (log-error halves per round on stable keys).
+  EXPECT_LT(std::log(q), 0.5 * std::log(first));
+}
+
+TEST_F(Figure2FeedbackTest, StructuralObservationsRefineGlogue) {
+  // The 2-path (wedge) through Likes is structural (no predicates, no
+  // distinct pairs): its correction must migrate into the GLogue catalog
+  // itself rather than stay a local factor.
+  auto pattern = db_.ParsePattern(
+      "(p1:Person)-[:Likes]->(m:Message), (p2:Person)-[:Likes]->(m)");
+  ASSERT_TRUE(pattern.ok());
+  pattern::PatternGraph wedge = *pattern;
+  optimizer::Glogue glogue;
+  ASSERT_TRUE(glogue
+                  .Build(db_.catalog(), db_.mapping(), db_.index(),
+                         db_.graph_stats())
+                  .ok());
+  double before = glogue.Lookup(wedge);
+  ASSERT_GT(before, 0.0);
+
+  StatsFeedback fb;
+  // Claim the true count is twice the catalog's: one push moves the
+  // stored count halfway (smoothing 0.5) toward it.
+  fb.Observe(optimizer::PatternFeedbackKey(wedge), before, 2.0 * before);
+  EXPECT_EQ(fb.PushIntoGlogue(&glogue), 1);
+  double after = glogue.Lookup(wedge);
+  EXPECT_GT(after, before);
+  EXPECT_LT(after, 2.0 * before);
+  // The migrated key no longer applies locally.
+  EXPECT_EQ(fb.Factor(optimizer::PatternFeedbackKey(wedge)), 1.0);
+
+  // Constraint-bearing keys never push into GLogue.
+  wedge.vertex(0).predicate =
+      storage::Expr::Eq("name", Value::String("Tom"));
+  StatsFeedback fb2;
+  fb2.Observe(optimizer::PatternFeedbackKey(wedge), 10.0, 20.0);
+  EXPECT_EQ(fb2.PushIntoGlogue(&glogue), 0);
+  EXPECT_GT(fb2.Factor(optimizer::PatternFeedbackKey(wedge)), 1.0);
+}
+
+TEST(LdbcFeedbackTest, HarnessAdaptiveLoopLowersQError) {
+  Database db;
+  workload::LdbcOptions options;
+  options.scale_factor = 0.05;
+  ASSERT_TRUE(workload::GenerateLdbc(&db, options).ok());
+  auto queries = workload::LdbcInteractiveQueries(db);
+  ASSERT_FALSE(queries.empty());
+
+  workload::Harness harness(&db, {}, 1);
+  auto m = harness.RunAdaptive(queries[0], OptimizerMode::kRelGo, 2);
+  ASSERT_FALSE(m.failed) << m.error;
+  ASSERT_GT(m.qerror_ops, 0);
+  EXPECT_EQ(m.feedback_rounds, 2);
+  ASSERT_GT(m.qerror_geomean, 1.001);
+  EXPECT_LT(m.qerror_geomean_after, m.qerror_geomean);
+  EXPECT_GT(db.stats_feedback().size(), 0u);
+
+  // The timed repetitions ran on the re-planned query; the row count must
+  // match a plain (non-adaptive) run's.
+  auto plain = db.Run(queries[0].query, OptimizerMode::kRelGo, {});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(m.result_rows, plain->table->num_rows());
+}
+
+}  // namespace
+}  // namespace relgo
