@@ -1,0 +1,56 @@
+// Fig 13 (extension; no paper counterpart): concurrent query serving.
+// N client threads replay an LDBC query mix against one shared Database —
+// all pipelines interleave on the process-wide worker pool, and filtered
+// scans amortize across queries through the cross-query scan cache. For
+// each client count the mix runs twice, cache-cold (cleared first) and
+// cache-warm, so the JSON trajectory records both the QPS scaling curve
+// and the steady-state cache hit rate heavy traffic would see.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace relgo;
+  using optimizer::OptimizerMode;
+  auto args = bench::ParseArgs(argc, argv, 0.3);
+  bench::Banner("Fig 13", "concurrent serving: QPS + scan-cache hit rate");
+
+  Database* db = bench::MakeLdbc(args.scale);
+  auto mix = workload::LdbcInteractiveQueries(*db);
+  exec::ExecutionOptions options = bench::EngineOptions(
+      bench::BenchExecOptions(), exec::EngineKind::kPipeline, args.threads);
+  // This bench measures cache amortization, so it opts back into the
+  // scan cache that BenchExecOptions disables for the figure benches.
+  options.scan_cache = true;
+  workload::Harness harness(db, options, args.reps);
+
+  const int kQueriesPerClient = 2 * static_cast<int>(mix.size());
+  std::printf("%8s %10s %10s %10s %10s %10s\n", "clients", "queries",
+              "wall ms", "QPS", "hits", "hit rate");
+  for (int clients : {1, 2, 4, 8}) {
+    for (bool warm : {false, true}) {
+      if (!warm) db->ClearScanCache();
+      auto m = harness.RunConcurrent(mix, OptimizerMode::kRelGo, clients,
+                                     kQueriesPerClient);
+      std::printf("%5d %s %10llu %10.1f %10.1f %10llu %9.1f%%\n", clients,
+                  warm ? "warm" : "cold",
+                  static_cast<unsigned long long>(m.queries_ok), m.wall_ms,
+                  m.qps, static_cast<unsigned long long>(m.scan_cache_hits),
+                  100.0 * m.cache_hit_rate);
+      if (m.queries_failed != 0) {
+        std::printf("  (%llu queries failed)\n",
+                    static_cast<unsigned long long>(m.queries_failed));
+      }
+      bench::BenchJson::Global().AddConcurrent(
+          warm ? "fig13_concurrency_warm" : "fig13_concurrency_cold", "ldbc",
+          args.scale, m, exec::EngineKind::kPipeline, args.threads);
+    }
+  }
+  std::printf("\nshared pool threads spawned: %d\n",
+              db->worker_pool().pool_threads());
+
+  bench::BenchJson::Global().Write();
+  delete db;
+  return 0;
+}

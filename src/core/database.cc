@@ -24,16 +24,27 @@ Result<optimizer::OptimizeResult> Database::Optimize(
   if (!finalized_) {
     return Status::InvalidArgument("call Finalize() before Optimize()");
   }
+  // Shared against the adaptive-statistics push-down, which refines
+  // GLogue counts in place: any number of optimizations may overlap, but
+  // none overlaps a refinement.
+  std::shared_lock<std::shared_mutex> lock(stats_mu_);
   return optimizer_->Optimize(query, mode);
+}
+
+Result<storage::TablePtr> Database::ExecuteWithContext(
+    const plan::PhysicalOp& op, exec::ExecutionContext* ctx) const {
+  ctx->SetScheduler(&pool_);
+  if (ctx->options().scan_cache) ctx->SetScanCache(&scan_cache_);
+  if (ctx->options().engine == exec::EngineKind::kPipeline) {
+    return exec::pipeline::Run(op, ctx);
+  }
+  return exec::Executor::Run(op, ctx);
 }
 
 Result<storage::TablePtr> Database::Execute(
     const plan::PhysicalOp& op, exec::ExecutionOptions options) const {
   exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
-  if (options.engine == exec::EngineKind::kPipeline) {
-    return exec::pipeline::Run(op, &ctx);
-  }
-  return exec::Executor::Run(op, &ctx);
+  return ExecuteWithContext(op, &ctx);
 }
 
 Result<QueryRunResult> Database::Run(const plan::SpjmQuery& query,
@@ -42,9 +53,12 @@ Result<QueryRunResult> Database::Run(const plan::SpjmQuery& query,
   QueryRunResult result;
   RELGO_ASSIGN_OR_RETURN(auto optimized, Optimize(query, mode));
   result.optimization_ms = optimized.optimization_ms;
+  exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
   Timer timer;
-  RELGO_ASSIGN_OR_RETURN(result.table, Execute(*optimized.plan, options));
+  RELGO_ASSIGN_OR_RETURN(result.table,
+                         ExecuteWithContext(*optimized.plan, &ctx));
   result.execution_ms = timer.ElapsedMillis();
+  result.scan_cache_hits = ctx.scan_cache_hits();
   return result;
 }
 
@@ -64,22 +78,22 @@ Result<ProfiledRunResult> Database::RunProfiled(
   exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
   ctx.EnableProfiling(&result.profile);
   Timer timer;
-  if (options.engine == exec::EngineKind::kPipeline) {
-    RELGO_ASSIGN_OR_RETURN(result.table,
-                           exec::pipeline::Run(*result.plan, &ctx));
-  } else {
-    RELGO_ASSIGN_OR_RETURN(result.table,
-                           exec::Executor::Run(*result.plan, &ctx));
-  }
+  RELGO_ASSIGN_OR_RETURN(result.table,
+                         ExecuteWithContext(*result.plan, &ctx));
   result.execution_ms = timer.ElapsedMillis();
+  result.profile.SetScanCacheHits(ctx.scan_cache_hits());
   if (options.adaptive_stats) {
     // The adaptive loop: hand the profile's per-operator actuals back to
     // the statistics sink, then migrate structural (predicate-free)
     // pattern corrections into the GLogue catalog itself. The next
     // Optimize over this or an overlapping query consults the refined
-    // statistics and may pick a different, better join order.
+    // statistics and may pick a different, better join order. The
+    // push-down mutates shared GLogue counts, so it excludes concurrent
+    // optimizations (Absorb itself is internally synchronized and only
+    // touches the sink).
     result.feedback_observations =
         feedback_.Absorb(*result.plan, result.profile);
+    std::unique_lock<std::shared_mutex> lock(stats_mu_);
     feedback_.PushIntoGlogue(&glogue_);
   }
   return result;

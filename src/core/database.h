@@ -2,10 +2,13 @@
 #define RELGO_CORE_DATABASE_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "exec/context.h"
 #include "exec/executor.h"
+#include "exec/pipeline/scheduler.h"
+#include "exec/scan_cache.h"
 #include "optimizer/query_optimizer.h"
 #include "pattern/parser.h"
 
@@ -17,6 +20,9 @@ struct QueryRunResult {
   storage::TablePtr table;
   double optimization_ms = 0.0;
   double execution_ms = 0.0;
+  /// Filtered scans replayed from the cross-query scan cache (0 when the
+  /// cache is off, cold, or the plan has no filtered scans).
+  uint64_t scan_cache_hits = 0;
 };
 
 /// Result of Database::RunProfiled — one profiled execution: the result
@@ -34,8 +40,21 @@ struct ProfiledRunResult {
 };
 
 /// The top-level handle of the RelGo library: owns the relational catalog,
-/// the RGMapping and graph index, all statistics (low-order + GLogue), and
-/// the optimizer front door.
+/// the RGMapping and graph index, all statistics (low-order + GLogue), the
+/// optimizer front door — and the concurrent-serving substrate: one
+/// process-wide morsel worker pool every pipeline query shares (Leis et
+/// al.'s one-pool-per-process design) plus the cross-query scan/filter
+/// cache both engines consult.
+///
+/// Thread-safety: after Finalize(), Run / RunProfiled / Execute /
+/// Optimize / Explain / ExplainAnalyze may be called from any number of
+/// threads concurrently, including profiled runs with
+/// ExecutionOptions::adaptive_stats — statistics refinement is serialized
+/// against in-flight optimizations internally (stats_mu_). Data loading
+/// (CreateTable, appends, mapping declarations) and Finalize itself are
+/// not concurrent-safe against queries; mutating a base table between
+/// queries is supported and invalidates affected scan-cache entries via
+/// the table's version counter.
 ///
 /// Typical lifecycle (see examples/quickstart.cc):
 ///
@@ -99,6 +118,20 @@ class Database {
   /// cache state, not database content.
   void ResetAdaptiveStats() const { feedback_.Clear(); }
 
+  /// The cross-query scan/filter cache (ROADMAP "Shared scan caching"):
+  /// filtered base-table scans of both engines store their selection
+  /// vectors here, keyed by the feedback layer's scan signatures and
+  /// invalidated by table version counters. Consulted by every execution
+  /// unless ExecutionOptions::scan_cache is off.
+  const exec::ScanCache& scan_cache() const { return scan_cache_; }
+  /// Empties the cache (A/B measurement, tests). `const` like
+  /// ResetAdaptiveStats: the cache is derived state, not content.
+  void ClearScanCache() const { scan_cache_.Clear(); }
+
+  /// The process-wide worker pool all concurrent pipeline queries share;
+  /// exposed for diagnostics (pool size) and scheduler-level tests.
+  exec::pipeline::TaskScheduler& worker_pool() const { return pool_; }
+
   /// Validates the mapping, builds the graph index (EV + VE), low-order
   /// statistics, and GLogue. Call after all data is loaded.
   Status Finalize(optimizer::GlogueOptions glogue_options = {});
@@ -149,6 +182,12 @@ class Database {
   bool finalized() const { return finalized_; }
 
  private:
+  /// The one execution path all entry points share: attaches the serving
+  /// substrate (worker pool, scan cache when enabled) to `ctx` and
+  /// dispatches to the selected engine.
+  Result<storage::TablePtr> ExecuteWithContext(
+      const plan::PhysicalOp& op, exec::ExecutionContext* ctx) const;
+
   storage::Catalog catalog_;
   graph::RgMapping mapping_;
   graph::GraphIndex index_;
@@ -157,13 +196,21 @@ class Database {
   /// GLogue counts and the correction sink below) from inside the
   /// logically-const RunProfiled — statistics caches, not database
   /// content, following the TableStats::distinct_cache_ precedent.
-  /// Concurrency caveat: GLogue refinement is unsynchronized, so
-  /// adaptive profiled runs must not race other queries on this
-  /// Database (see StatsFeedback's thread-safety note).
+  /// GLogue refinement takes stats_mu_ exclusively, so adaptive profiled
+  /// runs are safe against concurrent optimizations (which hold it
+  /// shared); StatsFeedback itself is internally synchronized.
   mutable optimizer::Glogue glogue_;
   optimizer::TableStats table_stats_;
   mutable optimizer::StatsFeedback feedback_;
   std::unique_ptr<optimizer::QueryOptimizer> optimizer_;
+  /// Readers = optimizations (estimators read GLogue counts), writer =
+  /// the adaptive-statistics push-down that mutates them in place.
+  mutable std::shared_mutex stats_mu_;
+  /// The shared execution substrate (see class comment). Mutable: serving
+  /// queries is logically const, but the pool spawns threads and the
+  /// cache fills — both internally synchronized.
+  mutable exec::pipeline::TaskScheduler pool_;
+  mutable exec::ScanCache scan_cache_;
   bool finalized_ = false;
 };
 

@@ -15,6 +15,12 @@
 namespace relgo {
 namespace exec {
 
+class ScanCache;
+
+namespace pipeline {
+class TaskScheduler;
+}  // namespace pipeline
+
 /// Which runtime interprets the physical plan.
 ///
 ///  * kMaterialize — the reference operator-at-a-time interpreter
@@ -53,6 +59,15 @@ struct ExecutionOptions {
   /// 1 = single-threaded deterministic mode (used by tests). Ignored by the
   /// materializing engine.
   int num_threads = 0;
+  /// Consult the owning Database's cross-query scan/filter cache (ROADMAP
+  /// "Shared scan caching"): filtered base-table scans reuse selection
+  /// vectors computed by earlier queries instead of re-evaluating the
+  /// predicate, invalidated by the table's version counter. Results are
+  /// bit-identical either way (the cache stores exactly what the filter
+  /// loop would have produced, and row-budget charges are unchanged), so
+  /// this is on by default; the off switch exists for A/B measurement and
+  /// the parity test suite.
+  bool scan_cache = true;
   /// Opt-in adaptive statistics (ROADMAP "Adaptive feedback"): after a
   /// profiled run (Database::RunProfiled / ExplainAnalyze), per-operator
   /// actual cardinalities are fed back into the optimizer's statistics
@@ -123,6 +138,29 @@ class ExecutionContext {
   void EnableProfiling(QueryProfile* profile) { profile_ = profile; }
   QueryProfile* profile() const { return profile_; }
 
+  /// The process-wide worker pool this query's pipelines run on (set by
+  /// Database; null for standalone engine executions, which then use a
+  /// query-private pool).
+  void SetScheduler(pipeline::TaskScheduler* scheduler) {
+    scheduler_ = scheduler;
+  }
+  pipeline::TaskScheduler* scheduler() const { return scheduler_; }
+
+  /// The Database's cross-query scan/filter cache; null when absent or
+  /// disabled (ExecutionOptions::scan_cache).
+  void SetScanCache(ScanCache* cache) { scan_cache_ = cache; }
+  ScanCache* scan_cache() const { return scan_cache_; }
+
+  /// Scan-cache hit accounting for this execution (thread-safe: scan
+  /// Prepare may run concurrently across a query's pipelines). Surfaced
+  /// as QueryProfile::scan_cache_hits and QueryRunResult.
+  void CountScanCacheHit() {
+    scan_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t scan_cache_hits() const {
+    return scan_cache_hits_.load(std::memory_order_relaxed);
+  }
+
   /// Resolves the base table behind a vertex label.
   Result<storage::TablePtr> VertexTable(int vertex_label) const {
     return catalog_->GetTable(mapping_->vertex_mapping(vertex_label).table);
@@ -140,6 +178,9 @@ class ExecutionContext {
   Timer timer_;
   std::atomic<uint64_t> rows_produced_{0};
   QueryProfile* profile_ = nullptr;
+  pipeline::TaskScheduler* scheduler_ = nullptr;
+  ScanCache* scan_cache_ = nullptr;
+  std::atomic<uint64_t> scan_cache_hits_{0};
 };
 
 }  // namespace exec

@@ -72,10 +72,14 @@ inline Result<std::vector<uint8_t>> FilterBitmap(
     const storage::TablePtr& table, const storage::ExprPtr& filter) {
   std::vector<uint8_t> bitmap;
   if (!filter) return bitmap;
-  RELGO_RETURN_NOT_OK(filter->Bind(table->schema()));
+  // Bind a clone: the plan may share this expression tree with the query
+  // it was optimized from, and concurrent executions of the same query
+  // must not race on the column indexes Bind resolves.
+  storage::ExprPtr bound = filter->Clone();
+  RELGO_RETURN_NOT_OK(bound->Bind(table->schema()));
   bitmap.resize(table->num_rows());
   for (uint64_t r = 0; r < table->num_rows(); ++r) {
-    bitmap[r] = filter->EvaluateBool(*table, r) ? 1 : 0;
+    bitmap[r] = bound->EvaluateBool(*table, r) ? 1 : 0;
   }
   return bitmap;
 }

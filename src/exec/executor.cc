@@ -8,6 +8,7 @@
 #include "exec/exec_common.h"
 #include "exec/join_hash_table.h"
 #include "exec/naive_matcher.h"
+#include "exec/scan_cache.h"
 
 namespace relgo {
 namespace exec {
@@ -29,6 +30,40 @@ Result<size_t> ColumnIndex(const Table& t, const std::string& name) {
   return t.schema().GetColumnIndex(name);
 }
 
+/// The selection vector of a filtered base-table scan, consulting the
+/// cross-query scan cache when one is attached: a hit replays the row ids
+/// an earlier query selected under the same (table, predicate) signature
+/// and table version; a miss evaluates the (already bound) filter and
+/// publishes the result. `cache_kind` is "scan" / "vscan" — it must match
+/// the pipeline engine's keys so both engines share entries. Returns
+/// shared storage (the cache entry itself on a hit — no per-query copy).
+Result<ScanCache::SelectionPtr> FilteredSelection(
+    const storage::TablePtr& table, const storage::ExprPtr& bound_filter,
+    const storage::ExprPtr& plan_filter, const char* cache_kind,
+    ExecutionContext* ctx) {
+  ScanCache* cache =
+      bound_filter != nullptr ? ctx->scan_cache() : nullptr;
+  std::string key;
+  uint64_t version = 0;
+  if (cache != nullptr) {
+    key = ScanCache::Key(cache_kind, table->name(), plan_filter);
+    version = table->version();
+    if (ScanCache::SelectionPtr cached = cache->Get(key, version)) {
+      ctx->CountScanCacheHit();
+      return cached;
+    }
+  }
+  auto sel = std::make_shared<std::vector<uint64_t>>();
+  sel->reserve(table->num_rows());
+  for (uint64_t r = 0; r < table->num_rows(); ++r) {
+    if (!bound_filter || bound_filter->EvaluateBool(*table, r)) {
+      sel->push_back(r);
+    }
+  }
+  if (cache != nullptr) cache->Put(key, version, sel);
+  return ScanCache::SelectionPtr(std::move(sel));
+}
+
 // ---------------------------------------------------------------------------
 // Relational operators
 // ---------------------------------------------------------------------------
@@ -36,7 +71,9 @@ Result<size_t> ColumnIndex(const Table& t, const std::string& name) {
 Result<TablePtr> ExecScanTable(const plan::PhysScanTable& op,
                                ExecutionContext* ctx) {
   RELGO_ASSIGN_OR_RETURN(auto table, ctx->catalog().GetTable(op.table));
-  storage::ExprPtr filter = op.filter;
+  // Bind a clone: the plan may share the filter tree with its query, and
+  // concurrent executions must not race on Bind's resolved indexes.
+  storage::ExprPtr filter = op.filter ? op.filter->Clone() : nullptr;
   if (filter) RELGO_RETURN_NOT_OK(filter->Bind(table->schema()));
 
   std::vector<int> raw_indexes;
@@ -44,11 +81,10 @@ Result<TablePtr> ExecScanTable(const plan::PhysScanTable& op,
                              op.emit_rowid, &raw_indexes);
   auto out = std::make_shared<Table>(op.alias, schema);
 
-  std::vector<uint64_t> sel;
-  sel.reserve(table->num_rows());
-  for (uint64_t r = 0; r < table->num_rows(); ++r) {
-    if (!filter || filter->EvaluateBool(*table, r)) sel.push_back(r);
-  }
+  RELGO_ASSIGN_OR_RETURN(
+      ScanCache::SelectionPtr sel_ptr,
+      FilteredSelection(table, filter, op.filter, "scan", ctx));
+  const std::vector<uint64_t>& sel = *sel_ptr;
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
 
   size_t out_col = 0;
@@ -67,10 +103,11 @@ Result<TablePtr> ExecScanTable(const plan::PhysScanTable& op,
 Result<TablePtr> ExecFilter(const plan::PhysFilter& op, TablePtr child,
                             ExecutionContext* ctx) {
   if (!op.predicate) return child;
-  RELGO_RETURN_NOT_OK(op.predicate->Bind(child->schema()));
+  storage::ExprPtr predicate = op.predicate->Clone();  // see ExecScanTable
+  RELGO_RETURN_NOT_OK(predicate->Bind(child->schema()));
   std::vector<uint64_t> sel;
   for (uint64_t r = 0; r < child->num_rows(); ++r) {
-    if (op.predicate->EvaluateBool(*child, r)) sel.push_back(r);
+    if (predicate->EvaluateBool(*child, r)) sel.push_back(r);
   }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
   return GatherTable(*child, sel, child->name());
@@ -408,14 +445,15 @@ Result<TablePtr> ExecLimit(const plan::PhysLimit& op, TablePtr child,
 Result<TablePtr> ExecScanVertex(const plan::PhysScanVertex& op,
                                 ExecutionContext* ctx) {
   RELGO_ASSIGN_OR_RETURN(auto vtable, ctx->VertexTable(op.vertex_label));
-  if (op.filter) RELGO_RETURN_NOT_OK(op.filter->Bind(vtable->schema()));
+  storage::ExprPtr filter = op.filter ? op.filter->Clone() : nullptr;
+  if (filter) RELGO_RETURN_NOT_OK(filter->Bind(vtable->schema()));
   auto out = std::make_shared<Table>("match", BindingSchema({op.var}));
+  RELGO_ASSIGN_OR_RETURN(
+      ScanCache::SelectionPtr sel,
+      FilteredSelection(vtable, filter, op.filter, "vscan", ctx));
   Column& col = out->column(0);
-  col.Reserve(vtable->num_rows());
-  for (uint64_t r = 0; r < vtable->num_rows(); ++r) {
-    if (op.filter && !op.filter->EvaluateBool(*vtable, r)) continue;
-    col.AppendInt(static_cast<int64_t>(r));
-  }
+  col.Reserve(sel->size());
+  for (uint64_t r : *sel) col.AppendInt(static_cast<int64_t>(r));
   out->FinishBulkAppend();
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(out->num_rows()));
   return out;

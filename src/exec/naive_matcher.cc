@@ -18,23 +18,28 @@ class Backtracker {
       : p_(p), ctx_(ctx) {}
 
   Result<TablePtr> Run() {
-    // Bind vertex predicates to their tables once.
+    // Bind clones of the pattern predicates to their tables once (clones
+    // because the pattern shares expression trees with the plan/query and
+    // Bind mutates — concurrent executions each bind their own copy).
     vertex_tables_.resize(p_.num_vertices());
+    vertex_preds_.resize(p_.num_vertices());
     for (int v = 0; v < p_.num_vertices(); ++v) {
       RELGO_ASSIGN_OR_RETURN(vertex_tables_[v],
                              ctx_->VertexTable(p_.vertex(v).label));
       if (p_.vertex(v).predicate) {
+        vertex_preds_[v] = p_.vertex(v).predicate->Clone();
         RELGO_RETURN_NOT_OK(
-            p_.vertex(v).predicate->Bind(vertex_tables_[v]->schema()));
+            vertex_preds_[v]->Bind(vertex_tables_[v]->schema()));
       }
     }
     edge_tables_.resize(p_.num_edges());
+    edge_preds_.resize(p_.num_edges());
     for (int e = 0; e < p_.num_edges(); ++e) {
       RELGO_ASSIGN_OR_RETURN(edge_tables_[e],
                              ctx_->EdgeTable(p_.edge(e).label));
       if (p_.edge(e).predicate) {
-        RELGO_RETURN_NOT_OK(
-            p_.edge(e).predicate->Bind(edge_tables_[e]->schema()));
+        edge_preds_[e] = p_.edge(e).predicate->Clone();
+        RELGO_RETURN_NOT_OK(edge_preds_[e]->Bind(edge_tables_[e]->schema()));
       }
     }
     RELGO_RETURN_NOT_OK(OrderEdges());
@@ -98,7 +103,7 @@ class Backtracker {
   }
 
   bool VertexOk(int v, uint64_t row) const {
-    const auto& pred = p_.vertex(v).predicate;
+    const auto& pred = vertex_preds_[v];
     if (pred && !pred->EvaluateBool(*vertex_tables_[v], row)) return false;
     for (const auto& [a, b] : p_.distinct_pairs()) {
       int other = (a == v) ? b : (b == v ? a : -1);
@@ -110,7 +115,7 @@ class Backtracker {
   }
 
   bool EdgeOk(int e, uint64_t row) const {
-    const auto& pred = p_.edge(e).predicate;
+    const auto& pred = edge_preds_[e];
     return !pred || pred->EvaluateBool(*edge_tables_[e], row);
   }
 
@@ -175,6 +180,8 @@ class Backtracker {
   ExecutionContext* ctx_;
   std::vector<storage::TablePtr> vertex_tables_;
   std::vector<storage::TablePtr> edge_tables_;
+  std::vector<storage::ExprPtr> vertex_preds_;  // bound per-execution clones
+  std::vector<storage::ExprPtr> edge_preds_;
   std::vector<int> edge_order_;
   std::vector<int64_t> vertex_binding_;
   std::vector<int64_t> edge_binding_;

@@ -265,8 +265,14 @@ Result<TablePtr> ExecNode(const PhysicalOp& op, ExecutionContext* ctx,
 }  // namespace
 
 Result<TablePtr> Run(const PhysicalOp& op, ExecutionContext* ctx) {
-  TaskScheduler scheduler(ResolveNumThreads(ctx->options()));
-  return ExecNode(op, ctx, &scheduler);
+  // Queries served through a Database share its process-wide worker pool;
+  // standalone executions (unit tests driving the engine directly) fall
+  // back to a private pool for the duration of the query.
+  if (TaskScheduler* pool = ctx->scheduler()) {
+    return ExecNode(op, ctx, pool);
+  }
+  TaskScheduler local;
+  return ExecNode(op, ctx, &local);
 }
 
 }  // namespace pipeline

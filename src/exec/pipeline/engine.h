@@ -17,9 +17,11 @@ namespace pipeline {
 /// EXPAND / EXPAND_INTERSECT / EDGE_VERIFY / VERTEX_FILTER / NOT_EQUAL,
 /// hash-join probes, the SCAN_GRAPH_TABLE bridge) runs batch-at-a-time over
 /// morsels of its source, while breakers (hash-join build sides, hash
-/// aggregation, ORDER BY, LIMIT) materialize between pipelines. One
-/// TaskScheduler (worker pool of ResolveNumThreads(ctx->options()) threads)
-/// executes all pipelines of the query.
+/// aggregation, ORDER BY, LIMIT) materialize between pipelines. Each
+/// pipeline is one job on the context's shared worker pool (the Database's
+/// process-wide TaskScheduler), fanned out to at most
+/// ResolveNumThreads(ctx->options()) workers; concurrent queries
+/// interleave their jobs on the same pool threads.
 ///
 /// Semantics match exec::Executor::Run exactly — same result bags, same
 /// row-budget charging, same kOutOfMemory / kTimeout behavior — which

@@ -46,20 +46,24 @@ Status EmitExpanded(const Batch& in, const std::vector<uint64_t>& sel,
 Status FilterOp::Prepare(const Schema& input, ExecutionContext* ctx) {
   (void)ctx;
   output_schema_ = input;
-  if (op_.predicate) RELGO_RETURN_NOT_OK(op_.predicate->Bind(input));
+  // Bind a clone: the plan may share the predicate tree with the query it
+  // was optimized from, and concurrent executions must not race on the
+  // resolved column indexes Bind writes.
+  predicate_ = op_.predicate ? op_.predicate->Clone() : nullptr;
+  if (predicate_) RELGO_RETURN_NOT_OK(predicate_->Bind(input));
   return Status::OK();
 }
 
 Status FilterOp::Process(const Batch& in, Batch* out,
                          ExecutionContext* ctx) const {
-  if (!op_.predicate) {
+  if (!predicate_) {
     *out = in;
     return Status::OK();
   }
   auto cols = in.ColumnPointers();
   std::vector<uint64_t> sel;
   for (uint64_t r = 0; r < in.num_rows(); ++r) {
-    if (op_.predicate->EvaluateBool(cols.data(), r)) sel.push_back(r);
+    if (predicate_->EvaluateBool(cols.data(), r)) sel.push_back(r);
   }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
   *out = in.Gather(sel);
@@ -888,11 +892,12 @@ Result<TablePtr> HashBuildSink::Finish(
   // ordering assumed; FinalizePartition sorts each partition by row id).
   uint64_t total_rows = table->num_rows();
   uint64_t morsels = (total_rows + kBatchRows - 1) / kBatchRows;
+  int max_workers = ResolveNumThreads(ctx->options());
   std::vector<JoinHashTable::BuildPartial> partials(
-      static_cast<size_t>(scheduler->num_threads()));
+      static_cast<size_t>(max_workers));
   JoinHashTable* ht = ht_.get();
-  RELGO_RETURN_NOT_OK(
-      scheduler->Run(morsels, [&](int worker, uint64_t morsel) -> Status {
+  RELGO_RETURN_NOT_OK(scheduler->Run(
+      morsels, max_workers, [&](int worker, uint64_t morsel) -> Status {
         RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
         uint64_t begin = morsel * kBatchRows;
         uint64_t count = std::min(kBatchRows, total_rows - begin);
@@ -902,7 +907,8 @@ Result<TablePtr> HashBuildSink::Finish(
 
   // Phase 2: partition-parallel finalize into the preallocated directory.
   RELGO_RETURN_NOT_OK(scheduler->Run(
-      JoinHashTable::kNumPartitions, [&](int, uint64_t p) -> Status {
+      JoinHashTable::kNumPartitions, max_workers,
+      [&](int, uint64_t p) -> Status {
         ht->FinalizePartition(static_cast<size_t>(p), &partials);
         return Status::OK();
       }));
@@ -1317,15 +1323,16 @@ Result<TablePtr> TopKSink::Finish(
     };
     std::vector<uint64_t> order(n);
     std::iota(order.begin(), order.end(), 0);
-    uint64_t chunks = static_cast<uint64_t>(scheduler->num_threads()) * 2;
+    int max_workers = ResolveNumThreads(ctx->options());
+    uint64_t chunks = static_cast<uint64_t>(max_workers) * 2;
     if (n < 4096 || chunks < 2) chunks = 1;
     std::vector<std::pair<uint64_t, uint64_t>> runs;  // [begin, end)
     for (uint64_t c = 0; c < chunks; ++c) {
       uint64_t lo = n * c / chunks, hi = n * (c + 1) / chunks;
       if (lo < hi) runs.emplace_back(lo, hi);
     }
-    RELGO_RETURN_NOT_OK(
-        scheduler->Run(runs.size(), [&](int, uint64_t run) -> Status {
+    RELGO_RETURN_NOT_OK(scheduler->Run(
+        runs.size(), max_workers, [&](int, uint64_t run) -> Status {
           RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
           std::sort(order.begin() + runs[run].first,
                     order.begin() + runs[run].second, before);

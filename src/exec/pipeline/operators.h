@@ -60,6 +60,10 @@ class FilterOp : public StreamingOp {
 
  private:
   const plan::PhysFilter& op_;
+  /// Bound per-execution clone of op_.predicate (plans can share
+  /// expression trees with their query; Bind mutates, so concurrent
+  /// executions each bind their own copy).
+  storage::ExprPtr predicate_;
 };
 
 /// pi with renaming (PhysProject); pure column sharing, zero-copy.

@@ -29,12 +29,76 @@ Status TableSource::Emit(uint64_t begin, uint64_t count, Batch* out,
 }
 
 // ---------------------------------------------------------------------------
+// CachedSelectionScan
+// ---------------------------------------------------------------------------
+
+bool CachedSelectionScan::PrepareCache(ExecutionContext* ctx, std::string key,
+                                       uint64_t table_version,
+                                       uint64_t table_rows) {
+  caching_ = false;
+  cached_ = nullptr;
+  ScanCache* cache = ctx->scan_cache();
+  if (cache == nullptr) return false;
+  cache_key_ = std::move(key);
+  table_version_ = table_version;
+  cached_ = cache->Get(cache_key_, table_version_);
+  if (cached_ != nullptr) {
+    ctx->CountScanCacheHit();
+    return true;
+  }
+  // Miss: collect per-morsel selection slices for publication. Slots are
+  // written by distinct morsels only, so no synchronization is needed
+  // beyond the filled counter.
+  caching_ = true;
+  uint64_t morsels = (table_rows + kBatchRows - 1) / kBatchRows;
+  slots_.assign(static_cast<size_t>(morsels), {});
+  slots_filled_.store(0, std::memory_order_relaxed);
+  return false;
+}
+
+void CachedSelectionScan::CachedRange(uint64_t begin, uint64_t count,
+                                      std::vector<uint64_t>* sel) const {
+  auto lo = std::lower_bound(cached_->begin(), cached_->end(), begin);
+  auto hi = std::lower_bound(lo, cached_->end(), begin + count);
+  sel->assign(lo, hi);
+}
+
+void CachedSelectionScan::Collect(uint64_t morsel,
+                                  const std::vector<uint64_t>& sel) const {
+  slots_[morsel] = sel;
+  slots_filled_.fetch_add(1, std::memory_order_release);
+}
+
+void CachedSelectionScan::PublishIfComplete(const Status& run_status,
+                                            ExecutionContext* ctx) {
+  if (!caching_ || !run_status.ok()) return;
+  if (slots_filled_.load(std::memory_order_acquire) != slots_.size()) {
+    return;  // some morsels were skipped (LIMIT early-exit) — incomplete
+  }
+  auto sel = std::make_shared<std::vector<uint64_t>>();
+  size_t total = 0;
+  for (const auto& slot : slots_) total += slot.size();
+  sel->reserve(total);
+  // Morsel order == ascending row order, so the concatenation is sorted.
+  for (const auto& slot : slots_) {
+    sel->insert(sel->end(), slot.begin(), slot.end());
+  }
+  ctx->scan_cache()->Put(cache_key_, table_version_, std::move(sel));
+  caching_ = false;
+}
+
+// ---------------------------------------------------------------------------
 // ScanTableSource
 // ---------------------------------------------------------------------------
 
 Status ScanTableSource::Prepare(ExecutionContext* ctx) {
   RELGO_ASSIGN_OR_RETURN(table_, ctx->catalog().GetTable(op_.table));
-  if (op_.filter) RELGO_RETURN_NOT_OK(op_.filter->Bind(table_->schema()));
+  filter_ = op_.filter ? op_.filter->Clone() : nullptr;
+  if (filter_) {
+    RELGO_RETURN_NOT_OK(filter_->Bind(table_->schema()));
+    PrepareCache(ctx, ScanCache::Key("scan", op_.table, op_.filter),
+                 table_->version(), table_->num_rows());
+  }
   raw_indexes_.clear();
   output_schema_ = ScanSchema(*table_, op_.alias, op_.projected_columns,
                               op_.emit_rowid, &raw_indexes_);
@@ -44,9 +108,14 @@ Status ScanTableSource::Prepare(ExecutionContext* ctx) {
 Status ScanTableSource::Emit(uint64_t begin, uint64_t count, Batch* out,
                              ExecutionContext* ctx) const {
   std::vector<uint64_t> sel;
-  sel.reserve(count);
-  for (uint64_t r = begin; r < begin + count; ++r) {
-    if (!op_.filter || op_.filter->EvaluateBool(*table_, r)) sel.push_back(r);
+  if (cached_ != nullptr) {
+    CachedRange(begin, count, &sel);
+  } else {
+    sel.reserve(count);
+    for (uint64_t r = begin; r < begin + count; ++r) {
+      if (!filter_ || filter_->EvaluateBool(*table_, r)) sel.push_back(r);
+    }
+    if (caching_) Collect(begin / kBatchRows, sel);
   }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
 
@@ -56,7 +125,7 @@ Status ScanTableSource::Emit(uint64_t begin, uint64_t count, Batch* out,
     for (uint64_t r : sel) rid.AppendInt(static_cast<int64_t>(r));
     out->AddOwned(std::move(rid));
   }
-  bool whole_unfiltered = !op_.filter && begin == 0 &&
+  bool whole_unfiltered = !filter_ && begin == 0 &&
                           count == table_->num_rows();
   for (int raw : raw_indexes_) {
     if (whole_unfiltered) {
@@ -69,30 +138,53 @@ Status ScanTableSource::Emit(uint64_t begin, uint64_t count, Batch* out,
   return Status::OK();
 }
 
+void ScanTableSource::PipelineFinished(const Status& run_status,
+                                       ExecutionContext* ctx) {
+  PublishIfComplete(run_status, ctx);
+}
+
 // ---------------------------------------------------------------------------
 // ScanVertexSource
 // ---------------------------------------------------------------------------
 
 Status ScanVertexSource::Prepare(ExecutionContext* ctx) {
   RELGO_ASSIGN_OR_RETURN(vtable_, ctx->VertexTable(op_.vertex_label));
-  if (op_.filter) RELGO_RETURN_NOT_OK(op_.filter->Bind(vtable_->schema()));
+  filter_ = op_.filter ? op_.filter->Clone() : nullptr;
+  if (filter_) {
+    RELGO_RETURN_NOT_OK(filter_->Bind(vtable_->schema()));
+    PrepareCache(ctx, ScanCache::Key("vscan", vtable_->name(), op_.filter),
+                 vtable_->version(), vtable_->num_rows());
+  }
   output_schema_ = BindingSchema({op_.var});
   return Status::OK();
 }
 
 Status ScanVertexSource::Emit(uint64_t begin, uint64_t count, Batch* out,
                               ExecutionContext* ctx) const {
-  Column col(LogicalType::kInt64);
-  col.Reserve(count);
-  for (uint64_t r = begin; r < begin + count; ++r) {
-    if (op_.filter && !op_.filter->EvaluateBool(*vtable_, r)) continue;
-    col.AppendInt(static_cast<int64_t>(r));
+  std::vector<uint64_t> sel;
+  if (cached_ != nullptr) {
+    CachedRange(begin, count, &sel);
+  } else {
+    sel.reserve(count);
+    for (uint64_t r = begin; r < begin + count; ++r) {
+      if (filter_ && !filter_->EvaluateBool(*vtable_, r)) continue;
+      sel.push_back(r);
+    }
+    if (caching_) Collect(begin / kBatchRows, sel);
   }
+  Column col(LogicalType::kInt64);
+  col.Reserve(sel.size());
+  for (uint64_t r : sel) col.AppendInt(static_cast<int64_t>(r));
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(col.size()));
   uint64_t n = col.size();
   out->AddOwned(std::move(col));
   out->SetNumRows(n);
   return Status::OK();
+}
+
+void ScanVertexSource::PipelineFinished(const Status& run_status,
+                                        ExecutionContext* ctx) {
+  PublishIfComplete(run_status, ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -119,9 +211,12 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
   uint64_t total_rows = pipeline->source->num_rows();
   uint64_t morsels = (total_rows + kBatchRows - 1) / kBatchRows;
 
+  // The query's fan-out width on the shared pool: slot ids (sink states,
+  // profile slots) live in [0, max_workers).
+  int max_workers = ResolveNumThreads(ctx->options());
   std::vector<std::unique_ptr<SinkState>> states;
-  states.reserve(scheduler->num_threads());
-  for (int i = 0; i < scheduler->num_threads(); ++i) {
+  states.reserve(max_workers);
+  for (int i = 0; i < max_workers; ++i) {
     states.push_back(sink->MakeState());
   }
 
@@ -161,7 +256,7 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
   std::vector<std::vector<OperatorProfile>> worker_profs;
   if (qp != nullptr) {
     worker_profs.assign(
-        static_cast<size_t>(scheduler->num_threads()),
+        static_cast<size_t>(max_workers),
         std::vector<OperatorProfile>(pipeline->ops.size() + 2));
   }
   auto run_morsel_profiled = [&](int worker_id, uint64_t morsel) -> Status {
@@ -207,14 +302,16 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
     return consumed;
   };
 
+  int run_workers = 1;
   Status run_status =
-      qp == nullptr ? scheduler->Run(morsels, run_morsel)
-                    : scheduler->Run(morsels, run_morsel_profiled);
+      qp == nullptr
+          ? scheduler->Run(morsels, max_workers, run_morsel, &run_workers)
+          : scheduler->Run(morsels, max_workers, run_morsel_profiled,
+                           &run_workers);
+  // Cache-publication (and any other per-source completion) hook; sources
+  // ignore failed runs, so this is safe to call unconditionally.
+  pipeline->source->PipelineFinished(run_status, ctx);
   RELGO_RETURN_NOT_OK(run_status);
-  // Captured before Finish: breaker sinks run their own scheduler jobs
-  // (hash-table build phases, sort chunks), which overwrite the pipeline's
-  // worker count.
-  int run_workers = morsels == 0 ? 1 : scheduler->last_run_workers();
   Timer finish_timer;
   auto finished = sink->Finish(std::move(states), scheduler, ctx);
   double finish_ms = finish_timer.ElapsedMillis();

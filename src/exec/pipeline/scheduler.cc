@@ -1,19 +1,10 @@
 #include "exec/pipeline/scheduler.h"
 
+#include <algorithm>
+
 namespace relgo {
 namespace exec {
 namespace pipeline {
-
-TaskScheduler::TaskScheduler(int num_threads)
-    : num_threads_(num_threads < 1 ? 1 : num_threads) {}
-
-void TaskScheduler::EnsureWorkers() {
-  if (!workers_.empty()) return;
-  workers_.reserve(num_threads_ - 1);
-  for (int i = 1; i < num_threads_; ++i) {
-    workers_.emplace_back([this, i] { WorkerMain(i); });
-  }
-}
 
 TaskScheduler::~TaskScheduler() {
   {
@@ -24,77 +15,114 @@ TaskScheduler::~TaskScheduler() {
   for (auto& w : workers_) w.join();
 }
 
-Status TaskScheduler::Run(uint64_t morsel_count, const MorselFn& fn) {
+int TaskScheduler::pool_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void TaskScheduler::EnsureWorkersLocked(int wanted) {
+  while (static_cast<int>(workers_.size()) < wanted) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+Status TaskScheduler::Run(uint64_t morsel_count, int max_workers,
+                          const MorselFn& fn, int* workers_used) {
+  if (workers_used != nullptr) *workers_used = 1;
   if (morsel_count == 0) return Status::OK();
+  int maxw = max_workers < 1 ? 1 : max_workers;
   // Inline fast path: single-threaded mode, or too little work to be worth
   // waking (or even spawning) the pool. Tiny pipelines are common — probe
   // feeds of selective joins — and parallelizing them only buys
   // wakeup/context-switch churn; require a couple of morsels per worker
   // before fanning out.
-  if (num_threads_ == 1 ||
-      morsel_count < static_cast<uint64_t>(num_threads_) * 2) {
-    last_run_workers_ = 1;
+  if (maxw == 1 || morsel_count < static_cast<uint64_t>(maxw) * 2) {
     for (uint64_t m = 0; m < morsel_count; ++m) {
       RELGO_RETURN_NOT_OK(fn(0, m));
     }
     return Status::OK();
   }
-  EnsureWorkers();
-  last_run_workers_ = num_threads_;
 
+  Job job;
+  job.fn = &fn;
+  job.count = morsel_count;
+  job.max_workers = maxw;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_fn_ = &fn;
-    job_count_ = morsel_count;
-    job_next_.store(0, std::memory_order_relaxed);
-    job_failed_.store(false, std::memory_order_relaxed);
-    job_error_ = Status::OK();
-    workers_active_ = static_cast<int>(workers_.size());
-    ++job_generation_;
+    // The pool grows to the largest fan-out any query requested; the
+    // submitting thread takes slot 0, so maxw - 1 pool threads suffice.
+    EnsureWorkersLocked(maxw - 1);
+    jobs_.push_back(&job);
   }
   work_cv_.notify_all();
+  if (workers_used != nullptr) *workers_used = maxw;
 
-  WorkLoop(0);  // the calling thread is worker 0
+  WorkLoop(&job, 0);  // the submitting thread is the job's slot 0
 
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return workers_active_ == 0; });
-  job_fn_ = nullptr;
-  return job_error_;
+  --job.executing;
+  // Wait until the job is complete (every morsel executed) or failed AND
+  // no registered worker is still inside WorkLoop — fn and the job handle
+  // live on this stack. Workers register under mu_ before executing, so
+  // this predicate cannot miss a late joiner; once the job leaves jobs_
+  // below, no worker can find it again.
+  job.done_cv.wait(lock, [&] {
+    return job.executing == 0 &&
+           (job.failed.load(std::memory_order_relaxed) ||
+            job.completed.load(std::memory_order_acquire) == job.count);
+  });
+  jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+  return job.error;
 }
 
-void TaskScheduler::WorkerMain(int worker_id) {
-  uint64_t seen_generation = 0;
-  while (true) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || job_generation_ != seen_generation;
-      });
-      if (shutdown_) return;
-      seen_generation = job_generation_;
+TaskScheduler::Job* TaskScheduler::ClaimJobLocked(int* slot) {
+  size_t n = jobs_.size();
+  for (size_t i = 0; i < n; ++i) {
+    // Rotate the scan start so pool threads spread across concurrent jobs
+    // instead of convoying onto the oldest one.
+    Job* job = jobs_[(job_rotor_ + i) % n];
+    if (job->failed.load(std::memory_order_relaxed)) continue;
+    if (job->next.load(std::memory_order_relaxed) >= job->count) continue;
+    if (job->slots >= job->max_workers) continue;
+    *slot = job->slots++;
+    ++job->executing;
+    ++job_rotor_;
+    return job;
+  }
+  return nullptr;
+}
+
+void TaskScheduler::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutdown_) {
+    int slot = -1;
+    Job* job = ClaimJobLocked(&slot);
+    if (job == nullptr) {
+      work_cv_.wait(lock);
+      continue;
     }
-    WorkLoop(worker_id);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--workers_active_ == 0) done_cv_.notify_all();
-    }
+    lock.unlock();
+    WorkLoop(job, slot);
+    lock.lock();
+    if (--job->executing == 0) job->done_cv.notify_all();
   }
 }
 
-void TaskScheduler::WorkLoop(int worker_id) {
-  while (!job_failed_.load(std::memory_order_relaxed)) {
-    uint64_t m = job_next_.fetch_add(1, std::memory_order_relaxed);
-    if (m >= job_count_) return;
-    Status st = (*job_fn_)(worker_id, m);
+void TaskScheduler::WorkLoop(Job* job, int slot) {
+  while (!job->failed.load(std::memory_order_relaxed)) {
+    uint64_t m = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (m >= job->count) return;
+    Status st = (*job->fn)(slot, m);
     if (!st.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
       // Keep the first error only; later ones are usually cascades.
-      if (!job_failed_.load(std::memory_order_relaxed)) {
-        job_error_ = std::move(st);
-        job_failed_.store(true, std::memory_order_relaxed);
+      if (!job->failed.load(std::memory_order_relaxed)) {
+        job->error = std::move(st);
+        job->failed.store(true, std::memory_order_relaxed);
       }
       return;
     }
+    job->completed.fetch_add(1, std::memory_order_acq_rel);
   }
 }
 

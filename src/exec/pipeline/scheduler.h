@@ -16,63 +16,89 @@ namespace pipeline {
 
 /// A morsel-driven worker pool (Leis et al., "Morsel-Driven Parallelism").
 ///
-/// One scheduler is created per query execution and reused by every
-/// pipeline of the plan. Morsels are claimed from a shared atomic counter,
-/// so fast workers naturally steal the remaining work of slow ones; the
-/// calling thread participates as worker 0. With num_threads == 1 no
-/// threads are spawned and morsels run inline in order — the deterministic
-/// mode tests use.
+/// One scheduler is a *process-wide* pool shared by every concurrent query
+/// of a Database (Leis et al. Sec 3 call for exactly one pool per process,
+/// not one per query). Each Run() call is one job — one pipeline's morsel
+/// space — whose error/abort state lives in a per-job handle on the
+/// caller's stack, so any number of threads may submit jobs concurrently
+/// and their morsels interleave on the same workers. Pool threads are
+/// spawned lazily up to the largest max_workers ever requested; cheap
+/// queries whose pipelines fit in a couple of morsels never pay for thread
+/// creation.
 ///
-/// Errors: the first non-OK status a worker returns is recorded and the
-/// remaining morsels are abandoned (each worker re-checks a shared flag
-/// before claiming the next morsel). This is how row-budget (kOutOfMemory)
-/// and timeout (kTimeout) aborts propagate out of a parallel pipeline.
+/// Within a job, morsels are claimed from the job's atomic counter, so
+/// fast workers naturally steal the remaining work of slow ones. The
+/// submitting thread participates as the job's slot 0 and only works on
+/// its own job (its stack owns the pipeline's sink state); pool threads
+/// pick any claimable job, rotating across active jobs so concurrent
+/// queries share the pool instead of convoying behind the first one.
+///
+/// Errors: the first non-OK status a worker returns is recorded in the
+/// job handle and the job's remaining morsels are abandoned (each worker
+/// re-checks the job's failure flag before claiming the next morsel).
+/// This is how row-budget (kOutOfMemory) and timeout (kTimeout) aborts
+/// propagate out of a parallel pipeline — without touching any other
+/// in-flight job.
 class TaskScheduler {
  public:
-  /// fn(worker_id, morsel_index); worker_id in [0, num_threads).
+  /// fn(slot, morsel_index); slot in [0, max_workers) is the job-local
+  /// worker id (slot 0 = the submitting thread), NOT a pool thread index —
+  /// per-job state (sink partials, profile slots) indexes by it.
   using MorselFn = std::function<Status(int, uint64_t)>;
 
-  explicit TaskScheduler(int num_threads);
+  TaskScheduler() = default;
   ~TaskScheduler();
 
   TaskScheduler(const TaskScheduler&) = delete;
   TaskScheduler& operator=(const TaskScheduler&) = delete;
 
-  int num_threads() const { return num_threads_; }
+  /// Runs `morsel_count` morsels to completion (or first error) with at
+  /// most `max_workers` concurrent workers, the calling thread included.
+  /// Blocks until the job drains; thread-safe — concurrent Run() calls
+  /// from different threads interleave on the shared pool. `workers_used`
+  /// (optional) receives the job's fan-out width: 1 when it took the
+  /// inline fast path, max_workers when it was offered to the pool —
+  /// deterministic, so profiling traces are reproducible.
+  Status Run(uint64_t morsel_count, int max_workers, const MorselFn& fn,
+             int* workers_used = nullptr);
 
-  /// Workers that participated in the most recent Run(): 1 when the job
-  /// took the inline fast path, num_threads() when it fanned out to the
-  /// pool. Consumed by pipeline profiling (EXPLAIN ANALYZE traces).
-  int last_run_workers() const { return last_run_workers_; }
-
-  /// Runs `morsel_count` morsels to completion (or first error). Must be
-  /// called from the owning thread; pipelines run one at a time.
-  Status Run(uint64_t morsel_count, const MorselFn& fn);
+  /// Pool threads spawned so far (grows on demand; diagnostics only).
+  int pool_threads() const;
 
  private:
-  void WorkerMain(int worker_id);
-  void WorkLoop(int worker_id);
-  /// Spawns the pool on first parallel use; cheap queries whose pipelines
-  /// all fit in one or two morsels never pay for thread creation.
-  void EnsureWorkers();
+  /// Per-query (per-pipeline) job handle: all mutable scheduling state of
+  /// one Run() call. Lives on the submitting thread's stack; the owner
+  /// removes it from the active list before returning, after every
+  /// registered worker has left (`executing == 0`).
+  struct Job {
+    const MorselFn* fn = nullptr;
+    uint64_t count = 0;
+    int max_workers = 1;
+    std::atomic<uint64_t> next{0};       ///< morsel claim counter
+    std::atomic<uint64_t> completed{0};  ///< morsels fully executed
+    std::atomic<bool> failed{false};
+    Status error;       // first error; guarded by the pool mutex
+    int slots = 1;      // job-local worker ids handed out; pool mutex
+    int executing = 1;  // workers inside WorkLoop (owner incl.); pool mutex
+    std::condition_variable done_cv;  // owner waits; waits on pool mutex
+  };
 
-  const int num_threads_;
-  int last_run_workers_ = 1;
+  void WorkerMain();
+  /// Claims morsels of `job` until it drains or fails.
+  void WorkLoop(Job* job, int slot);
+  /// Picks a job with unclaimed morsels and a free worker slot, rotating
+  /// the scan start across calls; registers the caller (slot + executing)
+  /// before returning it. Caller holds mu_. Null when nothing is claimable.
+  Job* ClaimJobLocked(int* slot);
+  /// Grows the pool to at least `wanted` threads. Caller holds mu_.
+  void EnsureWorkersLocked(int wanted);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // pool threads wait for claimable jobs
   std::vector<std::thread> workers_;
-
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for a new job
-  std::condition_variable done_cv_;   // Run() waits for workers to drain
-  uint64_t job_generation_ = 0;
-  int workers_active_ = 0;
+  std::vector<Job*> jobs_;  // active jobs (unclaimed morsels may remain)
+  size_t job_rotor_ = 0;    // rotating scan start into jobs_
   bool shutdown_ = false;
-
-  // Current job (valid while workers_active_ > 0 or Run() is inside).
-  const MorselFn* job_fn_ = nullptr;
-  uint64_t job_count_ = 0;
-  std::atomic<uint64_t> job_next_{0};
-  std::atomic<bool> job_failed_{false};
-  Status job_error_;
 };
 
 }  // namespace pipeline

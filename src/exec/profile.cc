@@ -108,10 +108,26 @@ QErrorSummary SummarizeQError(const plan::PhysicalOp& root,
   return summary;
 }
 
+namespace {
+
+/// Footer line reporting replayed filtered scans; empty when the query
+/// never hit the cross-query scan cache (cache off, cold, or no filtered
+/// scans), so cache-free renderings are byte-identical to older builds.
+std::string ScanCacheFooter(const QueryProfile& profile) {
+  if (profile.scan_cache_hits() == 0) return "";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "scan cache: %llu hits\n",
+                static_cast<unsigned long long>(profile.scan_cache_hits()));
+  return buf;
+}
+
+}  // namespace
+
 std::string RenderAnalyzedTree(const plan::PhysicalOp& root,
                                const QueryProfile& profile) {
   std::string out;
   RenderTree(root, profile, 0, &out);
+  out += ScanCacheFooter(profile);
   out += RenderQErrorFooter(root, profile);
   return out;
 }
@@ -161,6 +177,7 @@ std::string RenderAnalyzedPipelines(const plan::PhysicalOp& root,
                   profile.build_ms(), profile.sort_ms());
     out += buf;
   }
+  out += ScanCacheFooter(profile);
   out += RenderQErrorFooter(root, profile);
   return out;
 }

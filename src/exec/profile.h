@@ -94,6 +94,13 @@ class QueryProfile {
   double build_ms() const { return build_ms_; }
   double sort_ms() const { return sort_ms_; }
 
+  /// Cross-query scan-cache hits of this execution (filtered scans whose
+  /// selection vector was replayed instead of re-evaluated). Set once by
+  /// Database::RunProfiled from the execution context's counter; rendered
+  /// in EXPLAIN ANALYZE and recorded in BENCH_pipeline.json.
+  void SetScanCacheHits(uint64_t hits) { scan_cache_hits_ = hits; }
+  uint64_t scan_cache_hits() const { return scan_cache_hits_; }
+
   const std::vector<PipelineTrace>& pipelines() const { return pipelines_; }
   size_t num_profiled_ops() const { return ops_.size(); }
 
@@ -102,6 +109,7 @@ class QueryProfile {
   std::vector<PipelineTrace> pipelines_;
   double build_ms_ = 0.0;
   double sort_ms_ = 0.0;
+  uint64_t scan_cache_hits_ = 0;
 };
 
 /// One estimate-vs-actual pair extracted from a profiled run for a plan

@@ -1,0 +1,80 @@
+#include "exec/scan_cache.h"
+
+namespace relgo {
+namespace exec {
+
+std::string ScanCache::Key(const char* kind, const std::string& table,
+                           const storage::ExprPtr& filter) {
+  return std::string(kind) + "|" + table + "|" +
+         (filter ? filter->ToString() : "");
+}
+
+ScanCache::SelectionPtr ScanCache::Get(const std::string& key,
+                                       uint64_t table_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->version != table_version) {
+    // The table mutated since this selection was computed; the entry can
+    // never be valid again (versions are monotonic), so drop it now.
+    ++stats_.invalidations;
+    ++stats_.misses;
+    EraseLocked(it->second);
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->sel;
+}
+
+void ScanCache::Put(const std::string& key, uint64_t table_version,
+                    SelectionPtr sel) {
+  if (sel == nullptr) return;
+  size_t entry_bytes = EntryBytes(key, sel);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entry_bytes > max_bytes_) return;  // larger than the whole budget
+  auto it = index_.find(key);
+  if (it != index_.end()) EraseLocked(it->second);
+  while (bytes_ + entry_bytes > max_bytes_ && !lru_.empty()) {
+    ++stats_.evictions;
+    EraseLocked(std::prev(lru_.end()));
+  }
+  lru_.push_front(Entry{key, table_version, std::move(sel), entry_bytes});
+  index_[key] = lru_.begin();
+  bytes_ += entry_bytes;
+  ++stats_.insertions;
+}
+
+void ScanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void ScanCache::EraseLocked(std::list<Entry>::iterator it) {
+  bytes_ -= it->bytes;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+ScanCache::Stats ScanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ScanCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t ScanCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace exec
+}  // namespace relgo

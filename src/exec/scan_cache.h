@@ -1,0 +1,120 @@
+#ifndef RELGO_EXEC_SCAN_CACHE_H_
+#define RELGO_EXEC_SCAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/expression.h"
+
+namespace relgo {
+namespace exec {
+
+/// Cross-query scan/filter cache (ROADMAP "Shared scan caching").
+///
+/// Concurrent workloads re-scan the same base tables with the same pushed
+/// predicates over and over; the expensive part — evaluating the predicate
+/// per row — produces a selection vector that depends only on (table
+/// contents, predicate). This cache stores those selection vectors keyed
+/// by the feedback layer's scan signature namespace ("scan|<table>|<pred>",
+/// see optimizer::ScanFeedbackKey — the same string identity that already
+/// ties estimates to scans ties cached filter results to scans), so any
+/// query of any engine re-running a known filtered scan skips straight to
+/// the gather. Unfiltered scans are never cached: they have no per-row
+/// work to amortize.
+///
+/// Correctness: a hit returns exactly the row ids the filter loop would
+/// have selected, in ascending order, and callers keep charging the same
+/// row budget — results and resource accounting are bit-identical with
+/// the cache on or off. Staleness is handled by the owning table's
+/// version counter (storage::Table::version): every entry records the
+/// version it was computed against, and a lookup under a different
+/// version drops the entry and reports a miss.
+///
+/// Thread-safety: fully synchronized; Get/Put/Clear/stats may be called
+/// from any number of concurrent queries. Eviction is LRU under a byte
+/// budget (8 bytes per cached row id plus key overhead).
+class ScanCache {
+ public:
+  using SelectionPtr = std::shared_ptr<const std::vector<uint64_t>>;
+
+  /// Monotonic counters (lifetime totals; never reset by eviction).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;         ///< lookups that found nothing usable
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;      ///< LRU evictions under the byte budget
+    uint64_t invalidations = 0;  ///< entries dropped on version mismatch
+    uint64_t Lookups() const { return hits + misses; }
+    double HitRate() const {
+      uint64_t n = Lookups();
+      return n == 0 ? 0.0 : static_cast<double>(hits) / n;
+    }
+  };
+
+  static constexpr size_t kDefaultMaxBytes = 64ull << 20;  // 64 MiB
+
+  explicit ScanCache(size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  ScanCache(const ScanCache&) = delete;
+  ScanCache& operator=(const ScanCache&) = delete;
+
+  /// Cache key of a filtered scan over a base table — the execution-side
+  /// twin of optimizer::ScanFeedbackKey's "scan|<table>|<pred>" signature
+  /// (without the estimator-base tag, which is irrelevant at runtime).
+  /// `kind` distinguishes scan shapes whose selection semantics differ
+  /// ("scan" for relational scans, "vscan" for vertex-binding scans).
+  static std::string Key(const char* kind, const std::string& table,
+                         const storage::ExprPtr& filter);
+
+  /// The selection vector cached under `key` if present and computed at
+  /// `table_version`; null on miss. A version mismatch invalidates the
+  /// entry. A hit refreshes LRU recency.
+  SelectionPtr Get(const std::string& key, uint64_t table_version);
+
+  /// Stores `sel` under `key` at `table_version`, evicting LRU entries
+  /// until the byte budget holds (an entry larger than the whole budget
+  /// is not stored). Replaces an existing entry for `key`.
+  void Put(const std::string& key, uint64_t table_version, SelectionPtr sel);
+
+  void Clear();
+
+  Stats stats() const;
+  size_t entries() const;
+  size_t bytes() const;
+  size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t version = 0;
+    SelectionPtr sel;
+    size_t bytes = 0;
+  };
+
+  static size_t EntryBytes(const std::string& key, const SelectionPtr& sel) {
+    return key.size() + (sel ? sel->size() * sizeof(uint64_t) : 0) +
+           kEntryOverhead;
+  }
+  static constexpr size_t kEntryOverhead = 64;  // list/map node estimate
+
+  /// Drops `it` (must be valid) and its index entry. Caller holds mu_.
+  void EraseLocked(std::list<Entry>::iterator it);
+
+  const size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_SCAN_CACHE_H_

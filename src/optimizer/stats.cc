@@ -14,8 +14,11 @@ double TableStats::Cardinality(const std::string& table) const {
 double TableStats::DistinctCount(const std::string& table,
                                  const std::string& column) const {
   std::string key = table + "." + column;
-  auto cached = distinct_cache_.find(key);
-  if (cached != distinct_cache_.end()) return cached->second;
+  {
+    std::lock_guard<std::mutex> lock(distinct_mu_);
+    auto cached = distinct_cache_.find(key);
+    if (cached != distinct_cache_.end()) return cached->second;
+  }
 
   auto t = catalog_->GetTable(table);
   if (!t.ok()) return 1.0;
@@ -32,6 +35,7 @@ double TableStats::DistinctCount(const std::string& table,
     // Non-integer columns: assume moderately distinct.
     result = std::max(1.0, static_cast<double>((*t)->num_rows()) / 10.0);
   }
+  std::lock_guard<std::mutex> lock(distinct_mu_);
   distinct_cache_[key] = result;
   return result;
 }

@@ -1,6 +1,7 @@
 #ifndef RELGO_OPTIMIZER_STATS_H_
 #define RELGO_OPTIMIZER_STATS_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -29,6 +30,8 @@ class TableStats {
   double Cardinality(const std::string& table) const;
 
   /// Number of distinct values of an int64 column (exact, cached).
+  /// Thread-safe: concurrent optimizations of different queries share the
+  /// cache; racing threads may both compute a cold entry (same value).
   double DistinctCount(const std::string& table,
                        const std::string& column) const;
 
@@ -59,6 +62,7 @@ class TableStats {
  private:
   const storage::Catalog* catalog_;
   const StatsFeedback* feedback_ = nullptr;
+  mutable std::mutex distinct_mu_;  ///< guards distinct_cache_
   mutable std::unordered_map<std::string, double> distinct_cache_;
 };
 

@@ -26,17 +26,22 @@ Status Table::AppendRow(const std::vector<Value>& values) {
     RELGO_RETURN_NOT_OK(columns_[i].AppendValue(values[i]));
   }
   ++num_rows_;
+  version_.fetch_add(1, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(key_index_mu_);
   key_indexes_.clear();
   return Status::OK();
 }
 
 void Table::FinishBulkAppend() {
   num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+  version_.fetch_add(1, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(key_index_mu_);
   key_indexes_.clear();
 }
 
 Result<const std::unordered_map<int64_t, uint64_t>*> Table::GetKeyIndex(
     const std::string& column_name) const {
+  std::lock_guard<std::mutex> lock(key_index_mu_);
   auto cached = key_indexes_.find(column_name);
   if (cached != key_indexes_.end()) return &cached->second;
 

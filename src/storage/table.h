@@ -1,7 +1,9 @@
 #ifndef RELGO_STORAGE_TABLE_H_
 #define RELGO_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -45,9 +47,18 @@ class Table {
   }
 
   /// Unique-key hash index over an int64 column (primary keys): value -> row.
-  /// Built lazily and cached; invalidated by appends.
+  /// Built lazily and cached; invalidated by appends. Thread-safe: the
+  /// lazy build is serialized, so concurrent queries may race to the
+  /// first lookup (returned pointers stay valid until the next append).
   Result<const std::unordered_map<int64_t, uint64_t>*> GetKeyIndex(
       const std::string& column_name) const;
+
+  /// Monotonic mutation counter, bumped by every append. Consumed by the
+  /// cross-query scan cache (exec::ScanCache) to drop selection vectors
+  /// computed against older contents of this table.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   /// Renders up to `max_rows` rows for debugging/examples.
   std::string ToString(uint64_t max_rows = 10) const;
@@ -60,6 +71,11 @@ class Table {
   Schema schema_;
   std::vector<Column> columns_;
   uint64_t num_rows_ = 0;
+  std::atomic<uint64_t> version_{0};
+  /// Serializes the lazy key-index build (concurrent queries hit the same
+  /// base tables); mutation paths also take it so the cache clear cannot
+  /// race a build.
+  mutable std::mutex key_index_mu_;
   mutable std::unordered_map<std::string,
                              std::unordered_map<int64_t, uint64_t>>
       key_indexes_;

@@ -1,12 +1,15 @@
 #include "workload/harness.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/string_util.h"
+#include "common/timer.h"
 
 namespace relgo {
 namespace workload {
@@ -81,6 +84,7 @@ RunMeasurement Harness::Run(const WorkloadQuery& wq,
     RecordQError(*warm, &m.qerror_geomean, &m.qerror_max, &m.qerror_ops);
     m.build_ms = warm->profile.build_ms();
     m.sort_ms = warm->profile.sort_ms();
+    m.scan_cache_hits = warm->profile.scan_cache_hits();
   }
   TimedRepetitions(wq, mode, &m);
   return m;
@@ -150,6 +154,49 @@ std::vector<RunMeasurement> Harness::RunAdaptiveGrid(
     }
   }
   return out;
+}
+
+ConcurrentMeasurement Harness::RunConcurrent(
+    const std::vector<WorkloadQuery>& mix, optimizer::OptimizerMode mode,
+    int clients, int queries_per_client) const {
+  ConcurrentMeasurement m;
+  m.mode = optimizer::ModeName(mode);
+  m.clients = std::max(clients, 1);
+  m.queries_per_client = std::max(queries_per_client, 0);
+  if (mix.empty() || m.queries_per_client == 0) return m;
+
+  exec::ScanCache::Stats before = db_->scan_cache().stats();
+  std::atomic<uint64_t> ok{0}, failed{0};
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(m.clients);
+  for (int c = 0; c < m.clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < m.queries_per_client; ++i) {
+        const WorkloadQuery& wq = mix[(c + i) % mix.size()];
+        auto result = db_->Run(wq.query, mode, exec_options_);
+        if (result.ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  m.wall_ms = timer.ElapsedMillis();
+  m.queries_ok = ok.load();
+  m.queries_failed = failed.load();
+  if (m.wall_ms > 0.0) m.qps = m.queries_ok * 1000.0 / m.wall_ms;
+
+  exec::ScanCache::Stats after = db_->scan_cache().stats();
+  m.scan_cache_hits = after.hits - before.hits;
+  m.scan_cache_misses = after.misses - before.misses;
+  uint64_t lookups = m.scan_cache_hits + m.scan_cache_misses;
+  if (lookups > 0) {
+    m.cache_hit_rate = static_cast<double>(m.scan_cache_hits) / lookups;
+  }
+  return m;
 }
 
 std::vector<RunMeasurement> Harness::RunGrid(

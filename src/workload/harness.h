@@ -34,6 +34,10 @@ struct RunMeasurement {
   double build_ms = 0.0;
   double sort_ms = 0.0;
 
+  /// Filtered scans the profiled warm-up replayed from the cross-query
+  /// scan cache (0 when the cache is off or cold).
+  uint64_t scan_cache_hits = 0;
+
   /// Adaptive-statistics loop results (RunAdaptive only; 0 otherwise):
   /// Q-error of the re-planned query after `feedback_rounds` warm-up ->
   /// feedback -> re-plan rounds, to compare against qerror_geomean /
@@ -45,6 +49,25 @@ struct RunMeasurement {
   double TotalMs() const { return optimization_ms + execution_ms; }
   /// "OT" / "OOM" / formatted milliseconds.
   std::string StatusOrMs(bool end_to_end) const;
+};
+
+/// Outcome of one multi-client throughput run (Harness::RunConcurrent):
+/// N client threads replaying a query mix against one shared Database —
+/// the concurrent-serving protocol the shared worker pool and the
+/// cross-query scan cache exist for.
+struct ConcurrentMeasurement {
+  std::string mode;
+  int clients = 0;
+  int queries_per_client = 0;
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;  ///< any non-OK status (incl. OT/OOM)
+  double wall_ms = 0.0;
+  double qps = 0.0;  ///< completed (ok) queries per second of wall time
+  /// Scan-cache activity during this run (deltas of the database cache's
+  /// lifetime counters).
+  uint64_t scan_cache_hits = 0;
+  uint64_t scan_cache_misses = 0;
+  double cache_hit_rate = 0.0;  ///< hits / (hits + misses); 0 if no lookups
 };
 
 /// Benchmark harness mirroring the paper's protocol: warm-up run, then
@@ -84,6 +107,18 @@ class Harness {
       const std::vector<WorkloadQuery>& queries,
       const std::vector<optimizer::OptimizerMode>& modes,
       int feedback_rounds = 2) const;
+
+  /// Throughput protocol: `clients` threads each run
+  /// `queries_per_client` queries round-robin over `mix` (offset by the
+  /// client index so concurrent clients hit overlapping but staggered
+  /// queries), all against this harness's Database — sharing its worker
+  /// pool and scan cache — and the wall clock over the whole storm gives
+  /// QPS. Scan-cache hit/miss deltas are read off the database cache's
+  /// counters around the run, so run it on an otherwise idle database.
+  ConcurrentMeasurement RunConcurrent(const std::vector<WorkloadQuery>& mix,
+                                      optimizer::OptimizerMode mode,
+                                      int clients,
+                                      int queries_per_client) const;
 
   /// Renders a fixed-width table: one row per query, one column per mode,
   /// values as milliseconds (end-to-end when `end_to_end`).

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
 
 #include "exec/executor.h"
 #include "exec/pipeline/batch.h"
@@ -67,29 +68,35 @@ TEST(BatchTest, SliceTableWholeRangeIsZeroCopy) {
 
 TEST(TaskSchedulerTest, RunsEveryMorselExactlyOnce) {
   for (int threads : {1, 4}) {
-    TaskScheduler scheduler(threads);
+    TaskScheduler scheduler;
     constexpr uint64_t kMorsels = 1000;
     std::vector<std::atomic<int>> seen(kMorsels);
-    Status st = scheduler.Run(kMorsels, [&](int worker, uint64_t m) {
-      EXPECT_GE(worker, 0);
-      EXPECT_LT(worker, threads);
-      seen[m].fetch_add(1);
-      return Status::OK();
-    });
+    int workers_used = 0;
+    Status st = scheduler.Run(
+        kMorsels, threads,
+        [&](int slot, uint64_t m) {
+          EXPECT_GE(slot, 0);
+          EXPECT_LT(slot, threads);
+          seen[m].fetch_add(1);
+          return Status::OK();
+        },
+        &workers_used);
     ASSERT_TRUE(st.ok());
+    EXPECT_EQ(workers_used, threads);
     for (uint64_t m = 0; m < kMorsels; ++m) EXPECT_EQ(seen[m].load(), 1);
   }
 }
 
 TEST(TaskSchedulerTest, PropagatesFirstErrorAndStops) {
   for (int threads : {1, 4}) {
-    TaskScheduler scheduler(threads);
+    TaskScheduler scheduler;
     std::atomic<int> ran{0};
-    Status st = scheduler.Run(100000, [&](int, uint64_t m) -> Status {
-      ran.fetch_add(1);
-      if (m == 17) return Status::OutOfMemory("boom");
-      return Status::OK();
-    });
+    Status st =
+        scheduler.Run(100000, threads, [&](int, uint64_t m) -> Status {
+          ran.fetch_add(1);
+          if (m == 17) return Status::OutOfMemory("boom");
+          return Status::OK();
+        });
     ASSERT_FALSE(st.ok());
     EXPECT_EQ(st.code(), StatusCode::kOutOfMemory);
     // Abandoned well before the full morsel count.
@@ -98,11 +105,11 @@ TEST(TaskSchedulerTest, PropagatesFirstErrorAndStops) {
 }
 
 TEST(TaskSchedulerTest, ReusableAcrossJobs) {
-  TaskScheduler scheduler(3);
+  TaskScheduler scheduler;
   for (int job = 0; job < 5; ++job) {
     std::atomic<uint64_t> sum{0};
     ASSERT_TRUE(scheduler
-                    .Run(50,
+                    .Run(50, 3,
                          [&](int, uint64_t m) {
                            sum.fetch_add(m);
                            return Status::OK();
@@ -110,6 +117,44 @@ TEST(TaskSchedulerTest, ReusableAcrossJobs) {
                     .ok());
     EXPECT_EQ(sum.load(), 49u * 50u / 2);
   }
+}
+
+TEST(TaskSchedulerTest, ConcurrentJobsFromManySubmitters) {
+  // The shared-pool contract: any number of threads may submit jobs
+  // concurrently; each job's morsels all run, errors stay with their job.
+  TaskScheduler scheduler;
+  constexpr int kSubmitters = 4;
+  constexpr int kJobsEach = 8;
+  constexpr uint64_t kMorsels = 64;
+  std::vector<std::thread> submitters;
+  std::atomic<int> ok_jobs{0}, failed_jobs{0};
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int j = 0; j < kJobsEach; ++j) {
+        std::atomic<uint64_t> sum{0};
+        bool fail = (s + j) % 3 == 0;
+        Status st = scheduler.Run(kMorsels, 4, [&](int, uint64_t m) {
+          if (fail && m == 9) return Status::Timeout("job-local");
+          sum.fetch_add(m);
+          return Status::OK();
+        });
+        if (fail) {
+          if (st.code() == StatusCode::kTimeout) failed_jobs.fetch_add(1);
+        } else if (st.ok() && sum.load() == kMorsels * (kMorsels - 1) / 2) {
+          ok_jobs.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  int expected_failures = 0;
+  for (int s = 0; s < kSubmitters; ++s) {
+    for (int j = 0; j < kJobsEach; ++j) {
+      if ((s + j) % 3 == 0) ++expected_failures;
+    }
+  }
+  EXPECT_EQ(failed_jobs.load(), expected_failures);
+  EXPECT_EQ(ok_jobs.load(), kSubmitters * kJobsEach - expected_failures);
 }
 
 // ---------------------------------------------------------------------------
