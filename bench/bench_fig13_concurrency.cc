@@ -26,18 +26,21 @@ int main(int argc, char** argv) {
   workload::Harness harness(db, options, args.reps);
 
   const int kQueriesPerClient = 2 * static_cast<int>(mix.size());
-  std::printf("%8s %10s %10s %10s %10s %10s\n", "clients", "queries",
-              "wall ms", "QPS", "hits", "hit rate");
+  std::printf("%8s %10s %10s %10s %10s %10s %8s %8s %8s\n", "clients",
+              "queries", "wall ms", "QPS", "hits", "hit rate", "p50 ms",
+              "p95 ms", "p99 ms");
   for (int clients : {1, 2, 4, 8}) {
     for (bool warm : {false, true}) {
       if (!warm) db->ClearScanCache();
       auto m = harness.RunConcurrent(mix, OptimizerMode::kRelGo, clients,
                                      kQueriesPerClient);
-      std::printf("%5d %s %10llu %10.1f %10.1f %10llu %9.1f%%\n", clients,
-                  warm ? "warm" : "cold",
+      std::printf("%5d %s %10llu %10.1f %10.1f %10llu %9.1f%% %8.2f %8.2f "
+                  "%8.2f\n",
+                  clients, warm ? "warm" : "cold",
                   static_cast<unsigned long long>(m.queries_ok), m.wall_ms,
                   m.qps, static_cast<unsigned long long>(m.scan_cache_hits),
-                  100.0 * m.cache_hit_rate);
+                  100.0 * m.cache_hit_rate, m.latency_p50_ms,
+                  m.latency_p95_ms, m.latency_p99_ms);
       if (m.queries_failed != 0) {
         std::printf("  (%llu queries failed)\n",
                     static_cast<unsigned long long>(m.queries_failed));

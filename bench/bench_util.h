@@ -104,6 +104,12 @@ struct BenchRecord {
   double qps = 0.0;
   uint64_t scan_cache_hits = 0;
   double cache_hit_rate = 0.0;
+  /// Per-query latency tail of the storm (fig13 records; 0 on the rest):
+  /// exact nearest-rank percentiles over every completed query's
+  /// end-to-end milliseconds — the serving metric QPS alone hides.
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
 };
 
 /// Process-wide collector; call Write() once at the end of main(). Every
@@ -171,6 +177,9 @@ class BenchJson {
     rec.qps = m.qps;
     rec.scan_cache_hits = m.scan_cache_hits;
     rec.cache_hit_rate = m.cache_hit_rate;
+    rec.latency_p50_ms = m.latency_p50_ms;
+    rec.latency_p95_ms = m.latency_p95_ms;
+    rec.latency_p99_ms = m.latency_p99_ms;
     Add(std::move(rec));
   }
 
@@ -227,7 +236,8 @@ class BenchJson {
           "\"sort_ms\": %.3f, \"qerror_after\": %.3f, "
           "\"qerror_max_after\": %.3f, \"feedback_rounds\": %d, "
           "\"clients\": %d, \"qps\": %.3f, \"scan_cache_hits\": %llu, "
-          "\"cache_hit_rate\": %.4f}%s\n",
+          "\"cache_hit_rate\": %.4f, \"latency_p50_ms\": %.3f, "
+          "\"latency_p95_ms\": %.3f, \"latency_p99_ms\": %.3f}%s\n",
           static_cast<long long>(run_ts_), r.bench.c_str(),
           r.workload.c_str(), r.scale, r.query.c_str(), r.mode.c_str(),
           r.engine.c_str(), r.threads, r.optimization_ms, r.execution_ms,
@@ -235,7 +245,8 @@ class BenchJson {
           r.qerror, r.qerror_max, r.build_ms, r.sort_ms, r.qerror_after,
           r.qerror_max_after, r.feedback_rounds, r.clients, r.qps,
           static_cast<unsigned long long>(r.scan_cache_hits),
-          r.cache_hit_rate,
+          r.cache_hit_rate, r.latency_p50_ms, r.latency_p95_ms,
+          r.latency_p99_ms,
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

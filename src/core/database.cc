@@ -1,9 +1,58 @@
 #include "core/database.h"
 
+#include <memory>
+#include <utility>
+
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "exec/pipeline/engine.h"
 
 namespace relgo {
+
+Database::Database() : table_stats_(&catalog_) {
+  // Wire the observability substrate once, before any query (and hence any
+  // concurrency) exists. Handles are resolved here so the per-query path
+  // records through plain pointers without touching the registry lock.
+  exec::pipeline::SchedulerMetrics pm;
+  pm.jobs = &metrics_.GetCounter("relgo_pool_jobs_total");
+  pm.inline_jobs = &metrics_.GetCounter("relgo_pool_inline_jobs_total");
+  pm.tasks = &metrics_.GetCounter("relgo_pool_tasks_total");
+  pm.queue_depth = &metrics_.GetGauge("relgo_pool_queue_depth");
+  pm.pool_threads = &metrics_.GetGauge("relgo_pool_threads");
+  pm.job_run_ms = &metrics_.GetHistogram("relgo_pool_job_run_ms");
+  pm.job_wait_ms = &metrics_.GetHistogram("relgo_pool_job_wait_ms");
+  pool_.SetMetrics(pm);
+
+  query_metrics_.queries = &metrics_.GetCounter("relgo_queries_total");
+  query_metrics_.failures =
+      &metrics_.GetCounter("relgo_query_failures_total");
+  query_metrics_.optimization_ms =
+      &metrics_.GetHistogram("relgo_query_optimization_ms");
+  query_metrics_.execution_ms =
+      &metrics_.GetHistogram("relgo_query_execution_ms");
+  query_metrics_.feedback_observations =
+      &metrics_.GetCounter("relgo_feedback_observations_total");
+  query_metrics_.glogue_refinements =
+      &metrics_.GetCounter("relgo_feedback_glogue_refinements_total");
+
+  // The scan cache keeps its own lifetime Stats (the single source of
+  // truth — obs_test pins the no-drift property); the registry pulls them
+  // at snapshot time instead of mirroring every event.
+  exec::ScanCache* cache = &scan_cache_;
+  metrics_.AddCollector([cache](obs::MetricsSnapshot* out) {
+    exec::ScanCache::Stats s = cache->stats();
+    out->counters["relgo_scan_cache_hits_total"] += s.hits;
+    out->counters["relgo_scan_cache_misses_total"] += s.misses;
+    out->counters["relgo_scan_cache_insertions_total"] += s.insertions;
+    out->counters["relgo_scan_cache_evictions_total"] += s.evictions;
+    out->counters["relgo_scan_cache_invalidations_total"] +=
+        s.invalidations;
+    out->gauges["relgo_scan_cache_entries"] +=
+        static_cast<int64_t>(cache->entries());
+    out->gauges["relgo_scan_cache_bytes"] +=
+        static_cast<int64_t>(cache->bytes());
+  });
+}
 
 Status Database::Finalize(optimizer::GlogueOptions glogue_options) {
   RELGO_RETURN_NOT_OK(mapping_.Validate(catalog_));
@@ -19,7 +68,27 @@ Status Database::Finalize(optimizer::GlogueOptions glogue_options) {
   return Status::OK();
 }
 
-Result<optimizer::OptimizeResult> Database::Optimize(
+Result<pattern::PatternGraph> Database::ParsePattern(
+    const std::string& text) const {
+  if (!trace_sink_.enabled()) return pattern::ParsePattern(text, mapping_);
+  // Parsing happens before a query id exists, so parse spans live on
+  // track 0 ("frontend") rather than a per-query track.
+  double start = obs::TraceNowMs();
+  auto parsed = pattern::ParsePattern(text, mapping_);
+  obs::TraceEvent ev;
+  ev.name = "parse";
+  ev.cat = "query";
+  ev.tid = 0;
+  ev.ts_ms = start;
+  ev.dur_ms = obs::TraceNowMs() - start;
+  ev.args.emplace_back("pattern", text);
+  ev.args.emplace_back("status",
+                       parsed.ok() ? "ok" : parsed.status().ToString());
+  trace_sink_.Record(std::move(ev));
+  return parsed;
+}
+
+Result<optimizer::OptimizeResult> Database::OptimizeInternal(
     const plan::SpjmQuery& query, optimizer::OptimizerMode mode) const {
   if (!finalized_) {
     return Status::InvalidArgument("call Finalize() before Optimize()");
@@ -29,6 +98,15 @@ Result<optimizer::OptimizeResult> Database::Optimize(
   // none overlaps a refinement.
   std::shared_lock<std::shared_mutex> lock(stats_mu_);
   return optimizer_->Optimize(query, mode);
+}
+
+Result<optimizer::OptimizeResult> Database::Optimize(
+    const plan::SpjmQuery& query, optimizer::OptimizerMode mode) const {
+  auto optimized = OptimizeInternal(query, mode);
+  if (optimized.ok()) {
+    query_metrics_.optimization_ms->Record(optimized->optimization_ms);
+  }
+  return optimized;
 }
 
 Result<storage::TablePtr> Database::ExecuteWithContext(
@@ -47,18 +125,120 @@ Result<storage::TablePtr> Database::Execute(
   return ExecuteWithContext(op, &ctx);
 }
 
+void Database::ObserveQuery(const plan::SpjmQuery& query,
+                            optimizer::OptimizerMode mode,
+                            const exec::ExecutionOptions& options,
+                            const QueryObservation& obs) const {
+  if (options.metrics) {
+    query_metrics_.queries->Increment();
+    if (!obs.status.ok()) query_metrics_.failures->Increment();
+    query_metrics_.optimization_ms->Record(obs.optimization_ms);
+    query_metrics_.execution_ms->Record(obs.execution_ms);
+  }
+  double total_ms = obs.optimization_ms + obs.execution_ms;
+  if (options.slow_query_ms > 0.0 && total_ms >= options.slow_query_ms) {
+    slow_log_.Record(StrFormat(
+        "slow_query query=%s mode=%s engine=%s total_ms=%.3f opt_ms=%.3f "
+        "exec_ms=%.3f rows=%llu scan_cache_hits=%llu threshold_ms=%.3f "
+        "status=%s",
+        query.name.empty() ? "<unnamed>" : query.name.c_str(),
+        optimizer::ModeName(mode),
+        options.engine == exec::EngineKind::kPipeline ? "pipeline"
+                                                      : "materialize",
+        total_ms, obs.optimization_ms, obs.execution_ms,
+        static_cast<unsigned long long>(obs.rows),
+        static_cast<unsigned long long>(obs.scan_cache_hits),
+        options.slow_query_ms,
+        obs.status.ok() ? "ok" : obs.status.ToString().c_str()));
+  }
+}
+
+namespace {
+
+/// Stack guard absorbing a query's TraceRecorder into the sink on every
+/// exit path (success and error returns alike), so no traced query can
+/// leave its spans behind.
+class TraceScope {
+ public:
+  TraceScope(obs::TraceSink* sink, bool enabled, std::string label)
+      : sink_(sink), label_(std::move(label)) {
+    if (enabled) {
+      recorder_ = std::make_unique<obs::TraceRecorder>(sink->NextQueryId());
+    }
+  }
+  ~TraceScope() {
+    if (recorder_ != nullptr) sink_->Absorb(recorder_.get(), label_);
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// Null when tracing is off — the engine-side null-check discipline.
+  obs::TraceRecorder* recorder() const { return recorder_.get(); }
+
+ private:
+  obs::TraceSink* sink_;
+  std::string label_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;
+};
+
+std::string TraceLabel(const plan::SpjmQuery& query,
+                       optimizer::OptimizerMode mode) {
+  std::string name = query.name.empty() ? "<unnamed>" : query.name;
+  return name + " [" + optimizer::ModeName(mode) + "]";
+}
+
+}  // namespace
+
 Result<QueryRunResult> Database::Run(const plan::SpjmQuery& query,
                                      optimizer::OptimizerMode mode,
                                      exec::ExecutionOptions options) const {
+  TraceScope trace(&trace_sink_, options.trace || trace_sink_.enabled(),
+                   TraceLabel(query, mode));
+  QueryObservation obs;
   QueryRunResult result;
-  RELGO_ASSIGN_OR_RETURN(auto optimized, Optimize(query, mode));
-  result.optimization_ms = optimized.optimization_ms;
+
+  double opt_start = trace.recorder() != nullptr ? obs::TraceNowMs() : 0.0;
+  auto optimized = OptimizeInternal(query, mode);
+  if (trace.recorder() != nullptr) {
+    trace.recorder()->Record(
+        "optimize", "query", opt_start,
+        {{"mode", optimizer::ModeName(mode)},
+         {"status",
+          optimized.ok() ? "ok" : optimized.status().ToString()}});
+  }
+  if (!optimized.ok()) {
+    obs.status = optimized.status();
+    ObserveQuery(query, mode, options, obs);
+    return optimized.status();
+  }
+  obs.optimization_ms = result.optimization_ms = optimized->optimization_ms;
+
   exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
+  ctx.SetTrace(trace.recorder());
+  double exec_start = trace.recorder() != nullptr ? obs::TraceNowMs() : 0.0;
   Timer timer;
-  RELGO_ASSIGN_OR_RETURN(result.table,
-                         ExecuteWithContext(*optimized.plan, &ctx));
-  result.execution_ms = timer.ElapsedMillis();
-  result.scan_cache_hits = ctx.scan_cache_hits();
+  auto table = ExecuteWithContext(*optimized->plan, &ctx);
+  obs.execution_ms = result.execution_ms = timer.ElapsedMillis();
+  obs.scan_cache_hits = result.scan_cache_hits = ctx.scan_cache_hits();
+  if (table.ok()) obs.rows = (*table)->num_rows();
+  if (trace.recorder() != nullptr) {
+    trace.recorder()->Record(
+        "execute", "query", exec_start,
+        {{"engine", options.engine == exec::EngineKind::kPipeline
+                        ? "pipeline"
+                        : "materialize"},
+         {"scan_cache_hits", std::to_string(ctx.scan_cache_hits())},
+         {"rows", std::to_string(obs.rows)},
+         {"status", table.ok() ? "ok" : table.status().ToString()}});
+  }
+  if (!table.ok()) {
+    obs.status = table.status();
+    ObserveQuery(query, mode, options, obs);
+    return table.status();
+  }
+  ObserveQuery(query, mode, options, obs);
+  result.table = std::move(table).value();
   return result;
 }
 
@@ -71,16 +251,53 @@ Result<std::string> Database::Explain(const plan::SpjmQuery& query,
 Result<ProfiledRunResult> Database::RunProfiled(
     const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
     exec::ExecutionOptions options) const {
+  TraceScope trace(&trace_sink_, options.trace || trace_sink_.enabled(),
+                   TraceLabel(query, mode));
+  QueryObservation obs;
   ProfiledRunResult result;
-  RELGO_ASSIGN_OR_RETURN(auto optimized, Optimize(query, mode));
-  result.optimization_ms = optimized.optimization_ms;
-  result.plan = std::move(optimized.plan);
+
+  double opt_start = trace.recorder() != nullptr ? obs::TraceNowMs() : 0.0;
+  auto optimized = OptimizeInternal(query, mode);
+  if (trace.recorder() != nullptr) {
+    trace.recorder()->Record(
+        "optimize", "query", opt_start,
+        {{"mode", optimizer::ModeName(mode)},
+         {"status",
+          optimized.ok() ? "ok" : optimized.status().ToString()}});
+  }
+  if (!optimized.ok()) {
+    obs.status = optimized.status();
+    ObserveQuery(query, mode, options, obs);
+    return optimized.status();
+  }
+  obs.optimization_ms = result.optimization_ms = optimized->optimization_ms;
+  result.plan = std::move(optimized->plan);
+
   exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
   ctx.EnableProfiling(&result.profile);
+  ctx.SetTrace(trace.recorder());
+  double exec_start = trace.recorder() != nullptr ? obs::TraceNowMs() : 0.0;
   Timer timer;
-  RELGO_ASSIGN_OR_RETURN(result.table,
-                         ExecuteWithContext(*result.plan, &ctx));
-  result.execution_ms = timer.ElapsedMillis();
+  auto table = ExecuteWithContext(*result.plan, &ctx);
+  obs.execution_ms = result.execution_ms = timer.ElapsedMillis();
+  obs.scan_cache_hits = ctx.scan_cache_hits();
+  if (table.ok()) obs.rows = (*table)->num_rows();
+  if (trace.recorder() != nullptr) {
+    trace.recorder()->Record(
+        "execute", "query", exec_start,
+        {{"engine", options.engine == exec::EngineKind::kPipeline
+                        ? "pipeline"
+                        : "materialize"},
+         {"scan_cache_hits", std::to_string(ctx.scan_cache_hits())},
+         {"rows", std::to_string(obs.rows)},
+         {"status", table.ok() ? "ok" : table.status().ToString()}});
+  }
+  if (!table.ok()) {
+    obs.status = table.status();
+    ObserveQuery(query, mode, options, obs);
+    return table.status();
+  }
+  result.table = std::move(table).value();
   result.profile.SetScanCacheHits(ctx.scan_cache_hits());
   if (options.adaptive_stats) {
     // The adaptive loop: hand the profile's per-operator actuals back to
@@ -93,9 +310,19 @@ Result<ProfiledRunResult> Database::RunProfiled(
     // touches the sink).
     result.feedback_observations =
         feedback_.Absorb(*result.plan, result.profile);
-    std::unique_lock<std::shared_mutex> lock(stats_mu_);
-    feedback_.PushIntoGlogue(&glogue_);
+    int refined = 0;
+    {
+      std::unique_lock<std::shared_mutex> lock(stats_mu_);
+      refined = feedback_.PushIntoGlogue(&glogue_);
+    }
+    if (options.metrics) {
+      query_metrics_.feedback_observations->Add(
+          static_cast<uint64_t>(result.feedback_observations));
+      query_metrics_.glogue_refinements->Add(
+          static_cast<uint64_t>(refined));
+    }
   }
+  ObserveQuery(query, mode, options, obs);
   return result;
 }
 

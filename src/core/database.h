@@ -9,6 +9,9 @@
 #include "exec/executor.h"
 #include "exec/pipeline/scheduler.h"
 #include "exec/scan_cache.h"
+#include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "optimizer/query_optimizer.h"
 #include "pattern/parser.h"
 
@@ -68,7 +71,7 @@ struct ProfiledRunResult {
 ///   auto result = db.Run(query, optimizer::OptimizerMode::kRelGo);
 class Database {
  public:
-  Database() : table_stats_(&catalog_) {}
+  Database();
 
   // Non-copyable (owns large state and internal pointers).
   Database(const Database&) = delete;
@@ -136,10 +139,9 @@ class Database {
   /// statistics, and GLogue. Call after all data is loaded.
   Status Finalize(optimizer::GlogueOptions glogue_options = {});
 
-  /// Parses a SQL/PGQ-style MATCH pattern against the mapping.
-  Result<pattern::PatternGraph> ParsePattern(const std::string& text) const {
-    return pattern::ParsePattern(text, mapping_);
-  }
+  /// Parses a SQL/PGQ-style MATCH pattern against the mapping. Records a
+  /// "parse" span while tracing is enabled (SetTracing).
+  Result<pattern::PatternGraph> ParsePattern(const std::string& text) const;
 
   /// Optimizes `query` under the given mode; the plan is independent of
   /// execution state and can be printed with plan::PrintPlan.
@@ -181,7 +183,69 @@ class Database {
 
   bool finalized() const { return finalized_; }
 
+  // --- Observability (ROADMAP "Observability"; docs/ARCHITECTURE.md) ---
+
+  /// The process-wide metrics registry: query counters and latency
+  /// histograms, worker-pool and feedback metrics, plus pull-collectors
+  /// for subsystems with their own accounting (scan cache). Render with
+  /// metrics().RenderText() or merge Snapshot()s across databases.
+  /// `const` like the pool: observing the server is not mutating content.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The query-lifecycle trace sink (Chrome trace-event export).
+  obs::TraceSink& trace_sink() const { return trace_sink_; }
+
+  /// Turns span recording on/off for every subsequent query (individual
+  /// queries can also opt in via ExecutionOptions::trace).
+  void SetTracing(bool on) const { trace_sink_.set_enabled(on); }
+
+  /// Writes the collected spans as Chrome trace-event JSON, loadable by
+  /// chrome://tracing or Perfetto.
+  Status DumpTrace(const std::string& path) const {
+    return trace_sink_.WriteFile(path);
+  }
+  std::string DumpTraceJson() const { return trace_sink_.DumpJson(); }
+
+  /// Structured records of queries that crossed their
+  /// ExecutionOptions::slow_query_ms threshold.
+  obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
+
  private:
+  /// What one finished (or failed) query reports to the registry and the
+  /// slow-query log.
+  struct QueryObservation {
+    double optimization_ms = 0.0;
+    double execution_ms = 0.0;
+    uint64_t rows = 0;
+    uint64_t scan_cache_hits = 0;
+    Status status;
+  };
+
+  /// Registry handles resolved once in the constructor so the per-query
+  /// path never takes the registry lock.
+  struct QueryMetricHandles {
+    obs::Counter* queries = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Histogram* optimization_ms = nullptr;
+    obs::Histogram* execution_ms = nullptr;
+    obs::Counter* feedback_observations = nullptr;
+    obs::Counter* glogue_refinements = nullptr;
+  };
+
+  /// Optimize without the public entry point's metrics recording —
+  /// Run/RunProfiled charge optimization time through ObserveQuery
+  /// instead, so a query never lands twice in the same histogram.
+  Result<optimizer::OptimizeResult> OptimizeInternal(
+      const plan::SpjmQuery& query, optimizer::OptimizerMode mode) const;
+
+  /// Records one finished query: registry counters/histograms (when
+  /// `options.metrics`) and the slow-query log (when the
+  /// `options.slow_query_ms` threshold is crossed — independent of the
+  /// metrics switch).
+  void ObserveQuery(const plan::SpjmQuery& query,
+                    optimizer::OptimizerMode mode,
+                    const exec::ExecutionOptions& options,
+                    const QueryObservation& obs) const;
   /// The one execution path all entry points share: attaches the serving
   /// substrate (worker pool, scan cache when enabled) to `ctx` and
   /// dispatches to the selected engine.
@@ -211,6 +275,14 @@ class Database {
   /// cache fills — both internally synchronized.
   mutable exec::pipeline::TaskScheduler pool_;
   mutable exec::ScanCache scan_cache_;
+  /// Observability state (mutable for the same reason as the pool:
+  /// serving and observing are logically const). Declared before use:
+  /// the constructor wires the pool's SchedulerMetrics and the scan-cache
+  /// collector out of `metrics_`.
+  mutable obs::MetricsRegistry metrics_;
+  mutable obs::TraceSink trace_sink_;
+  mutable obs::SlowQueryLog slow_log_;
+  QueryMetricHandles query_metrics_;
   bool finalized_ = false;
 };
 

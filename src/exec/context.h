@@ -13,6 +13,11 @@
 #include "storage/catalog.h"
 
 namespace relgo {
+
+namespace obs {
+class TraceRecorder;
+}  // namespace obs
+
 namespace exec {
 
 class ScanCache;
@@ -77,6 +82,23 @@ struct ExecutionOptions {
   /// is absorbed and — on a database that never absorbed feedback — all
   /// plans and estimates are bit-identical to the non-adaptive build.
   bool adaptive_stats = false;
+  /// Record this query into the Database's process-wide MetricsRegistry
+  /// (query/failure counters, optimization/execution latency histograms,
+  /// feedback counters). Per-query granularity only — nothing per row or
+  /// per morsel — so results are bit-identical either way; the off switch
+  /// exists for A/B parity tests and to exclude a query from the fleet
+  /// view (obs_test pins the parity).
+  bool metrics = true;
+  /// Record query-lifecycle spans (optimize, execute, per-pipeline build/
+  /// run/sink-finish) into the Database's TraceSink, exportable as Chrome
+  /// trace-event JSON via Database::DumpTrace. Off by default: spans
+  /// allocate. Tracing is also forced on for every query while the sink
+  /// itself is enabled (Database::SetTracing).
+  bool trace = false;
+  /// Slow-query log threshold: a query whose optimization + execution
+  /// wall time reaches this many milliseconds is recorded as one
+  /// structured line in the Database's SlowQueryLog. <= 0 disables.
+  double slow_query_ms = 0.0;
 };
 
 /// Resolves ExecutionOptions::num_threads to a concrete worker count.
@@ -151,6 +173,12 @@ class ExecutionContext {
   void SetScanCache(ScanCache* cache) { scan_cache_ = cache; }
   ScanCache* scan_cache() const { return scan_cache_; }
 
+  /// The query's span recorder; null when tracing is off (the engine's
+  /// span sites are one null check, mirroring profile()'s
+  /// zero-cost-when-off discipline).
+  void SetTrace(obs::TraceRecorder* trace) { trace_ = trace; }
+  obs::TraceRecorder* trace() const { return trace_; }
+
   /// Scan-cache hit accounting for this execution (thread-safe: scan
   /// Prepare may run concurrently across a query's pipelines). Surfaced
   /// as QueryProfile::scan_cache_hits and QueryRunResult.
@@ -180,6 +208,7 @@ class ExecutionContext {
   QueryProfile* profile_ = nullptr;
   pipeline::TaskScheduler* scheduler_ = nullptr;
   ScanCache* scan_cache_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   std::atomic<uint64_t> scan_cache_hits_{0};
 };
 

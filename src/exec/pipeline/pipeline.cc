@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "exec/exec_common.h"
+#include "obs/trace.h"
 
 namespace relgo {
 namespace exec {
@@ -196,10 +197,12 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
                                       ExecutionContext* ctx) {
   RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
   QueryProfile* qp = ctx->profile();
+  obs::TraceRecorder* tr = ctx->trace();
   Timer pipeline_timer;
 
   // Single-threaded stage resolution: schemas, expression binding, shared
   // read-only operator state.
+  double build_start = tr != nullptr ? obs::TraceNowMs() : 0.0;
   RELGO_RETURN_NOT_OK(pipeline->source->Prepare(ctx));
   const Schema* schema = &pipeline->source->output_schema();
   for (auto& op : pipeline->ops) {
@@ -207,6 +210,11 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
     schema = &op->output_schema();
   }
   RELGO_RETURN_NOT_OK(sink->Prepare(*schema, ctx));
+  if (tr != nullptr) {
+    tr->Record("pipeline_build", "pipeline", build_start,
+               {{"sink", sink->label()},
+                {"ops", std::to_string(pipeline->ops.size())}});
+  }
 
   uint64_t total_rows = pipeline->source->num_rows();
   uint64_t morsels = (total_rows + kBatchRows - 1) / kBatchRows;
@@ -303,18 +311,31 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
   };
 
   int run_workers = 1;
+  double run_start = tr != nullptr ? obs::TraceNowMs() : 0.0;
   Status run_status =
       qp == nullptr
           ? scheduler->Run(morsels, max_workers, run_morsel, &run_workers)
           : scheduler->Run(morsels, max_workers, run_morsel_profiled,
                            &run_workers);
+  if (tr != nullptr) {
+    tr->Record("pipeline_run", "pipeline", run_start,
+               {{"sink", sink->label()},
+                {"morsels", std::to_string(morsels)},
+                {"workers", std::to_string(run_workers)},
+                {"status", run_status.ok() ? "ok" : run_status.ToString()}});
+  }
   // Cache-publication (and any other per-source completion) hook; sources
   // ignore failed runs, so this is safe to call unconditionally.
   pipeline->source->PipelineFinished(run_status, ctx);
   RELGO_RETURN_NOT_OK(run_status);
+  double sink_start = tr != nullptr ? obs::TraceNowMs() : 0.0;
   Timer finish_timer;
   auto finished = sink->Finish(std::move(states), scheduler, ctx);
   double finish_ms = finish_timer.ElapsedMillis();
+  if (tr != nullptr) {
+    tr->Record("sink_finish", "pipeline", sink_start,
+               {{"sink", sink->label()}});
+  }
 
   if (qp != nullptr) {
     // Back on the owning thread: merge the thread-local counters into the

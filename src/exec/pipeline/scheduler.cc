@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
+
 namespace relgo {
 namespace exec {
 namespace pipeline {
@@ -37,11 +39,17 @@ Status TaskScheduler::Run(uint64_t morsel_count, int max_workers,
   // wakeup/context-switch churn; require a couple of morsels per worker
   // before fanning out.
   if (maxw == 1 || morsel_count < static_cast<uint64_t>(maxw) * 2) {
+    if (metrics_.inline_jobs != nullptr) metrics_.inline_jobs->Increment();
+    if (metrics_.tasks != nullptr) metrics_.tasks->Add(morsel_count);
     for (uint64_t m = 0; m < morsel_count; ++m) {
       RELGO_RETURN_NOT_OK(fn(0, m));
     }
     return Status::OK();
   }
+
+  Timer run_timer;
+  if (metrics_.jobs != nullptr) metrics_.jobs->Increment();
+  if (metrics_.tasks != nullptr) metrics_.tasks->Add(morsel_count);
 
   Job job;
   job.fn = &fn;
@@ -53,12 +61,19 @@ Status TaskScheduler::Run(uint64_t morsel_count, int max_workers,
     // submitting thread takes slot 0, so maxw - 1 pool threads suffice.
     EnsureWorkersLocked(maxw - 1);
     jobs_.push_back(&job);
+    if (metrics_.queue_depth != nullptr) {
+      metrics_.queue_depth->Set(static_cast<int64_t>(jobs_.size()));
+    }
+    if (metrics_.pool_threads != nullptr) {
+      metrics_.pool_threads->Set(static_cast<int64_t>(workers_.size()));
+    }
   }
   work_cv_.notify_all();
   if (workers_used != nullptr) *workers_used = maxw;
 
   WorkLoop(&job, 0);  // the submitting thread is the job's slot 0
 
+  Timer wait_timer;
   std::unique_lock<std::mutex> lock(mu_);
   --job.executing;
   // Wait until the job is complete (every morsel executed) or failed AND
@@ -72,6 +87,16 @@ Status TaskScheduler::Run(uint64_t morsel_count, int max_workers,
             job.completed.load(std::memory_order_acquire) == job.count);
   });
   jobs_.erase(std::find(jobs_.begin(), jobs_.end(), &job));
+  if (metrics_.queue_depth != nullptr) {
+    metrics_.queue_depth->Set(static_cast<int64_t>(jobs_.size()));
+  }
+  lock.unlock();
+  if (metrics_.job_wait_ms != nullptr) {
+    metrics_.job_wait_ms->Record(wait_timer.ElapsedMillis());
+  }
+  if (metrics_.job_run_ms != nullptr) {
+    metrics_.job_run_ms->Record(run_timer.ElapsedMillis());
+  }
   return job.error;
 }
 

@@ -9,10 +9,28 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace relgo {
 namespace exec {
 namespace pipeline {
+
+/// Registry hooks of the shared pool (wired once by Database before any
+/// query runs; all-null for standalone pools, which then record nothing).
+/// Granularity is per job, never per morsel: counters are bumped with the
+/// job's totals when it drains, so the morsel hot loop stays untouched.
+struct SchedulerMetrics {
+  obs::Counter* jobs = nullptr;         ///< jobs offered to the pool
+  obs::Counter* inline_jobs = nullptr;  ///< jobs run on the inline fast path
+  obs::Counter* tasks = nullptr;        ///< morsels executed (both paths)
+  obs::Gauge* queue_depth = nullptr;    ///< active jobs after submit/drain
+  obs::Gauge* pool_threads = nullptr;   ///< pool threads spawned so far
+  obs::Histogram* job_run_ms = nullptr;  ///< pool-path Run() wall time
+  /// Straggler wait: time the submitting thread spent blocked after its
+  /// own work loop drained, waiting for pool workers to finish the job's
+  /// last morsels.
+  obs::Histogram* job_wait_ms = nullptr;
+};
 
 /// A morsel-driven worker pool (Leis et al., "Morsel-Driven Parallelism").
 ///
@@ -65,6 +83,11 @@ class TaskScheduler {
   /// Pool threads spawned so far (grows on demand; diagnostics only).
   int pool_threads() const;
 
+  /// Attaches registry metrics (see SchedulerMetrics). Must be called
+  /// before the first Run — Database wires its pool in the constructor;
+  /// standalone pools simply never call it.
+  void SetMetrics(const SchedulerMetrics& metrics) { metrics_ = metrics; }
+
  private:
   /// Per-query (per-pipeline) job handle: all mutable scheduling state of
   /// one Run() call. Lives on the submitting thread's stack; the owner
@@ -93,6 +116,7 @@ class TaskScheduler {
   /// Grows the pool to at least `wanted` threads. Caller holds mu_.
   void EnsureWorkersLocked(int wanted);
 
+  SchedulerMetrics metrics_;  // wired pre-concurrency; null hooks = no-op
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // pool threads wait for claimable jobs
   std::vector<std::thread> workers_;

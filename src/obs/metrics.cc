@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace relgo {
+namespace obs {
+
+namespace {
+
+/// First finite bucket's upper bound: 1 µs.
+constexpr double kMinUpperMs = 1e-3;
+/// log2 of the bucket growth factor 2^(1/4).
+constexpr double kLog2Growth = 0.25;
+
+}  // namespace
+
+double BucketUpperMs(int i) {
+  if (i < 0) i = 0;
+  if (i >= kHistogramBuckets) i = kHistogramBuckets - 1;
+  return kMinUpperMs * std::exp2(i * kLog2Growth);
+}
+
+int BucketIndexForMs(double v) {
+  if (!(v > kMinUpperMs)) return 0;  // also catches NaN and v <= 0
+  // Smallest i with upper(i) >= v, i.e. ceil(log2(v / kMinUpperMs) * 4).
+  // The 1e-9 slack keeps exact boundary values (v == upper(i) up to
+  // floating-point round-trip) in bucket i instead of spilling to i+1.
+  double idx = std::ceil(std::log2(v / kMinUpperMs) / kLog2Growth - 1e-9);
+  if (idx >= kHistogramBuckets) return kHistogramBuckets;  // overflow
+  return static_cast<int>(idx);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * count));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i <= kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return BucketUpperMs(std::min(i, kHistogramBuckets - 1));
+    }
+  }
+  return BucketUpperMs(kHistogramBuckets - 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& s : shards_) {
+    for (size_t i = 0; i < s.buckets.size(); ++i) {
+      uint64_t n = s.buckets[i].load(std::memory_order_relaxed);
+      snap.buckets[i] += n;
+      snap.count += n;
+    }
+    snap.sum_ms += s.sum_ms.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] += v;
+  for (const auto& [name, h] : other.histograms) histograms[name].Merge(h);
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::AddCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  for (const auto& collect : collectors_) collect(&snap);
+  return snap;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  return RenderSnapshotText(Snapshot());
+}
+
+std::string RenderSnapshotText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, v] : snapshot.counters) {
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;  // elide empty deltas (see header)
+      cumulative += h.buckets[i];
+      os << name << "_bucket{le=\""
+         << StrFormat("%.6g", BucketUpperMs(i)) << "\"} " << cumulative
+         << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << name << "_sum " << StrFormat("%.6f", h.sum_ms) << "\n";
+    os << name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+double PercentileOfSorted(const std::vector<double>& sorted_ascending,
+                          double q) {
+  if (sorted_ascending.empty()) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  size_t rank =
+      static_cast<size_t>(std::ceil(q * sorted_ascending.size()));
+  if (rank == 0) rank = 1;
+  return sorted_ascending[rank - 1];
+}
+
+}  // namespace obs
+}  // namespace relgo

@@ -1,0 +1,245 @@
+#ifndef RELGO_OBS_METRICS_H_
+#define RELGO_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace relgo {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Process-wide metrics primitives (ROADMAP serving tier / PR 6).
+//
+// Design rules, in order:
+//  1. recording is wait-free and allocation-free — one relaxed atomic add
+//     on a thread-sharded slot, so client threads, pool workers and the
+//     harness can all record without serializing on each other;
+//  2. reading is exact — Value()/Snapshot() sum the shards, so totals are
+//     never sampled or approximated (only percentiles are bucketized);
+//  3. snapshots are plain mergeable values — fleets of registries (or the
+//     same registry over time) combine by addition, associatively.
+// ---------------------------------------------------------------------------
+
+/// Shard count of counters and histograms. Threads hash onto shards, so
+/// contention drops ~kShards-fold without per-thread registration.
+inline constexpr int kMetricShards = 16;
+
+/// The recording thread's shard, hashed once per thread.
+inline size_t ShardIndex() {
+  static thread_local const size_t shard =
+      std::hash<std::thread::id>()(std::this_thread::get_id()) %
+      kMetricShards;
+  return shard;
+}
+
+/// Monotonic counter, thread-sharded (see file comment).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Exact total over all shards.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-value gauge (queue depth, cache bytes, pool threads). A single
+/// atomic: gauges are written from one site at a time (e.g. under the
+/// scheduler mutex), so sharding would only blur the "current value"
+/// semantics.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Log-scale latency histogram.
+// ---------------------------------------------------------------------------
+
+/// Finite buckets of the latency histograms: bucket i covers
+/// (BucketUpperMs(i-1), BucketUpperMs(i)] with upper bounds growing by
+/// 2^(1/4) (≤ ~19% relative quantile error) from 1 µs; bucket 127 tops out
+/// around 60 min, far past every timeout in the repo. Index kHistogramBuckets
+/// is the overflow bucket.
+inline constexpr int kHistogramBuckets = 128;
+
+/// Upper bound (inclusive) of finite bucket `i`, in milliseconds.
+double BucketUpperMs(int i);
+
+/// Bucket index of value `v` ms: the smallest finite bucket whose upper
+/// bound is >= v, or kHistogramBuckets (overflow) past the last one.
+/// Values <= 0 land in bucket 0. Exact on bucket boundaries: recording
+/// BucketUpperMs(i) lands in bucket i, so distributions made of boundary
+/// values have exact percentiles.
+int BucketIndexForMs(double v);
+
+/// Mergeable point-in-time view of one histogram; plain data.
+struct HistogramSnapshot {
+  std::array<uint64_t, kHistogramBuckets + 1> buckets{};  // [128] = overflow
+  uint64_t count = 0;
+  double sum_ms = 0.0;
+
+  void Merge(const HistogramSnapshot& other) {
+    for (size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+    count += other.count;
+    sum_ms += other.sum_ms;
+  }
+
+  /// Nearest-rank percentile, q in [0, 1]: the upper bound of the bucket
+  /// holding the ceil(q * count)-th smallest recorded value (0 when
+  /// empty). Overflow values report the last finite bound — a documented
+  /// floor, not a measurement.
+  double Percentile(double q) const;
+
+  double MeanMs() const { return count == 0 ? 0.0 : sum_ms / count; }
+};
+
+/// Fixed-bucket log-scale latency histogram, thread-sharded like Counter.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double ms) {
+    Shard& s = shards_[ShardIndex()];
+    s.buckets[BucketIndexForMs(ms)].fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> is C++20; a relaxed CAS loop on a
+    // sharded slot is contention-free enough here.
+    double cur = s.sum_ms.load(std::memory_order_relaxed);
+    while (!s.sum_ms.compare_exchange_weak(cur, cur + ms,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets + 1> buckets{};
+    std::atomic<double> sum_ms{0.0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Mergeable snapshot of a whole registry. Counters and histograms merge
+/// by addition; gauges merge by addition too (a merged snapshot reads as
+/// the fleet total), keeping Merge associative and commutative across all
+/// three kinds.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void Merge(const MetricsSnapshot& other);
+
+  uint64_t CounterValue(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  int64_t GaugeValue(const std::string& name) const {
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
+  }
+  const HistogramSnapshot* FindHistogram(const std::string& name) const {
+    auto it = histograms.find(name);
+    return it == histograms.end() ? nullptr : &it->second;
+  }
+};
+
+/// Process-wide metrics registry (one per Database): names map to
+/// counters/gauges/histograms with stable addresses, so instrumented code
+/// resolves a metric once and records through the pointer forever.
+///
+/// External subsystems that already maintain their own counters (the scan
+/// cache's lifetime Stats) register a *collector* instead of mirroring
+/// values into registry metrics: collectors are invoked at Snapshot() /
+/// RenderText() time and pull from the one true source, so the snapshot
+/// can never drift from the subsystem's own accounting (obs_test pins
+/// this for the scan cache).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Resolve-or-create; the returned reference is stable for the
+  /// registry's lifetime. Name kinds are disjoint namespaces — asking for
+  /// a counter named like an existing gauge creates a separate metric.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Pull-style metrics source, called under the registry lock at every
+  /// Snapshot(); must not call back into this registry.
+  using Collector = std::function<void(MetricsSnapshot*)>;
+  void AddCollector(Collector fn);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus-style text exposition of Snapshot(): "# TYPE" headers,
+  /// cumulative `_bucket{le="..."}` lines (zero-delta buckets elided; the
+  /// `+Inf` bucket always present), `_sum` / `_count` per histogram.
+  std::string RenderText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<Collector> collectors_;
+};
+
+/// Renders a snapshot in the RenderText() format (shared by registry and
+/// merged-fleet snapshots).
+std::string RenderSnapshotText(const MetricsSnapshot& snapshot);
+
+/// Exact nearest-rank percentile of an ascending-sorted sample vector
+/// (q in [0, 1]; 0 on empty input). The harness uses this for the fig13
+/// tail-latency fields, where raw samples are available and bucketization
+/// would be a needless approximation.
+double PercentileOfSorted(const std::vector<double>& sorted_ascending,
+                          double q);
+
+}  // namespace obs
+}  // namespace relgo
+
+#endif  // RELGO_OBS_METRICS_H_

@@ -1,0 +1,37 @@
+#include "obs/slow_query_log.h"
+
+#include <cstdio>
+
+namespace relgo {
+namespace obs {
+
+void SlowQueryLog::set_echo(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  echo_ = on;
+}
+
+void SlowQueryLog::Record(std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (echo_) std::fprintf(stderr, "%s\n", line.c_str());
+  records_.push_back(std::move(line));
+  while (records_.size() > max_records_) records_.pop_front();
+}
+
+std::vector<std::string> SlowQueryLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(records_.begin(), records_.end());
+}
+
+uint64_t SlowQueryLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+}  // namespace obs
+}  // namespace relgo

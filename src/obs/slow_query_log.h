@@ -1,0 +1,55 @@
+#ifndef RELGO_OBS_SLOW_QUERY_LOG_H_
+#define RELGO_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace relgo {
+namespace obs {
+
+/// Bounded in-memory slow-query log, owned by Database. A query whose
+/// optimization + execution time crosses ExecutionOptions::slow_query_ms
+/// is recorded as one structured line (key=value pairs composed by the
+/// Database — query name, mode, engine, timings, rows, cache hits,
+/// status), ring-buffered so a misbehaving workload cannot grow the log
+/// without bound. `total()` keeps counting past evictions. Optionally
+/// echoes each record to stderr for interactive runs.
+class SlowQueryLog {
+ public:
+  static constexpr size_t kDefaultMaxRecords = 256;
+
+  explicit SlowQueryLog(size_t max_records = kDefaultMaxRecords)
+      : max_records_(max_records) {}
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Echo records to stderr as they arrive (off by default: tests and
+  /// benches read records() instead of scraping output).
+  void set_echo(bool on);
+
+  void Record(std::string line);
+
+  /// Copies of the retained records, oldest first.
+  std::vector<std::string> records() const;
+
+  /// Lifetime record count (monotonic; unaffected by ring eviction).
+  uint64_t total() const;
+
+  void Clear();
+
+ private:
+  const size_t max_records_;
+  mutable std::mutex mu_;
+  bool echo_ = false;
+  uint64_t total_ = 0;
+  std::deque<std::string> records_;
+};
+
+}  // namespace obs
+}  // namespace relgo
+
+#endif  // RELGO_OBS_SLOW_QUERY_LOG_H_

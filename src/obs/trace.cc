@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace relgo {
+namespace obs {
+
+double TraceNowMs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void TraceRecorder::Record(
+    const char* name, const char* cat, double start_ms,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.tid = query_id_;
+  ev.ts_ms = start_ms;
+  ev.dur_ms = TraceNowMs() - start_ms;
+  if (ev.dur_ms < 0.0) ev.dur_ms = 0.0;
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceRecorder::Take() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(events_);
+}
+
+void TraceSink::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+  while (events_.size() > max_events_) events_.pop_front();
+}
+
+void TraceSink::Absorb(TraceRecorder* recorder, const std::string& label) {
+  std::vector<TraceEvent> events = recorder->Take();
+  TraceEvent name_meta;
+  name_meta.name = "thread_name";
+  name_meta.cat = "__metadata";
+  name_meta.phase = 'M';
+  name_meta.tid = recorder->query_id();
+  name_meta.args.emplace_back("name", label);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(name_meta));
+  for (auto& ev : events) events_.push_back(std::move(ev));
+  while (events_.size() > max_events_) events_.pop_front();
+}
+
+namespace {
+
+/// JSON string escaping (control chars, quotes, backslash).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceSink::DumpJson() const {
+  // The one permitted wall-clock read of the tracing subsystem: stamp the
+  // export moment so relative steady timestamps can be anchored offline.
+  long long exported_unix_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\",\n";
+  os << "\"otherData\": {\"exported_unix_ms\": \"" << exported_unix_ms
+     << "\", \"clock\": \"steady_clock us since process trace epoch\"},\n";
+  os << "\"traceEvents\": [\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << JsonEscape(ev.name) << "\", \"cat\": \""
+       << JsonEscape(ev.cat) << "\", \"ph\": \"" << ev.phase
+       << "\", \"pid\": 1, \"tid\": " << ev.tid;
+    if (ev.phase == 'X') {
+      os << StrFormat(", \"ts\": %.3f, \"dur\": %.3f", ev.ts_ms * 1000.0,
+                      ev.dur_ms * 1000.0);
+    }
+    os << ", \"args\": {";
+    for (size_t i = 0; i < ev.args.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "\"" << JsonEscape(ev.args[i].first) << "\": \""
+         << JsonEscape(ev.args[i].second) << "\"";
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Status TraceSink::WriteFile(const std::string& path) const {
+  std::string json = DumpJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+}  // namespace obs
+}  // namespace relgo

@@ -10,6 +10,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace relgo {
 namespace workload {
@@ -167,15 +168,23 @@ ConcurrentMeasurement Harness::RunConcurrent(
 
   exec::ScanCache::Stats before = db_->scan_cache().stats();
   std::atomic<uint64_t> ok{0}, failed{0};
+  // Per-client latency samples (no sharing during the storm — each client
+  // appends to its own vector); merged and sorted once after the join.
+  std::vector<std::vector<double>> client_latencies(
+      static_cast<size_t>(m.clients));
   Timer timer;
   std::vector<std::thread> threads;
   threads.reserve(m.clients);
   for (int c = 0; c < m.clients; ++c) {
     threads.emplace_back([&, c] {
+      std::vector<double>& latencies = client_latencies[c];
+      latencies.reserve(m.queries_per_client);
       for (int i = 0; i < m.queries_per_client; ++i) {
         const WorkloadQuery& wq = mix[(c + i) % mix.size()];
+        Timer query_timer;
         auto result = db_->Run(wq.query, mode, exec_options_);
         if (result.ok()) {
+          latencies.push_back(query_timer.ElapsedMillis());
           ok.fetch_add(1, std::memory_order_relaxed);
         } else {
           failed.fetch_add(1, std::memory_order_relaxed);
@@ -188,6 +197,15 @@ ConcurrentMeasurement Harness::RunConcurrent(
   m.queries_ok = ok.load();
   m.queries_failed = failed.load();
   if (m.wall_ms > 0.0) m.qps = m.queries_ok * 1000.0 / m.wall_ms;
+
+  std::vector<double> latencies;
+  for (const auto& per_client : client_latencies) {
+    latencies.insert(latencies.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  m.latency_p50_ms = obs::PercentileOfSorted(latencies, 0.50);
+  m.latency_p95_ms = obs::PercentileOfSorted(latencies, 0.95);
+  m.latency_p99_ms = obs::PercentileOfSorted(latencies, 0.99);
 
   exec::ScanCache::Stats after = db_->scan_cache().stats();
   m.scan_cache_hits = after.hits - before.hits;

@@ -68,6 +68,13 @@ struct ConcurrentMeasurement {
   uint64_t scan_cache_hits = 0;
   uint64_t scan_cache_misses = 0;
   double cache_hit_rate = 0.0;  ///< hits / (hits + misses); 0 if no lookups
+  /// Per-query end-to-end latency tail over every completed (ok) query of
+  /// the storm — the serving-tier metric QPS alone hides (ROADMAP: report
+  /// tail latency, not just QPS). Exact nearest-rank percentiles over the
+  /// raw per-query samples (obs::PercentileOfSorted), not bucketized.
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
 };
 
 /// Benchmark harness mirroring the paper's protocol: warm-up run, then
