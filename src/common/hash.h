@@ -4,10 +4,19 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
 namespace relgo {
+
+/// Seed of every composite-key hash chain (the FNV-1a offset basis). The
+/// typed key-extraction paths and the boxed Value paths must start their
+/// chains from the same seed so both land keys in the same buckets.
+constexpr size_t kHashSeed = 0xcbf29ce484222325ULL;
+
+/// What Value::Hash returns for a NULL (common/value.cc).
+constexpr size_t kNullHash = 0x9e3779b97f4a7c15ULL;
 
 /// Mixes `v` into seed `h` (boost::hash_combine variant with 64-bit avalanche).
 inline size_t HashCombine(size_t h, size_t v) {
@@ -19,9 +28,20 @@ inline size_t HashCombine(size_t h, size_t v) {
 
 /// Hashes a sequence of 64-bit keys; used for composite join keys.
 inline size_t HashSpan(const uint64_t* data, size_t n) {
-  size_t h = 0xcbf29ce484222325ULL;
+  size_t h = kHashSeed;
   for (size_t i = 0; i < n; ++i) h = HashCombine(h, data[i]);
   return h;
+}
+
+/// Typed twins of Value::Hash: each overload hashes exactly what
+/// Value::Hash would hash for a boxed value of that payload type, so key
+/// hashes computed from raw column spans (exec/vector typed key
+/// extraction) equal the hashes of the equivalent boxed rows.
+inline size_t TypedHash(int64_t v) { return std::hash<int64_t>()(v); }
+inline size_t TypedHash(bool v) { return std::hash<bool>()(v); }
+inline size_t TypedHash(double v) { return std::hash<double>()(v); }
+inline size_t TypedHash(const std::string& v) {
+  return std::hash<std::string>()(v);
 }
 
 /// std::hash implementation for vectors of integral ids.

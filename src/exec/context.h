@@ -99,6 +99,16 @@ struct ExecutionOptions {
   /// wall time reaches this many milliseconds is recorded as one
   /// structured line in the Database's SlowQueryLog. <= 0 disables.
   double slow_query_ms = 0.0;
+  /// Evaluate filters through the vectorized kernel layer
+  /// (src/exec/vector/): bound predicates are lowered once per scan /
+  /// filter into typed kernels over column payload spans and selection
+  /// vectors, and typed key extraction replaces boxed Value rows in
+  /// hash-join build/probe, GROUP BY and TopK. Predicates the lowerer
+  /// cannot cover fall back to row-at-a-time Expr::EvaluateBool, and
+  /// kernel semantics are bit-identical to that path
+  /// (vector_kernel_test pins the parity), so this is on by default;
+  /// the off switch exists for A/B measurement and differential tests.
+  bool vectorized_kernels = true;
 };
 
 /// Resolves ExecutionOptions::num_threads to a concrete worker count.

@@ -1,0 +1,61 @@
+#include "exec/exec_common.h"
+
+#include <memory>
+
+#include "exec/scan_cache.h"
+#include "exec/vector/compiled_expr.h"
+
+namespace relgo {
+namespace exec {
+
+Result<SharedBitmap> FilterBitmap(const storage::TablePtr& table,
+                                  const storage::ExprPtr& filter,
+                                  ExecutionContext* ctx) {
+  if (!filter) return SharedBitmap();
+
+  // Replay an earlier query's bitmap for the same (table, predicate)
+  // signature and table version. The "bitmap|" namespace never collides
+  // with the selection-vector namespaces ("scan|", "vscan|").
+  ScanCache* cache = ctx != nullptr ? ctx->scan_cache() : nullptr;
+  std::string key;
+  uint64_t version = 0;
+  if (cache != nullptr) {
+    key = ScanCache::Key("bitmap", table->name(), filter);
+    version = table->version();
+    if (ScanCache::BitmapPtr hit = cache->GetBitmap(key, version)) {
+      ctx->CountScanCacheHit();
+      return SharedBitmap(std::move(hit));
+    }
+  }
+
+  // Bind a clone: the plan may share this expression tree with the query
+  // it was optimized from, and concurrent executions of the same query
+  // must not race on the column indexes Bind resolves.
+  storage::ExprPtr bound = filter->Clone();
+  RELGO_RETURN_NOT_OK(bound->Bind(table->schema()));
+
+  auto bitmap = std::make_shared<std::vector<uint8_t>>();
+  std::unique_ptr<vector::CompiledPredicate> compiled;
+  if (ctx == nullptr || ctx->options().vectorized_kernels) {
+    compiled = vector::CompiledPredicate::Compile(*bound, table->schema());
+  }
+  if (compiled != nullptr) {
+    std::vector<const storage::Column*> columns;
+    columns.reserve(table->num_columns());
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      columns.push_back(&table->column(c));
+    }
+    compiled->FilterBitmap(columns.data(), table->num_rows(), bitmap.get());
+  } else {
+    bitmap->resize(table->num_rows());
+    for (uint64_t r = 0; r < table->num_rows(); ++r) {
+      (*bitmap)[r] = bound->EvaluateBool(*table, r) ? 1 : 0;
+    }
+  }
+
+  if (cache != nullptr) cache->PutBitmap(key, version, bitmap);
+  return SharedBitmap(std::move(bitmap));
+}
+
+}  // namespace exec
+}  // namespace relgo

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/context.h"
+#include "exec/vector/typed_keys.h"
 #include "plan/spjm_query.h"
 #include "storage/expression.h"
 #include "storage/table.h"
@@ -63,26 +64,42 @@ inline storage::Schema BindingSchema(const std::vector<std::string>& vars) {
   return s;
 }
 
+/// A per-base-row validity bitmap with shared storage: either empty (no
+/// filter — every row passes) or one byte per base-table row (1 == pass).
+/// The payload is shared so a ScanCache hit replays an earlier query's
+/// bitmap without copying it, and the accessors mirror the
+/// std::vector<uint8_t> the expansion loops were written against.
+class SharedBitmap {
+ public:
+  using Ptr = std::shared_ptr<const std::vector<uint8_t>>;
+
+  SharedBitmap() = default;
+  explicit SharedBitmap(Ptr data) : data_(std::move(data)) {}
+
+  bool empty() const { return data_ == nullptr || data_->empty(); }
+  uint8_t operator[](uint64_t i) const { return (*data_)[i]; }
+  size_t size() const { return data_ == nullptr ? 0 : data_->size(); }
+  const Ptr& data() const { return data_; }
+
+ private:
+  Ptr data_;
+};
+
 /// Evaluates `filter` once per row of `table` into a validity bitmap
 /// (empty when there is no filter). Expansion-style operators consult the
 /// bitmap per adjacency entry, turning per-expansion expression evaluation
 /// into a single table pass. The pipeline engine computes bitmaps during
 /// single-threaded operator Prepare, so workers only do bitmap loads.
-inline Result<std::vector<uint8_t>> FilterBitmap(
-    const storage::TablePtr& table, const storage::ExprPtr& filter) {
-  std::vector<uint8_t> bitmap;
-  if (!filter) return bitmap;
-  // Bind a clone: the plan may share this expression tree with the query
-  // it was optimized from, and concurrent executions of the same query
-  // must not race on the column indexes Bind resolves.
-  storage::ExprPtr bound = filter->Clone();
-  RELGO_RETURN_NOT_OK(bound->Bind(table->schema()));
-  bitmap.resize(table->num_rows());
-  for (uint64_t r = 0; r < table->num_rows(); ++r) {
-    bitmap[r] = bound->EvaluateBool(*table, r) ? 1 : 0;
-  }
-  return bitmap;
-}
+///
+/// Two acceleration layers, both semantics-preserving (exec_common.cc):
+/// the predicate is lowered to vectorized kernels when
+/// ExecutionOptions::vectorized_kernels allows and the tree is lowerable
+/// (row-at-a-time fallback otherwise), and the finished bitmap is
+/// published to the cross-query ScanCache ("bitmap|..." namespace) so
+/// repeated expansions replay it instead of re-evaluating.
+Result<SharedBitmap> FilterBitmap(const storage::TablePtr& table,
+                                  const storage::ExprPtr& filter,
+                                  ExecutionContext* ctx);
 
 /// Three-way ORDER BY key comparison: the single source of truth for sort
 /// semantics (Value comparison incl. null ordering, per-key direction) in
@@ -115,11 +132,27 @@ inline Result<storage::TablePtr> SortTableByKeys(
   }
   std::vector<uint64_t> sel(child->num_rows());
   std::iota(sel.begin(), sel.end(), 0);
-  std::stable_sort(sel.begin(), sel.end(), [&](uint64_t a, uint64_t b) {
-    return CompareSortKeyValues(
-               keys, [&](size_t i) { return child->GetValue(a, key_cols[i]); },
-               [&](size_t i) { return child->GetValue(b, key_cols[i]); }) < 0;
-  });
+  if (ctx->options().vectorized_kernels) {
+    // Typed comparator: payload-span reads instead of boxing two Values
+    // per comparison; sign-identical (vector::TypedColumnCompare).
+    std::vector<const storage::Column*> kc;
+    for (size_t idx : key_cols) kc.push_back(&child->column(idx));
+    std::stable_sort(sel.begin(), sel.end(), [&](uint64_t a, uint64_t b) {
+      for (size_t i = 0; i < keys.size(); ++i) {
+        int c = vector::TypedColumnCompare(*kc[i], a, *kc[i], b);
+        if (c != 0) return keys[i].ascending ? c < 0 : c > 0;
+      }
+      return false;
+    });
+  } else {
+    std::stable_sort(sel.begin(), sel.end(), [&](uint64_t a, uint64_t b) {
+      return CompareSortKeyValues(
+                 keys,
+                 [&](size_t i) { return child->GetValue(a, key_cols[i]); },
+                 [&](size_t i) { return child->GetValue(b, key_cols[i]); }) <
+             0;
+    });
+  }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
   return GatherTable(*child, sel, child->name());
 }

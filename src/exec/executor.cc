@@ -9,6 +9,8 @@
 #include "exec/join_hash_table.h"
 #include "exec/naive_matcher.h"
 #include "exec/scan_cache.h"
+#include "exec/vector/compiled_expr.h"
+#include "exec/vector/typed_keys.h"
 
 namespace relgo {
 namespace exec {
@@ -55,9 +57,21 @@ Result<ScanCache::SelectionPtr> FilteredSelection(
   }
   auto sel = std::make_shared<std::vector<uint64_t>>();
   sel->reserve(table->num_rows());
-  for (uint64_t r = 0; r < table->num_rows(); ++r) {
-    if (!bound_filter || bound_filter->EvaluateBool(*table, r)) {
-      sel->push_back(r);
+  // Kernel path: lower the bound predicate once and scan typed payload
+  // spans (bit-identical to EvaluateBool); row-at-a-time fallback for
+  // trees outside the lowerable subset or with the option off.
+  std::unique_ptr<vector::CompiledPredicate> compiled;
+  if (bound_filter != nullptr && ctx->options().vectorized_kernels) {
+    compiled =
+        vector::CompiledPredicate::Compile(*bound_filter, table->schema());
+  }
+  if (compiled != nullptr) {
+    compiled->FilterTable(*table, 0, table->num_rows(), sel.get());
+  } else {
+    for (uint64_t r = 0; r < table->num_rows(); ++r) {
+      if (!bound_filter || bound_filter->EvaluateBool(*table, r)) {
+        sel->push_back(r);
+      }
     }
   }
   if (cache != nullptr) cache->Put(key, version, sel);
@@ -106,8 +120,16 @@ Result<TablePtr> ExecFilter(const plan::PhysFilter& op, TablePtr child,
   storage::ExprPtr predicate = op.predicate->Clone();  // see ExecScanTable
   RELGO_RETURN_NOT_OK(predicate->Bind(child->schema()));
   std::vector<uint64_t> sel;
-  for (uint64_t r = 0; r < child->num_rows(); ++r) {
-    if (predicate->EvaluateBool(*child, r)) sel.push_back(r);
+  std::unique_ptr<vector::CompiledPredicate> compiled;
+  if (ctx->options().vectorized_kernels) {
+    compiled = vector::CompiledPredicate::Compile(*predicate, child->schema());
+  }
+  if (compiled != nullptr) {
+    compiled->FilterTable(*child, 0, child->num_rows(), &sel);
+  } else {
+    for (uint64_t r = 0; r < child->num_rows(); ++r) {
+      if (predicate->EvaluateBool(*child, r)) sel.push_back(r);
+    }
   }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
   return GatherTable(*child, sel, child->name());
@@ -146,12 +168,19 @@ Result<TablePtr> HashJoinTables(const Table& left, const Table& right,
     RELGO_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(left, k));
     probe_cols.push_back(idx);
   }
+  // Probe through payload spans hoisted once instead of Column::int_at
+  // per (row, key). Join keys are int64 binding columns (BeginBuild
+  // enforced the build side; the probe side joins against them).
+  std::vector<const int64_t*> probe_keys;
+  for (size_t idx : probe_cols) {
+    probe_keys.push_back(left.column(idx).data_int64());
+  }
 
   std::vector<uint64_t> left_sel, right_sel;
   std::vector<uint64_t> matches;
   for (uint64_t r = 0; r < left.num_rows(); ++r) {
     matches.clear();
-    ht.Probe(left, probe_cols, r, &matches);
+    ht.Probe(probe_keys.data(), r, &matches);
     for (uint64_t b : matches) {
       left_sel.push_back(r);
       right_sel.push_back(b);
@@ -207,7 +236,7 @@ Result<TablePtr> ExecRidLookupJoin(const plan::PhysRidLookupJoin& op,
                    : ctx->mapping().FindVertexLabel(em.dst_label);
   RELGO_ASSIGN_OR_RETURN(auto vtable, ctx->VertexTable(vlabel));
   RELGO_ASSIGN_OR_RETURN(auto bitmap,
-                         FilterBitmap(vtable, op.vertex_filter));
+                         FilterBitmap(vtable, op.vertex_filter, ctx));
 
   std::vector<int> raw_indexes;
   Schema vschema = ScanSchema(*vtable, op.vertex_alias, op.vertex_columns,
@@ -258,7 +287,8 @@ Result<TablePtr> ExecRidExpandJoin(const plan::PhysRidExpandJoin& op,
   RELGO_ASSIGN_OR_RETURN(size_t rid_col,
                          ColumnIndex(*child, op.vertex_rowid_column));
   RELGO_ASSIGN_OR_RETURN(auto etable, ctx->EdgeTable(op.edge_label));
-  RELGO_ASSIGN_OR_RETURN(auto bitmap, FilterBitmap(etable, op.edge_filter));
+  RELGO_ASSIGN_OR_RETURN(auto bitmap,
+                         FilterBitmap(etable, op.edge_filter, ctx));
 
   std::vector<int> raw_indexes;
   Schema eschema = ScanSchema(*etable, op.edge_alias, op.edge_columns,
@@ -346,27 +376,71 @@ Result<TablePtr> ExecHashAggregate(const plan::PhysHashAggregate& op,
   };
   std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHash> groups;
   std::vector<GroupKey> order;  // first-seen order for determinism
-
-  for (uint64_t r = 0; r < child->num_rows(); ++r) {
-    GroupKey key;
-    key.values.reserve(group_cols.size());
-    for (size_t c : group_cols) key.values.push_back(child->GetValue(r, c));
-    auto it = groups.find(key);
-    if (it == groups.end()) {
-      it = groups.emplace(key, std::vector<AggState>(op.aggregates.size()))
-               .first;
-      order.push_back(key);
+  // Typed fast path (exec/vector/typed_keys.h): byte-encoded keys and
+  // span-read aggregate inputs, no Value boxing per row. Falls back to
+  // the boxed maps when disabled or when a key type is not
+  // byte-encodable (doubles).
+  std::unordered_map<vector::EncodedGroupKey, std::vector<AggState>,
+                     vector::EncodedGroupKeyHash>
+      egroups;
+  std::vector<const vector::EncodedGroupKey*> eorder;  // first-seen order
+  std::unique_ptr<vector::KeyEncoder> encoder;
+  if (ctx->options().vectorized_kernels) {
+    std::vector<LogicalType> key_types;
+    for (size_t c : group_cols) {
+      key_types.push_back(child->schema().column(c).type);
     }
+    encoder = vector::KeyEncoder::Make(key_types);
+  }
+
+  if (encoder != nullptr) {
+    std::vector<const Column*> key_cols;
+    for (size_t c : group_cols) key_cols.push_back(&child->column(c));
+    std::vector<vector::AggColumnView> views(op.aggregates.size());
     for (size_t a = 0; a < op.aggregates.size(); ++a) {
-      AggState& st = it->second[a];
-      st.count += 1;
       if (agg_cols[a] >= 0) {
-        Value v = child->GetValue(r, static_cast<size_t>(agg_cols[a]));
-        if (!v.is_null()) {
-          if (st.min.is_null() || v < st.min) st.min = v;
-          if (st.max.is_null() || st.max < v) st.max = v;
-          if (v.type() == LogicalType::kInt64) st.isum += v.int_value();
-          if (v.type() == LogicalType::kDouble) st.sum += v.double_value();
+        views[a] = vector::AggColumnView(
+            &child->column(static_cast<size_t>(agg_cols[a])));
+      }
+    }
+    vector::EncodedGroupKey key;
+    for (uint64_t r = 0; r < child->num_rows(); ++r) {
+      encoder->Encode(key_cols.data(), r, &key);
+      auto it = egroups.find(key);
+      if (it == egroups.end()) {
+        it = egroups
+                 .emplace(key, std::vector<AggState>(op.aggregates.size()))
+                 .first;
+        eorder.push_back(&it->first);  // unordered_map keys are node-stable
+      }
+      for (size_t a = 0; a < op.aggregates.size(); ++a) {
+        AggState& st = it->second[a];
+        st.count += 1;
+        if (agg_cols[a] >= 0) views[a].Update(r, &st);
+      }
+    }
+  } else {
+    for (uint64_t r = 0; r < child->num_rows(); ++r) {
+      GroupKey key;
+      key.values.reserve(group_cols.size());
+      for (size_t c : group_cols) key.values.push_back(child->GetValue(r, c));
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        it = groups.emplace(key, std::vector<AggState>(op.aggregates.size()))
+                 .first;
+        order.push_back(key);
+      }
+      for (size_t a = 0; a < op.aggregates.size(); ++a) {
+        AggState& st = it->second[a];
+        st.count += 1;
+        if (agg_cols[a] >= 0) {
+          Value v = child->GetValue(r, static_cast<size_t>(agg_cols[a]));
+          if (!v.is_null()) {
+            if (st.min.is_null() || v < st.min) st.min = v;
+            if (st.max.is_null() || st.max < v) st.max = v;
+            if (v.type() == LogicalType::kInt64) st.isum += v.int_value();
+            if (v.type() == LogicalType::kDouble) st.sum += v.double_value();
+          }
         }
       }
     }
@@ -389,7 +463,7 @@ Result<TablePtr> ExecHashAggregate(const plan::PhysHashAggregate& op,
   auto out = std::make_shared<Table>("aggregate", schema);
   // SQL semantics: a global aggregate (no GROUP BY) over empty input still
   // yields one row (COUNT = 0, MIN/MAX/SUM = NULL).
-  if (op.group_by.empty() && order.empty()) {
+  if (op.group_by.empty() && order.empty() && eorder.empty()) {
     std::vector<Value> row;
     for (const auto& a : op.aggregates) {
       row.push_back(a.func == plan::AggFunc::kCount ? Value::Int(0)
@@ -399,9 +473,8 @@ Result<TablePtr> ExecHashAggregate(const plan::PhysHashAggregate& op,
     RELGO_RETURN_NOT_OK(ctx->ChargeRows(1));
     return out;
   }
-  for (const auto& key : order) {
-    const auto& states = groups[key];
-    std::vector<Value> row = key.values;
+  auto emit = [&](std::vector<Value> row,
+                  const std::vector<AggState>& states) -> Status {
     for (size_t a = 0; a < op.aggregates.size(); ++a) {
       const AggState& st = states[a];
       switch (op.aggregates[a].func) {
@@ -422,7 +495,18 @@ Result<TablePtr> ExecHashAggregate(const plan::PhysHashAggregate& op,
         }
       }
     }
-    RELGO_RETURN_NOT_OK(out->AppendRow(row));
+    return out->AppendRow(row);
+  };
+  if (encoder != nullptr) {
+    std::vector<Value> key_vals;
+    for (const auto* ekey : eorder) {
+      encoder->Decode(*ekey, &key_vals);
+      RELGO_RETURN_NOT_OK(emit(key_vals, egroups.at(*ekey)));
+    }
+  } else {
+    for (const auto& key : order) {
+      RELGO_RETURN_NOT_OK(emit(key.values, groups[key]));
+    }
   }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(out->num_rows()));
   return out;
@@ -494,7 +578,8 @@ Result<TablePtr> ExecExpandEdge(const plan::PhysExpandEdge& op, TablePtr child,
   }
   RELGO_ASSIGN_OR_RETURN(size_t from_col, ColumnIndex(*child, op.from_var));
   RELGO_ASSIGN_OR_RETURN(auto etable, ctx->EdgeTable(op.edge_label));
-  RELGO_ASSIGN_OR_RETURN(auto bitmap, FilterBitmap(etable, op.edge_filter));
+  RELGO_ASSIGN_OR_RETURN(auto bitmap,
+                         FilterBitmap(etable, op.edge_filter, ctx));
   std::vector<uint64_t> child_sel;
   std::vector<int64_t> edge_vals;
   for (uint64_t r = 0; r < child->num_rows(); ++r) {
@@ -524,7 +609,7 @@ Result<TablePtr> ExecGetVertex(const plan::PhysGetVertex& op, TablePtr child,
                    : ctx->mapping().FindVertexLabel(em.src_label);
   RELGO_ASSIGN_OR_RETURN(auto vtable, ctx->VertexTable(vlabel));
   RELGO_ASSIGN_OR_RETURN(auto bitmap,
-                         FilterBitmap(vtable, op.vertex_filter));
+                         FilterBitmap(vtable, op.vertex_filter, ctx));
   std::vector<uint64_t> child_sel;
   std::vector<int64_t> vertex_vals;
   for (uint64_t r = 0; r < child->num_rows(); ++r) {
@@ -549,7 +634,7 @@ Result<TablePtr> ExecExpand(const plan::PhysExpand& op, TablePtr child,
                      : ctx->mapping().FindVertexLabel(em.src_label);
   RELGO_ASSIGN_OR_RETURN(auto to_table, ctx->VertexTable(to_label));
   RELGO_ASSIGN_OR_RETURN(auto bitmap,
-                         FilterBitmap(to_table, op.vertex_filter));
+                         FilterBitmap(to_table, op.vertex_filter, ctx));
 
   std::vector<uint64_t> child_sel;
   std::vector<int64_t> to_vals;
@@ -666,7 +751,7 @@ Result<TablePtr> ExecExpandIntersect(const plan::PhysExpandIntersect& op,
                      : ctx->mapping().FindVertexLabel(em0.src_label);
   RELGO_ASSIGN_OR_RETURN(auto to_table, ctx->VertexTable(to_label));
   RELGO_ASSIGN_OR_RETURN(auto bitmap,
-                         FilterBitmap(to_table, op.vertex_filter));
+                         FilterBitmap(to_table, op.vertex_filter, ctx));
   bool want_edges = false;
   for (const auto& ev : op.edge_vars) want_edges |= !ev.empty();
 
@@ -864,7 +949,7 @@ Result<TablePtr> ExecVertexFilter(const plan::PhysVertexFilter& op,
   } else {
     RELGO_ASSIGN_OR_RETURN(base, ctx->VertexTable(op.label));
   }
-  RELGO_ASSIGN_OR_RETURN(auto bitmap, FilterBitmap(base, op.predicate));
+  RELGO_ASSIGN_OR_RETURN(auto bitmap, FilterBitmap(base, op.predicate, ctx));
   std::vector<uint64_t> sel;
   for (uint64_t r = 0; r < child->num_rows(); ++r) {
     auto rid = static_cast<uint64_t>(child->column(var_col).int_at(r));

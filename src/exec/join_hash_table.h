@@ -69,6 +69,13 @@ class JoinHashTable {
       }
       key_cols_.push_back(idx);
     }
+    // Hoist the key payload spans once: HashRow and the probe re-check
+    // then read raw int64 slots instead of going through Column per row.
+    // Safe after the type check above (int64 payload guaranteed).
+    build_keys_.clear();
+    for (size_t idx : key_cols_) {
+      build_keys_.push_back(table.column(idx).data_int64());
+    }
     return Status::OK();
   }
 
@@ -77,7 +84,7 @@ class JoinHashTable {
   void PartitionRows(uint64_t begin, uint64_t count,
                      BuildPartial* partial) const {
     for (uint64_t r = begin; r < begin + count; ++r) {
-      size_t h = HashRow(*table_, r);
+      size_t h = HashRow(r);
       partial->runs[PartitionOf(h)].push_back(Entry{h, r});
     }
   }
@@ -123,7 +130,7 @@ class JoinHashTable {
   void Probe(const storage::Table& probe,
              const std::vector<size_t>& probe_cols, uint64_t row,
              std::vector<uint64_t>* out) const {
-    size_t h = 0xcbf29ce484222325ULL;
+    size_t h = kHashSeed;
     for (size_t c : probe_cols) {
       h = HashCombine(h, static_cast<size_t>(probe.column(c).int_at(row)));
     }
@@ -132,14 +139,17 @@ class JoinHashTable {
               out);
   }
 
-  /// Probe variant over loose columns (pipeline batches).
-  void Probe(const storage::Column* const* probe_cols, uint64_t row,
+  /// Typed-span probe: `keys[i]` is the raw int64 payload of the i-th
+  /// probe key column, hoisted once per table / batch by the caller (the
+  /// hot join loops of both engines). Bit-identical to the overloads
+  /// above — int_at reads the same payload the spans expose.
+  void Probe(const int64_t* const* keys, uint64_t row,
              std::vector<uint64_t>* out) const {
-    size_t h = 0xcbf29ce484222325ULL;
+    size_t h = kHashSeed;
     for (size_t i = 0; i < key_cols_.size(); ++i) {
-      h = HashCombine(h, static_cast<size_t>(probe_cols[i]->int_at(row)));
+      h = HashCombine(h, static_cast<size_t>(keys[i][row]));
     }
-    ProbeHash(h, [&](size_t i) { return probe_cols[i]->int_at(row); }, out);
+    ProbeHash(h, [&](size_t i) { return keys[i][row]; }, out);
   }
 
  private:
@@ -160,7 +170,7 @@ class JoinHashTable {
     for (uint64_t build_row : it->second) {
       bool match = true;
       for (size_t i = 0; i < key_cols_.size(); ++i) {
-        if (table_->column(key_cols_[i]).int_at(build_row) != key_at(i)) {
+        if (build_keys_[i][build_row] != key_at(i)) {
           match = false;
           break;
         }
@@ -169,16 +179,17 @@ class JoinHashTable {
     }
   }
 
-  size_t HashRow(const storage::Table& t, uint64_t r) const {
-    size_t h = 0xcbf29ce484222325ULL;
-    for (size_t c : key_cols_) {
-      h = HashCombine(h, static_cast<size_t>(t.column(c).int_at(r)));
+  size_t HashRow(uint64_t r) const {
+    size_t h = kHashSeed;
+    for (const int64_t* keys : build_keys_) {
+      h = HashCombine(h, static_cast<size_t>(keys[r]));
     }
     return h;
   }
 
   const storage::Table* table_ = nullptr;
   std::vector<size_t> key_cols_;
+  std::vector<const int64_t*> build_keys_;  ///< payload spans of key_cols_
   std::array<Shard, kNumPartitions> shards_;
 };
 

@@ -44,13 +44,17 @@ Status EmitExpanded(const Batch& in, const std::vector<uint64_t>& sel,
 // ---------------------------------------------------------------------------
 
 Status FilterOp::Prepare(const Schema& input, ExecutionContext* ctx) {
-  (void)ctx;
   output_schema_ = input;
   // Bind a clone: the plan may share the predicate tree with the query it
   // was optimized from, and concurrent executions must not race on the
   // resolved column indexes Bind writes.
   predicate_ = op_.predicate ? op_.predicate->Clone() : nullptr;
   if (predicate_) RELGO_RETURN_NOT_OK(predicate_->Bind(input));
+  // Lower once per execution; workers evaluate the compiled program
+  // (bit-identical to EvaluateBool) instead of walking the tree per row.
+  if (predicate_ && ctx->options().vectorized_kernels) {
+    compiled_ = vector::CompiledPredicate::Compile(*predicate_, input);
+  }
   return Status::OK();
 }
 
@@ -62,8 +66,12 @@ Status FilterOp::Process(const Batch& in, Batch* out,
   }
   auto cols = in.ColumnPointers();
   std::vector<uint64_t> sel;
-  for (uint64_t r = 0; r < in.num_rows(); ++r) {
-    if (predicate_->EvaluateBool(cols.data(), r)) sel.push_back(r);
+  if (compiled_ != nullptr) {
+    compiled_->FilterRange(cols.data(), 0, in.num_rows(), &sel);
+  } else {
+    for (uint64_t r = 0; r < in.num_rows(); ++r) {
+      if (predicate_->EvaluateBool(cols.data(), r)) sel.push_back(r);
+    }
   }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(sel.size()));
   *out = in.Gather(sel);
@@ -125,9 +133,11 @@ Status HashJoinProbeOp::Prepare(const Schema& input, ExecutionContext* ctx) {
 
 Status HashJoinProbeOp::Process(const Batch& in, Batch* out,
                                 ExecutionContext* ctx) const {
-  std::vector<const Column*> keys;
+  // Hoist the probe-key payload spans once per batch; the per-row probe
+  // then touches raw int64 slots only (see JoinHashTable's span overload).
+  std::vector<const int64_t*> keys;
   keys.reserve(probe_cols_.size());
-  for (size_t c : probe_cols_) keys.push_back(&in.column(c));
+  for (size_t c : probe_cols_) keys.push_back(in.column(c).data_int64());
 
   std::vector<uint64_t> left_sel, right_sel, matches;
   for (uint64_t r = 0; r < in.num_rows(); ++r) {
@@ -160,7 +170,8 @@ Status RidLookupJoinOp::Prepare(const Schema& input, ExecutionContext* ctx) {
                    ? ctx->mapping().FindVertexLabel(em.src_label)
                    : ctx->mapping().FindVertexLabel(em.dst_label);
   RELGO_ASSIGN_OR_RETURN(vtable_, ctx->VertexTable(vlabel));
-  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(vtable_, op_.vertex_filter));
+  RELGO_ASSIGN_OR_RETURN(bitmap_,
+                         FilterBitmap(vtable_, op_.vertex_filter, ctx));
 
   raw_indexes_.clear();
   Schema vschema = ScanSchema(*vtable_, op_.vertex_alias, op_.vertex_columns,
@@ -214,7 +225,7 @@ Status RidExpandJoinOp::Prepare(const Schema& input, ExecutionContext* ctx) {
   RELGO_ASSIGN_OR_RETURN(rid_col_,
                          input.GetColumnIndex(op_.vertex_rowid_column));
   RELGO_ASSIGN_OR_RETURN(etable_, ctx->EdgeTable(op_.edge_label));
-  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(etable_, op_.edge_filter));
+  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(etable_, op_.edge_filter, ctx));
 
   raw_indexes_.clear();
   Schema eschema = ScanSchema(*etable_, op_.edge_alias, op_.edge_columns,
@@ -269,7 +280,7 @@ Status ExpandEdgeOp::Prepare(const Schema& input, ExecutionContext* ctx) {
   }
   RELGO_ASSIGN_OR_RETURN(from_col_, input.GetColumnIndex(op_.from_var));
   RELGO_ASSIGN_OR_RETURN(auto etable, ctx->EdgeTable(op_.edge_label));
-  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(etable, op_.edge_filter));
+  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(etable, op_.edge_filter, ctx));
   output_schema_ = input;
   RELGO_RETURN_NOT_OK(
       output_schema_.AddColumn({op_.edge_var, LogicalType::kInt64}));
@@ -309,7 +320,7 @@ Status GetVertexOp::Prepare(const Schema& input, ExecutionContext* ctx) {
                    ? ctx->mapping().FindVertexLabel(em.dst_label)
                    : ctx->mapping().FindVertexLabel(em.src_label);
   RELGO_ASSIGN_OR_RETURN(auto vtable, ctx->VertexTable(vlabel));
-  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(vtable, op_.vertex_filter));
+  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(vtable, op_.vertex_filter, ctx));
   output_schema_ = input;
   RELGO_RETURN_NOT_OK(
       output_schema_.AddColumn({op_.to_var, LogicalType::kInt64}));
@@ -344,7 +355,8 @@ Status ExpandOp::Prepare(const Schema& input, ExecutionContext* ctx) {
                      ? ctx->mapping().FindVertexLabel(em.dst_label)
                      : ctx->mapping().FindVertexLabel(em.src_label);
   RELGO_ASSIGN_OR_RETURN(auto to_table, ctx->VertexTable(to_label));
-  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(to_table, op_.vertex_filter));
+  RELGO_ASSIGN_OR_RETURN(
+      bitmap_, FilterBitmap(to_table, op_.vertex_filter, ctx));
 
   use_index_ = op_.use_index && ctx->has_index();
   if (!use_index_) {
@@ -457,7 +469,8 @@ Status ExpandIntersectOp::Prepare(const Schema& input, ExecutionContext* ctx) {
                      ? ctx->mapping().FindVertexLabel(em0.dst_label)
                      : ctx->mapping().FindVertexLabel(em0.src_label);
   RELGO_ASSIGN_OR_RETURN(auto to_table, ctx->VertexTable(to_label));
-  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(to_table, op_.vertex_filter));
+  RELGO_ASSIGN_OR_RETURN(
+      bitmap_, FilterBitmap(to_table, op_.vertex_filter, ctx));
   want_edges_ = false;
   for (const auto& ev : op_.edge_vars) want_edges_ |= !ev.empty();
 
@@ -667,7 +680,7 @@ Status VertexFilterOp::Prepare(const Schema& input, ExecutionContext* ctx) {
   } else {
     RELGO_ASSIGN_OR_RETURN(base, ctx->VertexTable(op_.label));
   }
-  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(base, op_.predicate));
+  RELGO_ASSIGN_OR_RETURN(bitmap_, FilterBitmap(base, op_.predicate, ctx));
   output_schema_ = input;
   return Status::OK();
 }
@@ -988,12 +1001,17 @@ struct PartialGroup {
 
 struct AggregatePartial : SinkState {
   std::unordered_map<GroupKey, PartialGroup, GroupKeyHash> groups;
+  /// Typed-path twin of `groups` (exec/vector/typed_keys.h): keyed on
+  /// byte-encoded group keys read from payload spans. A run populates
+  /// exactly one of the two maps (all workers share the sink's encoder).
+  std::unordered_map<vector::EncodedGroupKey, PartialGroup,
+                     vector::EncodedGroupKeyHash>
+      egroups;
 };
 
 }  // namespace
 
 Status AggregateSink::Prepare(const Schema& input, ExecutionContext* ctx) {
-  (void)ctx;
   group_cols_.clear();
   for (const auto& g : op_.group_by) {
     RELGO_ASSIGN_OR_RETURN(size_t idx, input.GetColumnIndex(g));
@@ -1009,6 +1027,12 @@ Status AggregateSink::Prepare(const Schema& input, ExecutionContext* ctx) {
     }
   }
   input_schema_ = input;
+  encoder_.reset();
+  if (ctx->options().vectorized_kernels) {
+    std::vector<LogicalType> key_types;
+    for (size_t c : group_cols_) key_types.push_back(input.column(c).type);
+    encoder_ = vector::KeyEncoder::Make(key_types);
+  }
   return Status::OK();
 }
 
@@ -1020,6 +1044,38 @@ Status AggregateSink::Consume(SinkState* state, const Batch& in,
                               uint64_t morsel, ExecutionContext* ctx) const {
   (void)ctx;
   auto* partial = static_cast<AggregatePartial*>(state);
+  if (encoder_ != nullptr) {
+    // Typed path: encoded keys + span-read aggregate inputs; a Value is
+    // only boxed when a running MIN/MAX improves.
+    std::vector<const Column*> key_cols;
+    key_cols.reserve(group_cols_.size());
+    for (size_t c : group_cols_) key_cols.push_back(&in.column(c));
+    std::vector<vector::AggColumnView> views(op_.aggregates.size());
+    for (size_t a = 0; a < op_.aggregates.size(); ++a) {
+      if (agg_cols_[a] >= 0) {
+        views[a] = vector::AggColumnView(
+            &in.column(static_cast<size_t>(agg_cols_[a])));
+      }
+    }
+    vector::EncodedGroupKey key;
+    for (uint64_t r = 0; r < in.num_rows(); ++r) {
+      encoder_->Encode(key_cols.data(), r, &key);
+      auto it = partial->egroups.find(key);
+      if (it == partial->egroups.end()) {
+        PartialGroup group;
+        group.states.resize(op_.aggregates.size());
+        group.first_morsel = morsel;
+        group.first_row = r;
+        it = partial->egroups.emplace(key, std::move(group)).first;
+      }
+      for (size_t a = 0; a < op_.aggregates.size(); ++a) {
+        AggState& st = it->second.states[a];
+        st.count += 1;
+        if (agg_cols_[a] >= 0) views[a].Update(r, &st);
+      }
+    }
+    return Status::OK();
+  }
   for (uint64_t r = 0; r < in.num_rows(); ++r) {
     GroupKey key;
     key.values.reserve(group_cols_.size());
@@ -1055,34 +1111,51 @@ Result<TablePtr> AggregateSink::Finish(
   (void)scheduler;
   // Merge thread-local partials; a group's position is its globally
   // earliest first-seen (morsel, row), so the output order matches the
-  // sequential scan regardless of which worker saw which morsel.
-  std::unordered_map<GroupKey, PartialGroup, GroupKeyHash> groups;
-  for (const auto& state : states) {
-    auto* partial = static_cast<AggregatePartial*>(state.get());
-    for (auto& [key, src] : partial->groups) {
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        groups.emplace(key, std::move(src));
+  // sequential scan regardless of which worker saw which morsel. The
+  // boxed and typed (encoder_) paths share the merge/order logic — a run
+  // only ever populates one of the two partial maps.
+  auto merge_one = [](PartialGroup* dst, PartialGroup* src) {
+    for (size_t a = 0; a < dst->states.size(); ++a) {
+      dst->states[a].MergeFrom(src->states[a]);
+    }
+    if (std::make_pair(src->first_morsel, src->first_row) <
+        std::make_pair(dst->first_morsel, dst->first_row)) {
+      dst->first_morsel = src->first_morsel;
+      dst->first_row = src->first_row;
+    }
+  };
+  auto merge_map = [&](auto* dst_map, auto* src_map) {
+    for (auto& [key, src] : *src_map) {
+      auto it = dst_map->find(key);
+      if (it == dst_map->end()) {
+        dst_map->emplace(key, std::move(src));
       } else {
-        PartialGroup& dst = it->second;
-        for (size_t a = 0; a < dst.states.size(); ++a) {
-          dst.states[a].MergeFrom(src.states[a]);
-        }
-        if (std::make_pair(src.first_morsel, src.first_row) <
-            std::make_pair(dst.first_morsel, dst.first_row)) {
-          dst.first_morsel = src.first_morsel;
-          dst.first_row = src.first_row;
-        }
+        merge_one(&it->second, &src);
       }
     }
+  };
+  auto sorted_entries = [](const auto& map) {
+    std::vector<const typename std::decay_t<decltype(map)>::value_type*>
+        order;
+    order.reserve(map.size());
+    for (const auto& entry : map) order.push_back(&entry);
+    std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+      return std::make_pair(a->second.first_morsel, a->second.first_row) <
+             std::make_pair(b->second.first_morsel, b->second.first_row);
+    });
+    return order;
+  };
+  std::unordered_map<GroupKey, PartialGroup, GroupKeyHash> groups;
+  std::unordered_map<vector::EncodedGroupKey, PartialGroup,
+                     vector::EncodedGroupKeyHash>
+      egroups;
+  for (const auto& state : states) {
+    auto* partial = static_cast<AggregatePartial*>(state.get());
+    merge_map(&groups, &partial->groups);
+    merge_map(&egroups, &partial->egroups);
   }
-  std::vector<const std::pair<const GroupKey, PartialGroup>*> order;
-  order.reserve(groups.size());
-  for (const auto& entry : groups) order.push_back(&entry);
-  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
-    return std::make_pair(a->second.first_morsel, a->second.first_row) <
-           std::make_pair(b->second.first_morsel, b->second.first_row);
-  });
+  auto order = sorted_entries(groups);
+  auto eorder = sorted_entries(egroups);
 
   Schema schema;
   for (size_t g = 0; g < op_.group_by.size(); ++g) {
@@ -1101,7 +1174,7 @@ Result<TablePtr> AggregateSink::Finish(
   auto out = std::make_shared<Table>("aggregate", schema);
   // SQL semantics: a global aggregate (no GROUP BY) over empty input still
   // yields one row (COUNT = 0, MIN/MAX/SUM = NULL).
-  if (op_.group_by.empty() && order.empty()) {
+  if (op_.group_by.empty() && order.empty() && eorder.empty()) {
     std::vector<Value> row;
     for (const auto& a : op_.aggregates) {
       row.push_back(a.func == plan::AggFunc::kCount ? Value::Int(0)
@@ -1111,9 +1184,8 @@ Result<TablePtr> AggregateSink::Finish(
     RELGO_RETURN_NOT_OK(ctx->ChargeRows(1));
     return TablePtr(out);
   }
-  for (const auto* entry : order) {
-    const auto& agg_states = entry->second.states;
-    std::vector<Value> row = entry->first.values;
+  auto emit = [&](std::vector<Value> row,
+                  const std::vector<AggState>& agg_states) -> Status {
     for (size_t a = 0; a < op_.aggregates.size(); ++a) {
       const AggState& st = agg_states[a];
       switch (op_.aggregates[a].func) {
@@ -1134,7 +1206,18 @@ Result<TablePtr> AggregateSink::Finish(
         }
       }
     }
-    RELGO_RETURN_NOT_OK(out->AppendRow(row));
+    return out->AppendRow(row);
+  };
+  if (encoder_ != nullptr) {
+    std::vector<Value> key_vals;
+    for (const auto* entry : eorder) {
+      encoder_->Decode(entry->first, &key_vals);
+      RELGO_RETURN_NOT_OK(emit(key_vals, entry->second.states));
+    }
+  } else {
+    for (const auto* entry : order) {
+      RELGO_RETURN_NOT_OK(emit(entry->first.values, entry->second.states));
+    }
   }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(out->num_rows()));
   return TablePtr(out);
@@ -1174,6 +1257,7 @@ Status TopKSink::Prepare(const Schema& input, ExecutionContext* ctx) {
   // profiled runs keep it off so per-node actual counts stay
   // engine-invariant (profile_test's parity grids).
   early_exit_ = order_ == nullptr && limit_ >= 0 && ctx->profile() == nullptr;
+  typed_cmp_ = ctx->options().vectorized_kernels;
   frontier_next_ = 0;
   pending_.clear();
   prefix_rows_.store(0, std::memory_order_relaxed);
@@ -1227,13 +1311,27 @@ Status TopKSink::Consume(SinkState* state, const Batch& in, uint64_t morsel,
     if (c != 0) return c < 0;
     return std::make_pair(a.morsel, a.row) < std::make_pair(b.morsel, b.row);
   };
-  for (uint64_t r = 0; r < in.num_rows(); ++r) {
-    if (heap.size() == k) {
-      const HeapRow& worst = heap.front();
-      int c = CompareSortKeyValues(
+  // The fence test reads the incoming batch through typed spans when
+  // enabled; retained heap rows stay boxed either way (sign-identical to
+  // the boxed comparison, see vector::TypedColumnValueCompare).
+  auto fence_cmp = [&](uint64_t r, const HeapRow& worst) {
+    if (!typed_cmp_) {
+      return CompareSortKeyValues(
           order_->keys,
           [&](size_t i) { return in.column(key_cols_[i]).GetValue(r); },
           [&](size_t i) { return worst.vals[key_cols_[i]]; });
+    }
+    for (size_t i = 0; i < order_->keys.size(); ++i) {
+      int c = vector::TypedColumnValueCompare(in.column(key_cols_[i]), r,
+                                              worst.vals[key_cols_[i]]);
+      if (c != 0) return order_->keys[i].ascending ? c : -c;
+    }
+    return 0;
+  };
+  for (uint64_t r = 0; r < in.num_rows(); ++r) {
+    if (heap.size() == k) {
+      const HeapRow& worst = heap.front();
+      int c = fence_cmp(r, worst);
       bool before_worst =
           c != 0 ? c < 0
                  : std::make_pair(morsel, r) <
@@ -1308,16 +1406,30 @@ Result<TablePtr> TopKSink::Finish(
     }
     uint64_t n = refs.size();
     // Position in `refs` IS the global sequence number, so index order is
-    // the stable-sort tie-break.
+    // the stable-sort tie-break. With typed_cmp_ the O(n log n)
+    // comparisons read payload spans instead of boxing two Values each.
     auto before = [&](uint64_t i, uint64_t j) {
-      int c = CompareSortKeyValues(
-          order_->keys,
-          [&](size_t k) {
-            return refs[i].batch->column(key_cols_[k]).GetValue(refs[i].row);
-          },
-          [&](size_t k) {
-            return refs[j].batch->column(key_cols_[k]).GetValue(refs[j].row);
-          });
+      int c = 0;
+      if (typed_cmp_) {
+        for (size_t k = 0; k < order_->keys.size(); ++k) {
+          c = vector::TypedColumnCompare(
+              refs[i].batch->column(key_cols_[k]), refs[i].row,
+              refs[j].batch->column(key_cols_[k]), refs[j].row);
+          if (c != 0) {
+            c = order_->keys[k].ascending ? c : -c;
+            break;
+          }
+        }
+      } else {
+        c = CompareSortKeyValues(
+            order_->keys,
+            [&](size_t k) {
+              return refs[i].batch->column(key_cols_[k]).GetValue(refs[i].row);
+            },
+            [&](size_t k) {
+              return refs[j].batch->column(key_cols_[k]).GetValue(refs[j].row);
+            });
+      }
       if (c != 0) return c < 0;
       return i < j;
     };

@@ -11,8 +11,11 @@
 #include <vector>
 
 #include "exec/context.h"
+#include "exec/exec_common.h"
 #include "exec/join_hash_table.h"
 #include "exec/pipeline/batch.h"
+#include "exec/vector/compiled_expr.h"
+#include "exec/vector/typed_keys.h"
 #include "plan/physical_plan.h"
 
 namespace relgo {
@@ -64,6 +67,10 @@ class FilterOp : public StreamingOp {
   /// expression trees with their query; Bind mutates, so concurrent
   /// executions each bind their own copy).
   storage::ExprPtr predicate_;
+  /// Vectorized lowering of predicate_ (null when the tree is outside
+  /// the lowerable subset or ExecutionOptions::vectorized_kernels is
+  /// off); Process falls back to row-at-a-time EvaluateBool.
+  std::unique_ptr<vector::CompiledPredicate> compiled_;
 };
 
 /// pi with renaming (PhysProject); pure column sharing, zero-copy.
@@ -119,7 +126,7 @@ class RidLookupJoinOp : public StreamingOp {
   const plan::PhysRidLookupJoin& op_;
   size_t rid_col_ = 0;
   storage::TablePtr vtable_;
-  std::vector<uint8_t> bitmap_;
+  SharedBitmap bitmap_;
   std::vector<int> raw_indexes_;
 };
 
@@ -135,7 +142,7 @@ class RidExpandJoinOp : public StreamingOp {
   const plan::PhysRidExpandJoin& op_;
   size_t rid_col_ = 0;
   storage::TablePtr etable_;
-  std::vector<uint8_t> bitmap_;
+  SharedBitmap bitmap_;
   std::vector<int> raw_indexes_;
 };
 
@@ -150,7 +157,7 @@ class ExpandEdgeOp : public StreamingOp {
  private:
   const plan::PhysExpandEdge& op_;
   size_t from_col_ = 0;
-  std::vector<uint8_t> bitmap_;
+  SharedBitmap bitmap_;
 };
 
 /// GET_VERTEX (PhysGetVertex): edge binding -> endpoint binding.
@@ -164,7 +171,7 @@ class GetVertexOp : public StreamingOp {
  private:
   const plan::PhysGetVertex& op_;
   size_t edge_col_ = 0;
-  std::vector<uint8_t> bitmap_;
+  SharedBitmap bitmap_;
 };
 
 /// Fused EXPAND (PhysExpand). With the graph index, streams the VE-index
@@ -181,7 +188,7 @@ class ExpandOp : public StreamingOp {
   const plan::PhysExpand& op_;
   size_t from_col_ = 0;
   bool use_index_ = false;
-  std::vector<uint8_t> bitmap_;
+  SharedBitmap bitmap_;
   // Index-free fallback state (all read-only after Prepare). The TablePtrs
   // keep the borrowed column/index pointers alive.
   storage::TablePtr etable_, from_table_, to_table_;
@@ -203,7 +210,7 @@ class ExpandIntersectOp : public StreamingOp {
  private:
   const plan::PhysExpandIntersect& op_;
   std::vector<size_t> from_cols_;
-  std::vector<uint8_t> bitmap_;
+  SharedBitmap bitmap_;
   bool want_edges_ = false;
 };
 
@@ -240,7 +247,7 @@ class VertexFilterOp : public StreamingOp {
  private:
   const plan::PhysVertexFilter& op_;
   size_t var_col_ = 0;
-  std::vector<uint8_t> bitmap_;
+  SharedBitmap bitmap_;
 };
 
 /// NOT_EQUAL (PhysNotEqual): all-distinct constraint between two vars.
@@ -464,6 +471,10 @@ class TopKSink : public Sink {
   storage::Schema schema_;
   std::vector<size_t> key_cols_;
   bool early_exit_ = false;  // plain LIMIT, profiling off
+  /// Compare sort keys through typed column spans (vector::
+  /// TypedColumnCompare) instead of boxing a Value per comparison; same
+  /// ordering, set from ExecutionOptions::vectorized_kernels in Prepare.
+  bool typed_cmp_ = false;
 
   // Completed-morsel frontier (early-exit mode only): morsels [0,
   // frontier_next_) have all finished and contributed frontier-counted
@@ -498,6 +509,10 @@ class AggregateSink : public Sink {
   storage::Schema input_schema_;
   std::vector<size_t> group_cols_;
   std::vector<int> agg_cols_;
+  /// Typed group-key codec (null on fallback): workers key their partial
+  /// maps on byte-encoded keys read from payload spans instead of boxed
+  /// Value vectors. Const + stateless, so shared across workers.
+  std::unique_ptr<vector::KeyEncoder> encoder_;
 };
 
 }  // namespace pipeline

@@ -99,6 +99,10 @@ Status ScanTableSource::Prepare(ExecutionContext* ctx) {
     RELGO_RETURN_NOT_OK(filter_->Bind(table_->schema()));
     PrepareCache(ctx, ScanCache::Key("scan", op_.table, op_.filter),
                  table_->version(), table_->num_rows());
+    if (ctx->options().vectorized_kernels) {
+      compiled_ = vector::CompiledPredicate::Compile(*filter_,
+                                                     table_->schema());
+    }
   }
   raw_indexes_.clear();
   output_schema_ = ScanSchema(*table_, op_.alias, op_.projected_columns,
@@ -113,8 +117,12 @@ Status ScanTableSource::Emit(uint64_t begin, uint64_t count, Batch* out,
     CachedRange(begin, count, &sel);
   } else {
     sel.reserve(count);
-    for (uint64_t r = begin; r < begin + count; ++r) {
-      if (!filter_ || filter_->EvaluateBool(*table_, r)) sel.push_back(r);
+    if (compiled_ != nullptr) {
+      compiled_->FilterTable(*table_, begin, begin + count, &sel);
+    } else {
+      for (uint64_t r = begin; r < begin + count; ++r) {
+        if (!filter_ || filter_->EvaluateBool(*table_, r)) sel.push_back(r);
+      }
     }
     if (caching_) Collect(begin / kBatchRows, sel);
   }
@@ -155,6 +163,10 @@ Status ScanVertexSource::Prepare(ExecutionContext* ctx) {
     RELGO_RETURN_NOT_OK(filter_->Bind(vtable_->schema()));
     PrepareCache(ctx, ScanCache::Key("vscan", vtable_->name(), op_.filter),
                  vtable_->version(), vtable_->num_rows());
+    if (ctx->options().vectorized_kernels) {
+      compiled_ = vector::CompiledPredicate::Compile(*filter_,
+                                                     vtable_->schema());
+    }
   }
   output_schema_ = BindingSchema({op_.var});
   return Status::OK();
@@ -167,9 +179,13 @@ Status ScanVertexSource::Emit(uint64_t begin, uint64_t count, Batch* out,
     CachedRange(begin, count, &sel);
   } else {
     sel.reserve(count);
-    for (uint64_t r = begin; r < begin + count; ++r) {
-      if (filter_ && !filter_->EvaluateBool(*vtable_, r)) continue;
-      sel.push_back(r);
+    if (compiled_ != nullptr) {
+      compiled_->FilterTable(*vtable_, begin, begin + count, &sel);
+    } else {
+      for (uint64_t r = begin; r < begin + count; ++r) {
+        if (filter_ && !filter_->EvaluateBool(*vtable_, r)) continue;
+        sel.push_back(r);
+      }
     }
     if (caching_) Collect(begin / kBatchRows, sel);
   }

@@ -112,6 +112,9 @@ class ScanTableSource : public Source, private CachedSelectionScan {
   /// trees with the query they were optimized from, and Bind writes
   /// resolved column indexes — concurrent executions must not race on it.
   storage::ExprPtr filter_;
+  /// Vectorized lowering of filter_ (null on fallback); morsels then scan
+  /// typed payload spans instead of evaluating the tree per row.
+  std::unique_ptr<vector::CompiledPredicate> compiled_;
   std::vector<int> raw_indexes_;
 };
 
@@ -132,6 +135,7 @@ class ScanVertexSource : public Source, private CachedSelectionScan {
   const plan::PhysScanVertex& op_;
   storage::TablePtr vtable_;
   storage::ExprPtr filter_;  ///< bound clone, see ScanTableSource
+  std::unique_ptr<vector::CompiledPredicate> compiled_;  ///< see above
 };
 
 // ---------------------------------------------------------------------------

@@ -9,42 +9,80 @@ std::string ScanCache::Key(const char* kind, const std::string& table,
          (filter ? filter->ToString() : "");
 }
 
-ScanCache::SelectionPtr ScanCache::Get(const std::string& key,
-                                       uint64_t table_version) {
-  std::lock_guard<std::mutex> lock(mu_);
+std::list<ScanCache::Entry>::iterator ScanCache::FindLocked(
+    const std::string& key, uint64_t table_version) {
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
-    return nullptr;
+    return lru_.end();
   }
   if (it->second->version != table_version) {
-    // The table mutated since this selection was computed; the entry can
-    // never be valid again (versions are monotonic), so drop it now.
+    // The table mutated since this entry was computed; it can never be
+    // valid again (versions are monotonic), so drop it now.
     ++stats_.invalidations;
     ++stats_.misses;
     EraseLocked(it->second);
-    return nullptr;
+    return lru_.end();
   }
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->sel;
+  return it->second;
+}
+
+ScanCache::SelectionPtr ScanCache::Get(const std::string& key,
+                                       uint64_t table_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindLocked(key, table_version);
+  return it == lru_.end() ? nullptr : it->sel;
+}
+
+ScanCache::BitmapPtr ScanCache::GetBitmap(const std::string& key,
+                                          uint64_t table_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = FindLocked(key, table_version);
+  return it == lru_.end() ? nullptr : it->bitmap;
 }
 
 void ScanCache::Put(const std::string& key, uint64_t table_version,
                     SelectionPtr sel) {
   if (sel == nullptr) return;
-  size_t entry_bytes = EntryBytes(key, sel);
+  Entry entry;
+  entry.bytes = EntryBytes(key, sel);
+  entry.key = key;
+  entry.version = table_version;
+  entry.sel = std::move(sel);
+  PutEntry(std::move(entry));
+}
+
+void ScanCache::PutBitmap(const std::string& key, uint64_t table_version,
+                          BitmapPtr bitmap) {
+  if (bitmap == nullptr) return;
+  Entry entry;
+  entry.bytes = EntryBytes(key, bitmap);
+  entry.key = key;
+  entry.version = table_version;
+  entry.bitmap = std::move(bitmap);
+  PutEntry(std::move(entry));
+}
+
+void ScanCache::PutEntry(Entry entry) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (entry_bytes > max_bytes_) return;  // larger than the whole budget
-  auto it = index_.find(key);
-  if (it != index_.end()) EraseLocked(it->second);
-  while (bytes_ + entry_bytes > max_bytes_ && !lru_.empty()) {
-    ++stats_.evictions;
-    EraseLocked(std::prev(lru_.end()));
+  // Cost-aware admission: one entry may take at most the admission cap,
+  // never the whole budget — a single huge selection must not evict every
+  // colder-but-still-hot entry.
+  if (entry.bytes > admit_cap_bytes()) {
+    ++stats_.rejections;
+    return;
   }
-  lru_.push_front(Entry{key, table_version, std::move(sel), entry_bytes});
-  index_[key] = lru_.begin();
-  bytes_ += entry_bytes;
+  auto it = index_.find(entry.key);
+  if (it != index_.end()) EraseLocked(it->second);
+  while (bytes_ + entry.bytes > max_bytes_ && !lru_.empty()) {
+    ++stats_.evictions;
+    EraseLocked(std::prev(lru_.end()));  // coldest first
+  }
+  bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().key] = lru_.begin();
   ++stats_.insertions;
 }
 

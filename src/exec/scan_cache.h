@@ -25,22 +25,29 @@ namespace exec {
 /// ties estimates to scans ties cached filter results to scans), so any
 /// query of any engine re-running a known filtered scan skips straight to
 /// the gather. Unfiltered scans are never cached: they have no per-row
-/// work to amortize.
+/// work to amortize. Expansion-style operators cache their per-base-row
+/// validity bitmaps the same way under the "bitmap|..." key namespace.
 ///
-/// Correctness: a hit returns exactly the row ids the filter loop would
-/// have selected, in ascending order, and callers keep charging the same
-/// row budget — results and resource accounting are bit-identical with
-/// the cache on or off. Staleness is handled by the owning table's
-/// version counter (storage::Table::version): every entry records the
-/// version it was computed against, and a lookup under a different
-/// version drops the entry and reports a miss.
+/// Correctness: a hit returns exactly the row ids (or bitmap bytes) the
+/// filter loop would have selected, in ascending order, and callers keep
+/// charging the same row budget — results and resource accounting are
+/// bit-identical with the cache on or off. Staleness is handled by the
+/// owning table's version counter (storage::Table::version): every entry
+/// records the version it was computed against, and a lookup under a
+/// different version drops the entry and reports a miss.
 ///
 /// Thread-safety: fully synchronized; Get/Put/Clear/stats may be called
 /// from any number of concurrent queries. Eviction is LRU under a byte
-/// budget (8 bytes per cached row id plus key overhead).
+/// budget (8 bytes per cached row id, 1 per bitmap byte, plus key
+/// overhead). Admission is cost-aware: one entry may occupy at most
+/// kAdmitCapNum/kAdmitCapDen of the budget, so a single huge selection
+/// can never wipe out many colder-but-still-hot entries; those under the
+/// cap are
+/// admitted by evicting from the cold (LRU tail) end first.
 class ScanCache {
  public:
   using SelectionPtr = std::shared_ptr<const std::vector<uint64_t>>;
+  using BitmapPtr = std::shared_ptr<const std::vector<uint8_t>>;
 
   /// Monotonic counters (lifetime totals; never reset by eviction).
   struct Stats {
@@ -49,6 +56,7 @@ class ScanCache {
     uint64_t insertions = 0;
     uint64_t evictions = 0;      ///< LRU evictions under the byte budget
     uint64_t invalidations = 0;  ///< entries dropped on version mismatch
+    uint64_t rejections = 0;     ///< entries refused by the admission cap
     uint64_t Lookups() const { return hits + misses; }
     double HitRate() const {
       uint64_t n = Lookups();
@@ -57,6 +65,13 @@ class ScanCache {
   };
 
   static constexpr size_t kDefaultMaxBytes = 64ull << 20;  // 64 MiB
+
+  /// Largest admissible entry as a fraction of the byte budget. 1/2 keeps
+  /// at least two distinct hot scans resident under any workload while
+  /// still admitting selections over multi-million-row tables at the
+  /// default budget (32 MB of row ids = 4M rows).
+  static constexpr size_t kAdmitCapNum = 1;
+  static constexpr size_t kAdmitCapDen = 2;
 
   explicit ScanCache(size_t max_bytes = kDefaultMaxBytes)
       : max_bytes_(max_bytes) {}
@@ -68,7 +83,8 @@ class ScanCache {
   /// twin of optimizer::ScanFeedbackKey's "scan|<table>|<pred>" signature
   /// (without the estimator-base tag, which is irrelevant at runtime).
   /// `kind` distinguishes scan shapes whose selection semantics differ
-  /// ("scan" for relational scans, "vscan" for vertex-binding scans).
+  /// ("scan" for relational scans, "vscan" for vertex-binding scans,
+  /// "bitmap" for expansion validity bitmaps).
   static std::string Key(const char* kind, const std::string& table,
                          const storage::ExprPtr& filter);
 
@@ -78,9 +94,17 @@ class ScanCache {
   SelectionPtr Get(const std::string& key, uint64_t table_version);
 
   /// Stores `sel` under `key` at `table_version`, evicting LRU entries
-  /// until the byte budget holds (an entry larger than the whole budget
-  /// is not stored). Replaces an existing entry for `key`.
+  /// (coldest first) until the byte budget holds. An entry larger than
+  /// the admission cap (kAdmitCapNum/kAdmitCapDen of the budget) is not
+  /// stored. Replaces an existing entry for `key`.
   void Put(const std::string& key, uint64_t table_version, SelectionPtr sel);
+
+  /// Bitmap twins of Get/Put for the "bitmap|..." key namespace. Key
+  /// namespaces never collide, so selection and bitmap payloads share one
+  /// LRU list and byte budget.
+  BitmapPtr GetBitmap(const std::string& key, uint64_t table_version);
+  void PutBitmap(const std::string& key, uint64_t table_version,
+                 BitmapPtr bitmap);
 
   void Clear();
 
@@ -88,12 +112,18 @@ class ScanCache {
   size_t entries() const;
   size_t bytes() const;
   size_t max_bytes() const { return max_bytes_; }
+  size_t admit_cap_bytes() const {
+    return max_bytes_ / kAdmitCapDen * kAdmitCapNum;
+  }
 
  private:
+  /// One cached payload: exactly one of `sel` / `bitmap` is set,
+  /// discriminated by the key's kind prefix (namespaces never collide).
   struct Entry {
     std::string key;
     uint64_t version = 0;
     SelectionPtr sel;
+    BitmapPtr bitmap;
     size_t bytes = 0;
   };
 
@@ -101,7 +131,19 @@ class ScanCache {
     return key.size() + (sel ? sel->size() * sizeof(uint64_t) : 0) +
            kEntryOverhead;
   }
+  static size_t EntryBytes(const std::string& key, const BitmapPtr& bitmap) {
+    return key.size() + (bitmap ? bitmap->size() : 0) + kEntryOverhead;
+  }
   static constexpr size_t kEntryOverhead = 64;  // list/map node estimate
+
+  /// Shared admit/evict/insert path for both payload kinds. Caller must
+  /// NOT hold mu_.
+  void PutEntry(Entry entry);
+
+  /// Looks up `key` at `table_version`, refreshing recency; nullptr-Entry
+  /// (end iterator) semantics folded into the bool. Caller holds mu_.
+  std::list<Entry>::iterator FindLocked(const std::string& key,
+                                        uint64_t table_version);
 
   /// Drops `it` (must be valid) and its index entry. Caller holds mu_.
   void EraseLocked(std::list<Entry>::iterator it);

@@ -1,0 +1,72 @@
+#ifndef RELGO_EXEC_VECTOR_KERNELS_H_
+#define RELGO_EXEC_VECTOR_KERNELS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace relgo {
+namespace exec {
+namespace vector {
+
+/// -- Kernel ABI --------------------------------------------------------------
+///
+/// The vectorized layer exchanges data in exactly three shapes, chosen so
+/// the same format can later serve as the spill / shard-transport
+/// interchange format (ROADMAP: out-of-core + distributed items):
+///
+///  1. Typed payload spans: `const int64_t*` / `const double*` /
+///     `const std::string*` obtained from `Column::data_int64()` etc.
+///     int64, bool and date share the int64 payload (days since epoch for
+///     dates, 0/1 for bools), mirroring the storage layout byte for byte.
+///  2. Null bitmaps: `const uint8_t*` validity bytes (1 == valid) from
+///     `Column::validity_data()`, or nullptr when every row is valid —
+///     kernels hoist the nullptr check out of their inner loops so the
+///     common all-valid path stays branch-light.
+///  3. Selection vectors: `std::vector<uint64_t>` of passing row ids in
+///     strictly ascending order. Every kernel either produces one from a
+///     dense row range or refines an existing one; combinators are set
+///     operations that preserve the ascending invariant.
+///
+/// All kernels in this header are semantics-free plumbing: typed scan
+/// loops and ordered-set combinators. Predicate semantics (which rows
+/// pass) live in compiled_expr.*, which must match row-at-a-time
+/// `Expr::EvaluateBool` bit for bit.
+
+/// Appends rows of [begin, end) satisfying `pred` to `*out` (ascending).
+template <typename Pred>
+inline void ScanRange(uint64_t begin, uint64_t end, Pred pred,
+                      std::vector<uint64_t>* out) {
+  for (uint64_t r = begin; r < end; ++r) {
+    if (pred(r)) out->push_back(r);
+  }
+}
+
+/// Appends rows of the (ascending) selection `in` satisfying `pred` to
+/// `*out`; the refinement preserves ascending order.
+template <typename Pred>
+inline void ScanSelected(const std::vector<uint64_t>& in, Pred pred,
+                         std::vector<uint64_t>* out) {
+  for (uint64_t r : in) {
+    if (pred(r)) out->push_back(r);
+  }
+}
+
+/// Merges two ascending, duplicate-free selections into their union.
+inline void UnionSelections(const std::vector<uint64_t>& a,
+                            const std::vector<uint64_t>& b,
+                            std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(*out));
+}
+
+}  // namespace vector
+}  // namespace exec
+}  // namespace relgo
+
+#endif  // RELGO_EXEC_VECTOR_KERNELS_H_

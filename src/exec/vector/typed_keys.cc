@@ -1,0 +1,146 @@
+#include "exec/vector/typed_keys.h"
+
+#include <cstring>
+
+namespace relgo {
+namespace exec {
+namespace vector {
+
+namespace {
+
+constexpr char kTagNull = 0;
+constexpr char kTagValue = 1;
+
+void AppendFixed64(std::string* out, int64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(buf));
+  out->append(buf, sizeof(buf));
+}
+
+int64_t ReadFixed64(const char* p) {
+  int64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void AppendLength(std::string* out, uint32_t n) {
+  char buf[4];
+  std::memcpy(buf, &n, sizeof(buf));
+  out->append(buf, sizeof(buf));
+}
+
+uint32_t ReadLength(const char* p) {
+  uint32_t n;
+  std::memcpy(&n, p, sizeof(n));
+  return n;
+}
+
+}  // namespace
+
+std::unique_ptr<KeyEncoder> KeyEncoder::Make(
+    const std::vector<LogicalType>& types) {
+  for (LogicalType t : types) {
+    switch (t) {
+      case LogicalType::kBool:
+      case LogicalType::kInt64:
+      case LogicalType::kDate:
+      case LogicalType::kString:
+      case LogicalType::kNull:  // every row encodes as the NULL tag
+        break;
+      case LogicalType::kDouble:
+        // NaN is Compare-equal to every numeric and +0.0 == -0.0;
+        // neither survives byte encoding. Boxed fallback.
+        return nullptr;
+      default:
+        return nullptr;
+    }
+  }
+  return std::unique_ptr<KeyEncoder>(new KeyEncoder(types));
+}
+
+void KeyEncoder::Encode(const storage::Column* const* cols, uint64_t row,
+                        EncodedGroupKey* key) const {
+  key->bytes.clear();
+  size_t h = kHashSeed;
+  for (size_t i = 0; i < types_.size(); ++i) {
+    const storage::Column& col = *cols[i];
+    if (types_[i] == LogicalType::kNull || !col.is_valid(row)) {
+      key->bytes.push_back(kTagNull);
+      h = HashCombine(h, kNullHash);
+      continue;
+    }
+    key->bytes.push_back(kTagValue);
+    switch (types_[i]) {
+      case LogicalType::kBool: {
+        bool v = col.int_at(row) != 0;
+        key->bytes.push_back(v ? 1 : 0);
+        h = HashCombine(h, TypedHash(v));
+        break;
+      }
+      case LogicalType::kInt64: {
+        int64_t v = col.int_at(row);
+        AppendFixed64(&key->bytes, v);
+        h = HashCombine(h, TypedHash(v));
+        break;
+      }
+      case LogicalType::kDate: {
+        // Mirror GetValue's boxing: truncate to the 32-bit day number,
+        // then hash the widened int64 exactly as Value::Hash does.
+        auto v = static_cast<int64_t>(static_cast<int32_t>(col.int_at(row)));
+        AppendFixed64(&key->bytes, v);
+        h = HashCombine(h, TypedHash(v));
+        break;
+      }
+      case LogicalType::kString: {
+        const std::string& s = col.string_at(row);
+        AppendLength(&key->bytes, static_cast<uint32_t>(s.size()));
+        key->bytes.append(s);
+        h = HashCombine(h, TypedHash(s));
+        break;
+      }
+      default:
+        break;  // unreachable: Make() rejected these types
+    }
+  }
+  key->hash = h;
+}
+
+void KeyEncoder::Decode(const EncodedGroupKey& key,
+                        std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(types_.size());
+  const char* p = key.bytes.data();
+  for (LogicalType t : types_) {
+    if (*p++ == kTagNull) {
+      out->push_back(Value::Null());
+      continue;
+    }
+    switch (t) {
+      case LogicalType::kBool:
+        out->push_back(Value::Bool(*p++ != 0));
+        break;
+      case LogicalType::kInt64:
+        out->push_back(Value::Int(ReadFixed64(p)));
+        p += 8;
+        break;
+      case LogicalType::kDate:
+        out->push_back(Value::Date(static_cast<int32_t>(ReadFixed64(p))));
+        p += 8;
+        break;
+      case LogicalType::kString: {
+        uint32_t n = ReadLength(p);
+        p += 4;
+        out->push_back(Value::String(std::string(p, n)));
+        p += n;
+        break;
+      }
+      default:
+        out->push_back(Value::Null());
+        break;
+    }
+  }
+}
+
+}  // namespace vector
+}  // namespace exec
+}  // namespace relgo

@@ -20,6 +20,14 @@ void Column::AppendNull() {
   ++size_;
 }
 
+void Column::AppendInts(const int64_t* data, uint64_t count) {
+  assert(type_ == LogicalType::kInt64 || type_ == LogicalType::kBool ||
+         type_ == LogicalType::kDate);
+  ints_.insert(ints_.end(), data, data + count);
+  if (!validity_.empty()) validity_.insert(validity_.end(), count, 1);
+  size_ += count;
+}
+
 Status Column::AppendValue(const Value& v) {
   if (v.is_null()) {
     AppendNull();
@@ -29,19 +37,16 @@ Status Column::AppendValue(const Value& v) {
     case LogicalType::kBool:
       if (v.type() != LogicalType::kBool) break;
       AppendInt(v.bool_value() ? 1 : 0);
-      if (!validity_.empty()) validity_.push_back(1);
       return Status::OK();
     case LogicalType::kInt64:
       if (v.type() != LogicalType::kInt64) break;
       AppendInt(v.int_value());
-      if (!validity_.empty()) validity_.push_back(1);
       return Status::OK();
     case LogicalType::kDate:
       if (v.type() != LogicalType::kDate && v.type() != LogicalType::kInt64)
         break;
       AppendInt(v.type() == LogicalType::kDate ? v.date_value()
                                                : v.int_value());
-      if (!validity_.empty()) validity_.push_back(1);
       return Status::OK();
     case LogicalType::kDouble:
       if (v.type() != LogicalType::kDouble && v.type() != LogicalType::kInt64)
@@ -49,12 +54,10 @@ Status Column::AppendValue(const Value& v) {
       AppendDouble(v.type() == LogicalType::kDouble
                        ? v.double_value()
                        : static_cast<double>(v.int_value()));
-      if (!validity_.empty()) validity_.push_back(1);
       return Status::OK();
     case LogicalType::kString:
       if (v.type() != LogicalType::kString) break;
       AppendString(v.string_value());
-      if (!validity_.empty()) validity_.push_back(1);
       return Status::OK();
     case LogicalType::kNull:
       break;
@@ -162,7 +165,6 @@ void Column::AppendFrom(const Column& other, uint64_t row) {
       AppendInt(other.ints_[row]);
       break;
   }
-  if (!validity_.empty()) validity_.push_back(1);
 }
 
 void Column::Reserve(uint64_t n) {

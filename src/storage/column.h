@@ -1,6 +1,7 @@
 #ifndef RELGO_STORAGE_COLUMN_H_
 #define RELGO_STORAGE_COLUMN_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -24,20 +25,30 @@ class Column {
   LogicalType type() const { return type_; }
   uint64_t size() const { return size_; }
 
-  /// Appends a typed value; the fast paths below skip Value boxing.
+  /// Appends a typed value; the fast paths below skip Value boxing. Like
+  /// AppendInts, they keep the validity bitmap aligned when an earlier
+  /// AppendNull materialized it (all-valid columns pay no branch cost
+  /// beyond the empty() check).
   void AppendInt(int64_t v) {
     ints_.push_back(v);
+    if (!validity_.empty()) validity_.push_back(1);
     ++size_;
   }
   void AppendDouble(double v) {
     doubles_.push_back(v);
+    if (!validity_.empty()) validity_.push_back(1);
     ++size_;
   }
   void AppendString(std::string v) {
     strings_.push_back(std::move(v));
+    if (!validity_.empty()) validity_.push_back(1);
     ++size_;
   }
   void AppendNull();
+
+  /// Bulk-appends `count` int64 payload values (all valid). Valid for the
+  /// int64-payload types (kInt64 / kBool / kDate).
+  void AppendInts(const int64_t* data, uint64_t count);
 
   /// Appends a boxed value; must match the column type (or be NULL).
   Status AppendValue(const Value& v);
@@ -49,6 +60,29 @@ class Column {
 
   bool is_valid(uint64_t i) const {
     return validity_.empty() || validity_[i] != 0;
+  }
+
+  /// Typed payload spans for vectorized kernels (src/exec/vector/). The
+  /// debug-mode assertions pin the payload/type contract: int64, bool and
+  /// date share the int64 payload; doubles and strings have their own.
+  /// Kernels must consult `validity_data()` (nullptr == all rows valid)
+  /// before trusting any payload slot.
+  const int64_t* data_int64() const {
+    assert(type_ == LogicalType::kInt64 || type_ == LogicalType::kBool ||
+           type_ == LogicalType::kDate);
+    return ints_.data();
+  }
+  const double* data_double() const {
+    assert(type_ == LogicalType::kDouble);
+    return doubles_.data();
+  }
+  const std::string* data_string() const {
+    assert(type_ == LogicalType::kString);
+    return strings_.data();
+  }
+  /// Validity bytes (1 == valid); nullptr when every row is valid.
+  const uint8_t* validity_data() const {
+    return validity_.empty() ? nullptr : validity_.data();
   }
 
   /// Boxed accessor used by expression evaluation and result rendering.

@@ -74,6 +74,11 @@ class Expr {
   const std::string& string_arg() const { return string_arg_; }
   const std::vector<Value>& in_list() const { return in_list_; }
 
+  /// Resolved column index after a successful Bind (-1 when unbound).
+  /// Exposed so the vectorized lowerer (src/exec/vector/) can map a bound
+  /// tree onto typed payload spans without re-resolving names.
+  int bound_index() const { return bound_index_; }
+
   /// Resolves column references against `schema`. Fails when a referenced
   /// attribute is absent (callers use this to test applicability of
   /// pushdowns).

@@ -38,6 +38,11 @@ exec::ExecutionOptions Options(exec::EngineKind engine, int threads,
   options.engine = engine;
   options.num_threads = threads;
   options.scan_cache = scan_cache;
+  // Explicit (not relying on the default): the TSan storm must keep
+  // exercising the vectorized kernel paths — workers sharing one
+  // CompiledPredicate / KeyEncoder per operator — even if the session
+  // default ever flips off.
+  options.vectorized_kernels = true;
   return options;
 }
 
