@@ -50,6 +50,42 @@ int main(int argc, char** argv) {
           args.scale, m, exec::EngineKind::kPipeline, args.threads);
     }
   }
+  // Shed-load sweep: the same storm at 8 clients, but with admission
+  // control capping concurrency and a chaos controller cancelling a
+  // fraction of queries mid-flight — the JSON then shows how much load
+  // the lifecycle layer sheds (cancelled / rejected) while the surviving
+  // queries keep completing. Tight queue bounds make rejection visible.
+  std::printf("\nshed load (8 clients, admission cap + chaos cancels):\n");
+  std::printf("%18s %10s %10s %10s %10s %10s\n", "config", "ok", "cancel",
+              "reject", "timeout", "QPS");
+  struct ShedConfig {
+    const char* name;
+    int max_concurrent;  // 0 = admission off
+    double cancel_fraction;
+  };
+  for (const ShedConfig& cfg :
+       {ShedConfig{"baseline", 0, 0.0}, ShedConfig{"cap2", 2, 0.0},
+        ShedConfig{"cap2+cancel25", 2, 0.25}}) {
+    exec::pipeline::AdmissionOptions admission;
+    admission.max_concurrent_queries = cfg.max_concurrent;
+    admission.max_queued = 2;
+    admission.max_wait_ms = 50;
+    db->worker_pool().SetAdmission(admission);
+    workload::ChaosOptions chaos;
+    chaos.cancel_fraction = cfg.cancel_fraction;
+    auto m = harness.RunConcurrent(mix, OptimizerMode::kRelGo, 8,
+                                   kQueriesPerClient, chaos);
+    std::printf("%18s %10llu %10llu %10llu %10llu %10.1f\n", cfg.name,
+                static_cast<unsigned long long>(m.queries_ok),
+                static_cast<unsigned long long>(m.queries_cancelled),
+                static_cast<unsigned long long>(m.queries_rejected),
+                static_cast<unsigned long long>(m.queries_timeout), m.qps);
+    bench::BenchJson::Global().AddConcurrent(
+        std::string("fig13_shed_") + cfg.name, "ldbc", args.scale, m,
+        exec::EngineKind::kPipeline, args.threads);
+  }
+  db->worker_pool().SetAdmission({});  // restore: admission off
+
   std::printf("\nshared pool threads spawned: %d\n",
               db->worker_pool().pool_threads());
 

@@ -110,6 +110,12 @@ struct BenchRecord {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+  /// Lifecycle shed-load breakdown of a storm's failed queries (fig13
+  /// chaos/admission records; 0 on the rest): cancelled mid-flight,
+  /// rejected by admission control, timed out.
+  uint64_t queries_cancelled = 0;
+  uint64_t queries_rejected = 0;
+  uint64_t queries_timeout = 0;
 };
 
 /// Process-wide collector; call Write() once at the end of main(). Every
@@ -180,6 +186,16 @@ class BenchJson {
     rec.latency_p50_ms = m.latency_p50_ms;
     rec.latency_p95_ms = m.latency_p95_ms;
     rec.latency_p99_ms = m.latency_p99_ms;
+    rec.queries_cancelled = m.queries_cancelled;
+    rec.queries_rejected = m.queries_rejected;
+    rec.queries_timeout = m.queries_timeout;
+    // A storm whose only failures are deliberately shed load (cancelled /
+    // rejected / timed out) is a healthy serving-tier record, not an ERR.
+    if (m.queries_failed > 0 &&
+        m.queries_cancelled + m.queries_rejected + m.queries_timeout ==
+            m.queries_failed) {
+      rec.status = "shed";
+    }
     Add(std::move(rec));
   }
 
@@ -237,7 +253,9 @@ class BenchJson {
           "\"qerror_max_after\": %.3f, \"feedback_rounds\": %d, "
           "\"clients\": %d, \"qps\": %.3f, \"scan_cache_hits\": %llu, "
           "\"cache_hit_rate\": %.4f, \"latency_p50_ms\": %.3f, "
-          "\"latency_p95_ms\": %.3f, \"latency_p99_ms\": %.3f}%s\n",
+          "\"latency_p95_ms\": %.3f, \"latency_p99_ms\": %.3f, "
+          "\"queries_cancelled\": %llu, \"queries_rejected\": %llu, "
+          "\"queries_timeout\": %llu}%s\n",
           static_cast<long long>(run_ts_), r.bench.c_str(),
           r.workload.c_str(), r.scale, r.query.c_str(), r.mode.c_str(),
           r.engine.c_str(), r.threads, r.optimization_ms, r.execution_ms,
@@ -247,6 +265,9 @@ class BenchJson {
           static_cast<unsigned long long>(r.scan_cache_hits),
           r.cache_hit_rate, r.latency_p50_ms, r.latency_p95_ms,
           r.latency_p99_ms,
+          static_cast<unsigned long long>(r.queries_cancelled),
+          static_cast<unsigned long long>(r.queries_rejected),
+          static_cast<unsigned long long>(r.queries_timeout),
           i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");

@@ -1,0 +1,96 @@
+#include "common/fault.h"
+
+#include <mutex>
+#include <string>
+
+namespace relgo {
+namespace fault {
+
+namespace {
+
+/// SplitMix64 finalizer: a high-quality 64 -> 64 bit mix, so consecutive
+/// visit counters decorrelate into independent-looking uniform draws.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::mutex g_config_mu;
+Config g_config;  // guarded by g_config_mu; read under armed slow path only
+
+std::atomic<uint64_t> g_visits[kNumSites];
+std::atomic<uint64_t> g_injected{0};
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "morsel_boundary", "hash_build", "hash_finalize", "sink_finish",
+    "scan_cache_publish",
+};
+
+constexpr const char* kInjectedPrefix = "fault-injected";
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_armed{false};
+
+Status MaybeInjectSlow(Site site) {
+  int s = static_cast<int>(site);
+  uint64_t visit = g_visits[s].fetch_add(1, std::memory_order_relaxed);
+  Config config;
+  {
+    std::lock_guard<std::mutex> lock(g_config_mu);
+    config = g_config;
+  }
+  if ((config.site_mask & (1u << s)) == 0) return Status::OK();
+  if (config.probability <= 0.0) return Status::OK();
+  // Pure function of (seed, site, visit): u in [0, 1).
+  uint64_t h = Mix64(config.seed ^ Mix64(static_cast<uint64_t>(s) + 1) ^
+                     Mix64(visit + 0x51ED270B9ull));
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  if (u >= config.probability) return Status::OK();
+  g_injected.fetch_add(1, std::memory_order_relaxed);
+  return Status::Internal(std::string(kInjectedPrefix) + " at " +
+                          kSiteNames[s] + " visit " + std::to_string(visit));
+}
+
+}  // namespace internal
+
+const char* SiteName(Site site) {
+  int s = static_cast<int>(site);
+  return (s >= 0 && s < kNumSites) ? kSiteNames[s] : "unknown";
+}
+
+void Arm(const Config& config) {
+  {
+    std::lock_guard<std::mutex> lock(g_config_mu);
+    g_config = config;
+  }
+  for (auto& v : g_visits) v.store(0, std::memory_order_relaxed);
+  g_injected.store(0, std::memory_order_relaxed);
+  internal::g_armed.store(true, std::memory_order_release);
+}
+
+void Disarm() { internal::g_armed.store(false, std::memory_order_release); }
+
+bool Armed() { return internal::g_armed.load(std::memory_order_acquire); }
+
+uint64_t InjectedCount() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+uint64_t VisitCount(Site site) {
+  int s = static_cast<int>(site);
+  if (s < 0 || s >= kNumSites) return 0;
+  return g_visits[s].load(std::memory_order_relaxed);
+}
+
+bool IsInjected(const Status& status) {
+  return status.code() == StatusCode::kInternal &&
+         status.message().rfind(kInjectedPrefix, 0) == 0;
+}
+
+}  // namespace fault
+}  // namespace relgo

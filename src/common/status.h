@@ -20,6 +20,9 @@ enum class StatusCode {
   kTimeout,         ///< Execution exceeded the configured wall-clock budget.
   kNotImplemented,
   kInternal,
+  kCancelled,          ///< Query cancelled via Database::CancelQuery.
+  kResourceExhausted,  ///< Admission control shed the query (queue full,
+                       ///< wait deadline, or database shutting down).
 };
 
 /// A lightweight status object carrying an error code and message.
@@ -54,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

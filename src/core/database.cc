@@ -34,6 +34,12 @@ Database::Database() : table_stats_(&catalog_) {
       &metrics_.GetCounter("relgo_feedback_observations_total");
   query_metrics_.glogue_refinements =
       &metrics_.GetCounter("relgo_feedback_glogue_refinements_total");
+  query_metrics_.cancelled =
+      &metrics_.GetCounter("relgo_queries_cancelled_total");
+  query_metrics_.rejected =
+      &metrics_.GetCounter("relgo_queries_rejected_total");
+  query_metrics_.timeout =
+      &metrics_.GetCounter("relgo_queries_timeout_total");
 
   // The scan cache keeps its own lifetime Stats (the single source of
   // truth — obs_test pins the no-drift property); the registry pulls them
@@ -52,6 +58,19 @@ Database::Database() : table_stats_(&catalog_) {
     out->gauges["relgo_scan_cache_bytes"] +=
         static_cast<int64_t>(cache->bytes());
   });
+}
+
+Database::~Database() { Shutdown(ShutdownMode::kCancel); }
+
+void Database::Shutdown(ShutdownMode mode) const {
+  // Order matters: stop admitting first so no query can register between
+  // the cancel sweep and the drain wait; then (kCancel) signal everything
+  // in flight; then wait. Engines observe the token within one interrupt
+  // check, unregister on every exit path, and the last one out wakes the
+  // wait — so this terminates even under a full storm.
+  query_registry_.BeginShutdown();
+  if (mode == ShutdownMode::kCancel) query_registry_.CancelAll();
+  query_registry_.WaitUntilIdle();
 }
 
 Status Database::Finalize(optimizer::GlogueOptions glogue_options) {
@@ -110,13 +129,56 @@ Result<optimizer::OptimizeResult> Database::Optimize(
 }
 
 Result<storage::TablePtr> Database::ExecuteWithContext(
-    const plan::PhysicalOp& op, exec::ExecutionContext* ctx) const {
-  ctx->SetScheduler(&pool_);
-  if (ctx->options().scan_cache) ctx->SetScanCache(&scan_cache_);
-  if (ctx->options().engine == exec::EngineKind::kPipeline) {
-    return exec::pipeline::Run(op, ctx);
+    const plan::PhysicalOp& op, exec::ExecutionContext* ctx,
+    const std::string& label) const {
+  const exec::ExecutionOptions& options = ctx->options();
+  // Run/RunProfiled mint the id up front (their trace spans carry it);
+  // direct Execute() calls get one here. Either way every execution is
+  // registered — and hence cancellable — under a unique id.
+  uint64_t query_id = ctx->query_id();
+  if (query_id == 0) {
+    query_id = trace_sink_.NextQueryId();
+    ctx->SetQueryId(query_id);
   }
-  return exec::Executor::Run(op, ctx);
+  auto registered = query_registry_.Register(query_id, label);
+  if (!registered.ok()) return registered.status();
+  core::QueryHandlePtr handle = std::move(registered).value();
+  ctx->SetCancelToken(handle->flag());
+  // Export the id only after registration: a controller that reads it is
+  // guaranteed CancelQuery(id) finds the query (or it already finished).
+  if (options.query_id_out != nullptr) {
+    options.query_id_out->store(query_id, std::memory_order_release);
+  }
+
+  // Admission: the wait is bounded by the query's remaining timeout
+  // budget, and the cancel token aborts a queued query promptly.
+  double remaining_ms = options.timeout_ms - ctx->elapsed_ms();
+  if (remaining_ms < 0.0) remaining_ms = 0.0;
+  Status admitted =
+      pool_.AdmitQuery(static_cast<uint64_t>(remaining_ms), handle->flag());
+  if (!admitted.ok()) {
+    query_registry_.Unregister(query_id);
+    return admitted;
+  }
+
+  ctx->SetScheduler(&pool_);
+  if (options.scan_cache) ctx->SetScanCache(&scan_cache_);
+  Result<storage::TablePtr> table =
+      options.engine == exec::EngineKind::kPipeline
+          ? exec::pipeline::Run(op, ctx)
+          : exec::Executor::Run(op, ctx);
+
+  // Scan-cache entries queued during execution become visible to other
+  // queries only now, and only on success — a cancelled, timed-out, or
+  // faulted query never publishes (lifecycle_test pins this).
+  if (table.ok()) {
+    ctx->CommitScanCachePublications();
+  } else {
+    ctx->DropScanCachePublications();
+  }
+  pool_.ReleaseQuery();
+  query_registry_.Unregister(query_id);
+  return table;
 }
 
 Result<storage::TablePtr> Database::Execute(
@@ -131,7 +193,24 @@ void Database::ObserveQuery(const plan::SpjmQuery& query,
                             const QueryObservation& obs) const {
   if (options.metrics) {
     query_metrics_.queries->Increment();
-    if (!obs.status.ok()) query_metrics_.failures->Increment();
+    if (!obs.status.ok()) {
+      query_metrics_.failures->Increment();
+      // Lifecycle breakdown: at most one of these per failed query (the
+      // terminal status is single-valued by construction).
+      switch (obs.status.code()) {
+        case StatusCode::kCancelled:
+          query_metrics_.cancelled->Increment();
+          break;
+        case StatusCode::kResourceExhausted:
+          query_metrics_.rejected->Increment();
+          break;
+        case StatusCode::kTimeout:
+          query_metrics_.timeout->Increment();
+          break;
+        default:
+          break;
+      }
+    }
     query_metrics_.optimization_ms->Record(obs.optimization_ms);
     query_metrics_.execution_ms->Record(obs.execution_ms);
   }
@@ -160,10 +239,13 @@ namespace {
 /// leave its spans behind.
 class TraceScope {
  public:
-  TraceScope(obs::TraceSink* sink, bool enabled, std::string label)
+  /// `query_id` is minted by the caller (unconditionally, so cancellation
+  /// works with tracing off) and shared with the cancellation registry.
+  TraceScope(obs::TraceSink* sink, bool enabled, std::string label,
+             uint64_t query_id)
       : sink_(sink), label_(std::move(label)) {
     if (enabled) {
-      recorder_ = std::make_unique<obs::TraceRecorder>(sink->NextQueryId());
+      recorder_ = std::make_unique<obs::TraceRecorder>(query_id);
     }
   }
   ~TraceScope() {
@@ -193,8 +275,10 @@ std::string TraceLabel(const plan::SpjmQuery& query,
 Result<QueryRunResult> Database::Run(const plan::SpjmQuery& query,
                                      optimizer::OptimizerMode mode,
                                      exec::ExecutionOptions options) const {
+  uint64_t query_id = trace_sink_.NextQueryId();
+  std::string label = TraceLabel(query, mode);
   TraceScope trace(&trace_sink_, options.trace || trace_sink_.enabled(),
-                   TraceLabel(query, mode));
+                   label, query_id);
   QueryObservation obs;
   QueryRunResult result;
 
@@ -215,10 +299,11 @@ Result<QueryRunResult> Database::Run(const plan::SpjmQuery& query,
   obs.optimization_ms = result.optimization_ms = optimized->optimization_ms;
 
   exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
+  ctx.SetQueryId(query_id);
   ctx.SetTrace(trace.recorder());
   double exec_start = trace.recorder() != nullptr ? obs::TraceNowMs() : 0.0;
   Timer timer;
-  auto table = ExecuteWithContext(*optimized->plan, &ctx);
+  auto table = ExecuteWithContext(*optimized->plan, &ctx, label);
   obs.execution_ms = result.execution_ms = timer.ElapsedMillis();
   obs.scan_cache_hits = result.scan_cache_hits = ctx.scan_cache_hits();
   if (table.ok()) obs.rows = (*table)->num_rows();
@@ -251,8 +336,10 @@ Result<std::string> Database::Explain(const plan::SpjmQuery& query,
 Result<ProfiledRunResult> Database::RunProfiled(
     const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
     exec::ExecutionOptions options) const {
+  uint64_t query_id = trace_sink_.NextQueryId();
+  std::string label = TraceLabel(query, mode);
   TraceScope trace(&trace_sink_, options.trace || trace_sink_.enabled(),
-                   TraceLabel(query, mode));
+                   label, query_id);
   QueryObservation obs;
   ProfiledRunResult result;
 
@@ -274,11 +361,12 @@ Result<ProfiledRunResult> Database::RunProfiled(
   result.plan = std::move(optimized->plan);
 
   exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
+  ctx.SetQueryId(query_id);
   ctx.EnableProfiling(&result.profile);
   ctx.SetTrace(trace.recorder());
   double exec_start = trace.recorder() != nullptr ? obs::TraceNowMs() : 0.0;
   Timer timer;
-  auto table = ExecuteWithContext(*result.plan, &ctx);
+  auto table = ExecuteWithContext(*result.plan, &ctx, label);
   obs.execution_ms = result.execution_ms = timer.ElapsedMillis();
   obs.scan_cache_hits = ctx.scan_cache_hits();
   if (table.ok()) obs.rows = (*table)->num_rows();

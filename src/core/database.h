@@ -4,7 +4,9 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
+#include "core/query_registry.h"
 #include "exec/context.h"
 #include "exec/executor.h"
 #include "exec/pipeline/scheduler.h"
@@ -71,7 +73,16 @@ struct ProfiledRunResult {
 ///   auto result = db.Run(query, optimizer::OptimizerMode::kRelGo);
 class Database {
  public:
+  /// How Shutdown treats queries still in flight.
+  enum class ShutdownMode {
+    kDrain,   ///< let running queries finish; only new arrivals are shed
+    kCancel,  ///< flip every in-flight query's cancel token first
+  };
+
   Database();
+  /// Cancels and drains every in-flight query before tearing down the
+  /// serving substrate (equivalent to Shutdown(ShutdownMode::kCancel)).
+  ~Database();
 
   // Non-copyable (owns large state and internal pointers).
   Database(const Database&) = delete;
@@ -134,6 +145,33 @@ class Database {
   /// The process-wide worker pool all concurrent pipeline queries share;
   /// exposed for diagnostics (pool size) and scheduler-level tests.
   exec::pipeline::TaskScheduler& worker_pool() const { return pool_; }
+
+  // --- Query lifecycle (docs/ARCHITECTURE.md "Query lifecycle") --------
+
+  /// Flips the cancel token of the in-flight query with the given id (the
+  /// id Run minted — exported via ExecutionOptions::query_id_out, and the
+  /// same id that keys traces and the slow-query log). Engines observe the
+  /// token at every interrupt-check point (exec::kInterruptCheckMask) and
+  /// abort with kCancelled within one morsel / check interval. Returns
+  /// false when no such query is in flight (already finished, or never
+  /// existed) — cancellation is then a no-op, never an error.
+  bool CancelQuery(uint64_t query_id) const {
+    return query_registry_.Cancel(query_id);
+  }
+  /// Cancels every in-flight query; returns how many were signalled.
+  size_t CancelAllQueries() const { return query_registry_.CancelAll(); }
+  /// Ids of the queries currently executing, ascending (diagnostics).
+  std::vector<uint64_t> ActiveQueryIds() const {
+    return query_registry_.ActiveIds();
+  }
+
+  /// Stops admitting new queries (they fail with kResourceExhausted) and
+  /// blocks until the in-flight ones left — immediately cancelled
+  /// (kCancel) or run to natural completion (kDrain). Deterministic:
+  /// after return no query holds any job, admission slot, or registry
+  /// entry. Idempotent; the database stays alive for reads but every
+  /// subsequent Run/Execute is rejected.
+  void Shutdown(ShutdownMode mode = ShutdownMode::kCancel) const;
 
   /// Validates the mapping, builds the graph index (EV + VE), low-order
   /// statistics, and GLogue. Call after all data is loaded.
@@ -230,6 +268,12 @@ class Database {
     obs::Histogram* execution_ms = nullptr;
     obs::Counter* feedback_observations = nullptr;
     obs::Counter* glogue_refinements = nullptr;
+    /// Failure breakdown (each also counts into `failures`): cancelled
+    /// via CancelQuery/shutdown, shed by admission control or shutdown,
+    /// and timed out. Exactly one increments per failed query.
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* timeout = nullptr;
   };
 
   /// Optimize without the public entry point's metrics recording —
@@ -246,11 +290,16 @@ class Database {
                     optimizer::OptimizerMode mode,
                     const exec::ExecutionOptions& options,
                     const QueryObservation& obs) const;
-  /// The one execution path all entry points share: attaches the serving
-  /// substrate (worker pool, scan cache when enabled) to `ctx` and
-  /// dispatches to the selected engine.
+  /// The one execution path all entry points share — the query-lifecycle
+  /// chokepoint: registers the query for cancellation (minting an id if
+  /// the caller didn't), passes admission control, attaches the serving
+  /// substrate (worker pool, scan cache when enabled) to `ctx`,
+  /// dispatches to the selected engine, and finally commits the query's
+  /// queued scan-cache publications on success or drops them on any
+  /// failure. `label` names the query in the registry (diagnostics).
   Result<storage::TablePtr> ExecuteWithContext(
-      const plan::PhysicalOp& op, exec::ExecutionContext* ctx) const;
+      const plan::PhysicalOp& op, exec::ExecutionContext* ctx,
+      const std::string& label = "") const;
 
   storage::Catalog catalog_;
   graph::RgMapping mapping_;
@@ -282,6 +331,9 @@ class Database {
   mutable obs::MetricsRegistry metrics_;
   mutable obs::TraceSink trace_sink_;
   mutable obs::SlowQueryLog slow_log_;
+  /// In-flight query handles (cancellation tokens), keyed by the trace
+  /// query id. Mutable like the pool: serving is logically const.
+  mutable core::QueryRegistry query_registry_;
   QueryMetricHandles query_metrics_;
   bool finalized_ = false;
 };

@@ -1,0 +1,80 @@
+#include "core/query_registry.h"
+
+#include <algorithm>
+
+namespace relgo {
+namespace core {
+
+Result<QueryHandlePtr> QueryRegistry::Register(uint64_t id,
+                                               std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutting_down_) {
+    return Status::ResourceExhausted("database is shutting down");
+  }
+  auto handle = std::make_shared<QueryHandle>(id, std::move(label));
+  active_.emplace(id, handle);
+  return handle;
+}
+
+void QueryRegistry::Unregister(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(id);
+  if (active_.empty()) idle_cv_.notify_all();
+}
+
+bool QueryRegistry::Cancel(uint64_t id) {
+  QueryHandlePtr handle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(id);
+    if (it == active_.end()) return false;
+    handle = it->second;
+  }
+  handle->Cancel();
+  return true;
+}
+
+size_t QueryRegistry::CancelAll() {
+  std::vector<QueryHandlePtr> handles;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    handles.reserve(active_.size());
+    for (auto& entry : active_) handles.push_back(entry.second);
+  }
+  for (auto& handle : handles) handle->Cancel();
+  return handles.size();
+}
+
+std::vector<uint64_t> QueryRegistry::ActiveIds() const {
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ids.reserve(active_.size());
+    for (const auto& entry : active_) ids.push_back(entry.first);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+size_t QueryRegistry::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+void QueryRegistry::BeginShutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutting_down_ = true;
+}
+
+bool QueryRegistry::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutting_down_;
+}
+
+void QueryRegistry::WaitUntilIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return active_.empty(); });
+}
+
+}  // namespace core
+}  // namespace relgo

@@ -1,0 +1,89 @@
+#ifndef RELGO_CORE_QUERY_REGISTRY_H_
+#define RELGO_CORE_QUERY_REGISTRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace relgo {
+namespace core {
+
+/// Cancellation token of one in-flight query. The Database registers a
+/// handle per execution, keyed by the trace query id (the same id the
+/// slow-query log and trace sink print), and threads the handle's flag
+/// into the ExecutionContext; engines observe it cooperatively at every
+/// interrupt-check point (see exec::kInterruptCheckMask).
+///
+/// Handles are shared_ptrs so Cancel() is race-free against the query
+/// finishing: a caller holding a handle may flip the flag after the query
+/// unregistered, which is then simply a no-op.
+class QueryHandle {
+ public:
+  QueryHandle(uint64_t id, std::string label)
+      : id_(id), label_(std::move(label)) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& label() const { return label_; }
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// The flag engines poll; outlives the registry entry via the handle.
+  const std::atomic<bool>* flag() const { return &cancelled_; }
+
+ private:
+  uint64_t id_;
+  std::string label_;
+  std::atomic<bool> cancelled_{false};
+};
+
+using QueryHandlePtr = std::shared_ptr<QueryHandle>;
+
+/// Tracks every in-flight query of a Database: registration on entry,
+/// cancellation by id (or wholesale), and the shutdown handshake (stop
+/// admitting, then wait until the last registered query drains).
+/// Thread-safe; all operations are O(active queries) or better.
+class QueryRegistry {
+ public:
+  /// Registers a query; fails with kResourceExhausted once BeginShutdown
+  /// ran (a database that is going away accepts no new work).
+  Result<QueryHandlePtr> Register(uint64_t id, std::string label);
+  /// Removes the entry; wakes WaitUntilIdle when the last one leaves.
+  void Unregister(uint64_t id);
+
+  /// Flips the cancel flag of the given query; false if it is not (or no
+  /// longer) in flight.
+  bool Cancel(uint64_t id);
+  /// Cancels every in-flight query; returns how many flags were flipped.
+  size_t CancelAll();
+
+  /// Ids of the queries currently in flight, ascending.
+  std::vector<uint64_t> ActiveIds() const;
+  size_t active() const;
+
+  /// Stops accepting new registrations. Idempotent; not reversible.
+  void BeginShutdown();
+  bool shutting_down() const;
+  /// Blocks until no query is registered. Callers pair this with
+  /// BeginShutdown — otherwise new arrivals can starve the wait.
+  void WaitUntilIdle();
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::unordered_map<uint64_t, QueryHandlePtr> active_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace core
+}  // namespace relgo
+
+#endif  // RELGO_CORE_QUERY_REGISTRY_H_

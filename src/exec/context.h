@@ -3,8 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/timer.h"
 #include "exec/profile.h"
@@ -47,6 +52,25 @@ enum class EngineKind {
   kMaterialize,
   kPipeline,
 };
+
+/// The interrupt-check cadence of the materializing engine's row loops —
+/// the observable-latency contract of cooperative cancellation:
+///
+///  * The materializing executor calls ExecutionContext::CheckInterrupt()
+///    at every operator dispatch and, inside per-row expansion/probe
+///    loops, every `kInterruptCheckMask + 1` (= 4096) iterations. One
+///    shared constant for every loop (this used to be an ad-hoc mix of
+///    0xFFFF / 0xFFF / 0x3FF masks).
+///  * The pipeline engine checks once per morsel (kBatchRows = 2048 rows)
+///    before any work on the morsel, plus at pipeline/breaker entry.
+///
+/// Consequently Database::CancelQuery (and the timeout clock) is observed
+/// within one morsel or one check-interval of row-loop work in BOTH
+/// engines — a few thousand rows of latency, never an unbounded scan.
+/// Row-budget accounting (ChargeRows) also routes through CheckInterrupt,
+/// so any operator that materializes output observes interrupts at least
+/// once per produced batch.
+inline constexpr uint64_t kInterruptCheckMask = 0xFFF;
 
 /// Resource limits for one query execution, mirroring the paper's
 /// experimental protocol: a wall-clock timeout (10 minutes in the paper)
@@ -109,6 +133,13 @@ struct ExecutionOptions {
   /// (vector_kernel_test pins the parity), so this is on by default;
   /// the off switch exists for A/B measurement and differential tests.
   bool vectorized_kernels = true;
+  /// When set, the Database stores the query id it minted for this run
+  /// (the same id that keys traces, the slow-query log, and the
+  /// cancellation registry) before execution starts — the handle a
+  /// controlling thread needs to call Database::CancelQuery on a query
+  /// that is still in flight. Atomic because the controller typically
+  /// spins on it from another thread. Null (default) skips the export.
+  std::atomic<uint64_t>* query_id_out = nullptr;
 };
 
 /// Resolves ExecutionOptions::num_threads to a concrete worker count.
@@ -139,8 +170,8 @@ class ExecutionContext {
   const ExecutionOptions& options() const { return options_; }
 
   /// Accounts for `rows` newly materialized tuples; kOutOfMemory when the
-  /// budget is exceeded, kTimeout when the clock ran out. Thread-safe: the
-  /// pipeline engine's workers charge concurrently.
+  /// budget is exceeded, kCancelled/kTimeout per CheckInterrupt.
+  /// Thread-safe: the pipeline engine's workers charge concurrently.
   Status ChargeRows(uint64_t rows) {
     uint64_t total = rows_produced_.fetch_add(rows,
                                               std::memory_order_relaxed) +
@@ -150,16 +181,37 @@ class ExecutionContext {
           "intermediate results exceeded " +
           std::to_string(options_.max_total_rows) + " rows");
     }
-    return CheckTimeout();
+    return CheckInterrupt();
   }
 
-  Status CheckTimeout() const {
+  /// The single cooperative interrupt point of both engines (see the
+  /// kInterruptCheckMask contract above): kCancelled once the query's
+  /// cancel token fired (Database::CancelQuery / CancelAll / shutdown),
+  /// kTimeout once the wall clock passed ExecutionOptions::timeout_ms.
+  /// Cancellation wins ties — a cancelled query reports kCancelled even
+  /// if its deadline also lapsed while it was being torn down.
+  Status CheckInterrupt() const {
+    if (cancelled_ != nullptr &&
+        cancelled_->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query " + std::to_string(query_id_) +
+                               " cancelled");
+    }
     if (timer_.ElapsedMillis() > options_.timeout_ms) {
       return Status::Timeout("query exceeded " +
                              std::to_string(options_.timeout_ms) + " ms");
     }
     return Status::OK();
   }
+
+  /// Wires the query's cancellation token (owned by the Database's query
+  /// registry; null for standalone engine executions, which are then only
+  /// interruptible by timeout) and the registry id CheckInterrupt reports.
+  void SetCancelToken(const std::atomic<bool>* cancelled) {
+    cancelled_ = cancelled;
+  }
+  const std::atomic<bool>* cancel_token() const { return cancelled_; }
+  void SetQueryId(uint64_t id) { query_id_ = id; }
+  uint64_t query_id() const { return query_id_; }
 
   uint64_t rows_produced() const {
     return rows_produced_.load(std::memory_order_relaxed);
@@ -199,6 +251,43 @@ class ExecutionContext {
     return scan_cache_hits_.load(std::memory_order_relaxed);
   }
 
+  /// --- Deferred scan-cache publication -------------------------------
+  ///
+  /// Failed (cancelled, timed-out, faulted) queries must never publish
+  /// scan-cache entries, so the engines no longer Put into the cache
+  /// mid-query: completed selections/bitmaps are queued here and the
+  /// Database commits the queue only after the whole query succeeded
+  /// (dropping it on any failure). Entries are complete and correct at
+  /// queue time — deferral only narrows *when* they become visible to
+  /// other queries. Queue sites run on the owning thread (scan Prepare,
+  /// pipeline-finished hooks, the materializing interpreter), but a small
+  /// mutex keeps the queue safe if that ever changes.
+
+  void QueuePutSelection(
+      std::string key, uint64_t version,
+      std::shared_ptr<const std::vector<uint64_t>> selection) {
+    std::lock_guard<std::mutex> lock(pending_puts_mu_);
+    pending_puts_.push_back(
+        {std::move(key), version, std::move(selection), nullptr});
+  }
+  void QueuePutBitmap(std::string key, uint64_t version,
+                      std::shared_ptr<const std::vector<uint8_t>> bitmap) {
+    std::lock_guard<std::mutex> lock(pending_puts_mu_);
+    pending_puts_.push_back(
+        {std::move(key), version, nullptr, std::move(bitmap)});
+  }
+  /// Publishes every queued entry into the attached scan cache (no-op
+  /// without one). Called by the Database on query success only.
+  void CommitScanCachePublications();
+  void DropScanCachePublications() {
+    std::lock_guard<std::mutex> lock(pending_puts_mu_);
+    pending_puts_.clear();
+  }
+  size_t pending_cache_publications() const {
+    std::lock_guard<std::mutex> lock(pending_puts_mu_);
+    return pending_puts_.size();
+  }
+
   /// Resolves the base table behind a vertex label.
   Result<storage::TablePtr> VertexTable(int vertex_label) const {
     return catalog_->GetTable(mapping_->vertex_mapping(vertex_label).table);
@@ -209,6 +298,13 @@ class ExecutionContext {
   }
 
  private:
+  struct PendingCachePut {
+    std::string key;
+    uint64_t version = 0;
+    std::shared_ptr<const std::vector<uint64_t>> selection;
+    std::shared_ptr<const std::vector<uint8_t>> bitmap;
+  };
+
   const storage::Catalog* catalog_;
   const graph::RgMapping* mapping_;
   const graph::GraphIndex* index_;
@@ -220,6 +316,10 @@ class ExecutionContext {
   ScanCache* scan_cache_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   std::atomic<uint64_t> scan_cache_hits_{0};
+  const std::atomic<bool>* cancelled_ = nullptr;
+  uint64_t query_id_ = 0;
+  mutable std::mutex pending_puts_mu_;
+  std::vector<PendingCachePut> pending_puts_;
 };
 
 }  // namespace exec

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/fault.h"
 #include "exec/scan_cache.h"
 #include "exec/vector/compiled_expr.h"
 
@@ -53,7 +54,13 @@ Result<SharedBitmap> FilterBitmap(const storage::TablePtr& table,
     }
   }
 
-  if (cache != nullptr) cache->PutBitmap(key, version, bitmap);
+  if (cache != nullptr) {
+    // Deferred publication (see ExecutionContext): visible to other
+    // queries only once this query commits successfully.
+    RELGO_RETURN_NOT_OK(
+        fault::MaybeInject(fault::Site::kScanCachePublish));
+    ctx->QueuePutBitmap(std::move(key), version, bitmap);
+  }
   return SharedBitmap(std::move(bitmap));
 }
 

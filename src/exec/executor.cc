@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "common/hash.h"
 #include "exec/exec_common.h"
 #include "exec/join_hash_table.h"
@@ -74,7 +75,13 @@ Result<ScanCache::SelectionPtr> FilteredSelection(
       }
     }
   }
-  if (cache != nullptr) cache->Put(key, version, sel);
+  if (cache != nullptr) {
+    // Deferred publication (see ExecutionContext): the entry is complete,
+    // but it only becomes visible to other queries if this one succeeds.
+    RELGO_RETURN_NOT_OK(
+        fault::MaybeInject(fault::Site::kScanCachePublish));
+    ctx->QueuePutSelection(std::move(key), version, sel);
+  }
   return ScanCache::SelectionPtr(std::move(sel));
 }
 
@@ -162,6 +169,7 @@ Result<TablePtr> HashJoinTables(const Table& left, const Table& right,
                                 const std::vector<std::string>& drop_right,
                                 ExecutionContext* ctx) {
   JoinHashTable ht;
+  RELGO_RETURN_NOT_OK(fault::MaybeInject(fault::Site::kHashBuild));
   RELGO_RETURN_NOT_OK(ht.Build(right, right_keys));
   std::vector<size_t> probe_cols;
   for (const auto& k : left_keys) {
@@ -185,7 +193,9 @@ Result<TablePtr> HashJoinTables(const Table& left, const Table& right,
       left_sel.push_back(r);
       right_sel.push_back(b);
     }
-    if ((r & 0xFFFF) == 0) RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+    if ((r & kInterruptCheckMask) == 0) {
+      RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+    }
   }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(left_sel.size()));
 
@@ -311,7 +321,9 @@ Result<TablePtr> ExecRidExpandJoin(const plan::PhysRidExpandJoin& op,
       child_sel.push_back(r);
       edge_sel.push_back(e);
     }
-    if ((r & 0xFFF) == 0) RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+    if ((r & kInterruptCheckMask) == 0) {
+      RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+    }
   }
   RELGO_RETURN_NOT_OK(ctx->ChargeRows(child_sel.size()));
 
@@ -591,7 +603,9 @@ Result<TablePtr> ExecExpandEdge(const plan::PhysExpandEdge& op, TablePtr child,
       child_sel.push_back(r);
       edge_vals.push_back(static_cast<int64_t>(e));
     }
-    if ((r & 0xFFF) == 0) RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+    if ((r & kInterruptCheckMask) == 0) {
+      RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+    }
   }
   return BuildExpandedTable(*child, child_sel, {{op.edge_var, edge_vals}},
                             ctx);
@@ -653,7 +667,9 @@ Result<TablePtr> ExecExpand(const plan::PhysExpand& op, TablePtr child,
         to_vals.push_back(static_cast<int64_t>(nbr));
         if (want_edge) edge_vals.push_back(static_cast<int64_t>(adj.edges[i]));
       }
-      if ((r & 0xFFF) == 0) RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+      if ((r & kInterruptCheckMask) == 0) {
+        RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+      }
     }
   } else {
     // Index-free reduction (RelGoHash): hash join against the edge relation
@@ -706,7 +722,9 @@ Result<TablePtr> ExecExpand(const plan::PhysExpand& op, TablePtr child,
         auto it = build.find(from_fk_col->int_at(e));
         if (it == build.end()) continue;
         for (uint64_t r : it->second) emit(r, e);
-        if ((e & 0xFFF) == 0) RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+        if ((e & kInterruptCheckMask) == 0) {
+          RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+        }
       }
     } else {
       // Build: FK value -> edge rows; stream the bindings.
@@ -720,7 +738,9 @@ Result<TablePtr> ExecExpand(const plan::PhysExpand& op, TablePtr child,
         auto it = build.find(from_key_col->int_at(v));
         if (it == build.end()) continue;
         for (uint64_t e : it->second) emit(r, e);
-        if ((r & 0xFFF) == 0) RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+        if ((r & kInterruptCheckMask) == 0) {
+          RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+        }
       }
     }
   }
@@ -824,7 +844,9 @@ Result<TablePtr> ExecExpandIntersect(const plan::PhysExpandIntersect& op,
         }
       }
     }
-    if ((r & 0x3FF) == 0) RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+    if ((r & kInterruptCheckMask) == 0) {
+      RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+    }
   }
 
   std::vector<std::pair<std::string, std::vector<int64_t>>> new_cols;
@@ -866,7 +888,9 @@ Result<TablePtr> ExecEdgeVerify(const plan::PhysEdgeVerify& op, TablePtr child,
           edge_vals.push_back(static_cast<int64_t>(adj.edges[p - begin]));
         }
       }
-      if ((r & 0xFFF) == 0) RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+      if ((r & kInterruptCheckMask) == 0) {
+        RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+      }
     }
   } else {
     // Hash implementation on (src_key, dst_key).
@@ -1084,7 +1108,10 @@ Result<TablePtr> RunProfiled(const PhysicalOp& op, ExecutionContext* ctx) {
 }
 
 Result<TablePtr> RunImpl(const PhysicalOp& op, ExecutionContext* ctx) {
-  RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+  // Per-operator dispatch is the materializing engine's morsel-boundary
+  // analog: both the interrupt check and the fault site live here.
+  RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+  RELGO_RETURN_NOT_OK(fault::MaybeInject(fault::Site::kMorselBoundary));
 
   // Leaf operators.
   switch (op.kind) {

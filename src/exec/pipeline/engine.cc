@@ -211,7 +211,7 @@ Result<TablePtr> RecordBreaker(const PhysicalOp& op, uint64_t rows_in,
 
 Result<TablePtr> ExecNode(const PhysicalOp& op, ExecutionContext* ctx,
                           TaskScheduler* scheduler) {
-  RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+  RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
   switch (op.kind) {
     case OpKind::kHashAggregate: {
       const auto& agg = static_cast<const plan::PhysHashAggregate&>(op);

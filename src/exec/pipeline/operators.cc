@@ -4,6 +4,7 @@
 #include <numeric>
 #include <queue>
 
+#include "common/fault.h"
 #include "common/timer.h"
 #include "exec/exec_common.h"
 #include "exec/pipeline/scheduler.h"
@@ -898,6 +899,7 @@ Result<TablePtr> HashBuildSink::Finish(
   TablePtr table = ConcatBatches(OrderedBatches(states), "build", schema_);
 
   Timer timer;
+  RELGO_RETURN_NOT_OK(fault::MaybeInject(fault::Site::kHashBuild));
   ht_ = std::make_shared<JoinHashTable>();
   RELGO_RETURN_NOT_OK(ht_->BeginBuild(*table, keys_));
 
@@ -911,7 +913,7 @@ Result<TablePtr> HashBuildSink::Finish(
   JoinHashTable* ht = ht_.get();
   RELGO_RETURN_NOT_OK(scheduler->Run(
       morsels, max_workers, [&](int worker, uint64_t morsel) -> Status {
-        RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+        RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
         uint64_t begin = morsel * kBatchRows;
         uint64_t count = std::min(kBatchRows, total_rows - begin);
         ht->PartitionRows(begin, count, &partials[worker]);
@@ -919,6 +921,7 @@ Result<TablePtr> HashBuildSink::Finish(
       }));
 
   // Phase 2: partition-parallel finalize into the preallocated directory.
+  RELGO_RETURN_NOT_OK(fault::MaybeInject(fault::Site::kHashFinalize));
   RELGO_RETURN_NOT_OK(scheduler->Run(
       JoinHashTable::kNumPartitions, max_workers,
       [&](int, uint64_t p) -> Status {
@@ -1445,7 +1448,7 @@ Result<TablePtr> TopKSink::Finish(
     }
     RELGO_RETURN_NOT_OK(scheduler->Run(
         runs.size(), max_workers, [&](int, uint64_t run) -> Status {
-          RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+          RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
           std::sort(order.begin() + runs[run].first,
                     order.begin() + runs[run].second, before);
           return Status::OK();

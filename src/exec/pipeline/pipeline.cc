@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
 #include "exec/exec_common.h"
 #include "obs/trace.h"
 
@@ -70,12 +71,14 @@ void CachedSelectionScan::Collect(uint64_t morsel,
   slots_filled_.fetch_add(1, std::memory_order_release);
 }
 
-void CachedSelectionScan::PublishIfComplete(const Status& run_status,
-                                            ExecutionContext* ctx) {
-  if (!caching_ || !run_status.ok()) return;
+Status CachedSelectionScan::PublishIfComplete(const Status& run_status,
+                                              ExecutionContext* ctx) {
+  if (!caching_ || !run_status.ok()) return Status::OK();
   if (slots_filled_.load(std::memory_order_acquire) != slots_.size()) {
-    return;  // some morsels were skipped (LIMIT early-exit) — incomplete
+    // Some morsels were skipped (LIMIT early-exit) — incomplete.
+    return Status::OK();
   }
+  RELGO_RETURN_NOT_OK(fault::MaybeInject(fault::Site::kScanCachePublish));
   auto sel = std::make_shared<std::vector<uint64_t>>();
   size_t total = 0;
   for (const auto& slot : slots_) total += slot.size();
@@ -84,8 +87,11 @@ void CachedSelectionScan::PublishIfComplete(const Status& run_status,
   for (const auto& slot : slots_) {
     sel->insert(sel->end(), slot.begin(), slot.end());
   }
-  ctx->scan_cache()->Put(cache_key_, table_version_, std::move(sel));
+  // Deferred to query commit (see ExecutionContext): a later failure of
+  // another pipeline of this query must not leave the entry behind.
+  ctx->QueuePutSelection(cache_key_, table_version_, std::move(sel));
   caching_ = false;
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -147,9 +153,9 @@ Status ScanTableSource::Emit(uint64_t begin, uint64_t count, Batch* out,
   return Status::OK();
 }
 
-void ScanTableSource::PipelineFinished(const Status& run_status,
-                                       ExecutionContext* ctx) {
-  PublishIfComplete(run_status, ctx);
+Status ScanTableSource::PipelineFinished(const Status& run_status,
+                                         ExecutionContext* ctx) {
+  return PublishIfComplete(run_status, ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -199,9 +205,9 @@ Status ScanVertexSource::Emit(uint64_t begin, uint64_t count, Batch* out,
   return Status::OK();
 }
 
-void ScanVertexSource::PipelineFinished(const Status& run_status,
-                                        ExecutionContext* ctx) {
-  PublishIfComplete(run_status, ctx);
+Status ScanVertexSource::PipelineFinished(const Status& run_status,
+                                          ExecutionContext* ctx) {
+  return PublishIfComplete(run_status, ctx);
 }
 
 // ---------------------------------------------------------------------------
@@ -211,7 +217,7 @@ void ScanVertexSource::PipelineFinished(const Status& run_status,
 Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
                                       TaskScheduler* scheduler,
                                       ExecutionContext* ctx) {
-  RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+  RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
   QueryProfile* qp = ctx->profile();
   obs::TraceRecorder* tr = ctx->trace();
   Timer pipeline_timer;
@@ -248,7 +254,11 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
   // non-error exit reports the morsel as finished (with its contributed
   // rows) so LIMIT early-exit can track its contiguous completed prefix.
   auto run_morsel = [&](int worker_id, uint64_t morsel) -> Status {
-    RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+    // One interrupt check per morsel (kBatchRows rows) — the pipeline
+    // half of the kInterruptCheckMask latency contract — plus the
+    // morsel-boundary fault site.
+    RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+    RELGO_RETURN_NOT_OK(fault::MaybeInject(fault::Site::kMorselBoundary));
     if (sink->Saturated()) {  // LIMIT early-exit
       sink->MorselFinished(morsel, 0);
       return Status::OK();
@@ -284,7 +294,8 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
         std::vector<OperatorProfile>(pipeline->ops.size() + 2));
   }
   auto run_morsel_profiled = [&](int worker_id, uint64_t morsel) -> Status {
-    RELGO_RETURN_NOT_OK(ctx->CheckTimeout());
+    RELGO_RETURN_NOT_OK(ctx->CheckInterrupt());
+    RELGO_RETURN_NOT_OK(fault::MaybeInject(fault::Site::kMorselBoundary));
     if (sink->Saturated()) {
       sink->MorselFinished(morsel, 0);
       return Status::OK();
@@ -341,9 +352,12 @@ Result<storage::TablePtr> RunPipeline(Pipeline* pipeline, Sink* sink,
                 {"status", run_status.ok() ? "ok" : run_status.ToString()}});
   }
   // Cache-publication (and any other per-source completion) hook; sources
-  // ignore failed runs, so this is safe to call unconditionally.
-  pipeline->source->PipelineFinished(run_status, ctx);
+  // ignore failed runs, so this is safe to call unconditionally. The run's
+  // own error wins over a publication failure.
+  Status finished_status = pipeline->source->PipelineFinished(run_status, ctx);
   RELGO_RETURN_NOT_OK(run_status);
+  RELGO_RETURN_NOT_OK(finished_status);
+  RELGO_RETURN_NOT_OK(fault::MaybeInject(fault::Site::kSinkFinish));
   double sink_start = tr != nullptr ? obs::TraceNowMs() : 0.0;
   Timer finish_timer;
   auto finished = sink->Finish(std::move(states), scheduler, ctx);

@@ -31,13 +31,16 @@ class Source {
                       ExecutionContext* ctx) const = 0;
 
   /// Called once after the pipeline's morsels drained (successfully or
-  /// not), back on the owning thread. Scan sources use it to publish a
-  /// completely collected selection vector into the cross-query scan
-  /// cache; the default is a no-op.
-  virtual void PipelineFinished(const Status& run_status,
-                                ExecutionContext* ctx) {
+  /// not), back on the owning thread. Scan sources use it to queue a
+  /// completely collected selection vector for scan-cache publication
+  /// (committed only if the whole query succeeds); the default is a
+  /// no-op. May fail (fault injection at the publish site); a failure on
+  /// an otherwise successful run fails the pipeline.
+  virtual Status PipelineFinished(const Status& run_status,
+                                  ExecutionContext* ctx) {
     (void)run_status;
     (void)ctx;
+    return Status::OK();
   }
 
  protected:
@@ -77,9 +80,10 @@ class CachedSelectionScan {
                    std::vector<uint64_t>* sel) const;
   /// Records a miss morsel's freshly computed selection slice.
   void Collect(uint64_t morsel, const std::vector<uint64_t>& sel) const;
-  /// Publishes the assembled selection vector if the run succeeded and
-  /// every morsel reported in.
-  void PublishIfComplete(const Status& run_status, ExecutionContext* ctx);
+  /// Queues the assembled selection vector for publication (deferred to
+  /// query commit, see ExecutionContext) if the run succeeded and every
+  /// morsel reported in.
+  Status PublishIfComplete(const Status& run_status, ExecutionContext* ctx);
 
   bool caching_ = false;  ///< collecting a miss for publication
   std::string cache_key_;
@@ -102,8 +106,8 @@ class ScanTableSource : public Source, private CachedSelectionScan {
   uint64_t num_rows() const override { return table_->num_rows(); }
   Status Emit(uint64_t begin, uint64_t count, Batch* out,
               ExecutionContext* ctx) const override;
-  void PipelineFinished(const Status& run_status,
-                        ExecutionContext* ctx) override;
+  Status PipelineFinished(const Status& run_status,
+                          ExecutionContext* ctx) override;
 
  private:
   const plan::PhysScanTable& op_;
@@ -128,8 +132,8 @@ class ScanVertexSource : public Source, private CachedSelectionScan {
   uint64_t num_rows() const override { return vtable_->num_rows(); }
   Status Emit(uint64_t begin, uint64_t count, Batch* out,
               ExecutionContext* ctx) const override;
-  void PipelineFinished(const Status& run_status,
-                        ExecutionContext* ctx) override;
+  Status PipelineFinished(const Status& run_status,
+                          ExecutionContext* ctx) override;
 
  private:
   const plan::PhysScanVertex& op_;

@@ -1,6 +1,8 @@
 #include "exec/pipeline/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
 #include "common/timer.h"
 
@@ -20,6 +22,84 @@ TaskScheduler::~TaskScheduler() {
 int TaskScheduler::pool_threads() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(workers_.size());
+}
+
+void TaskScheduler::SetAdmission(const AdmissionOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    admission_ = options;
+  }
+  // A raised cap may unblock queued queries immediately.
+  admit_cv_.notify_all();
+}
+
+AdmissionOptions TaskScheduler::admission() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return admission_;
+}
+
+int TaskScheduler::admitted_queries() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return admitted_;
+}
+
+int TaskScheduler::queued_queries() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return queued_;
+}
+
+Status TaskScheduler::AdmitQuery(uint64_t budget_ms,
+                                 const std::atomic<bool>* cancel) {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (admission_.max_concurrent_queries <= 0) {
+    ++admitted_;  // disabled: admit unconditionally, still count
+    return Status::OK();
+  }
+  if (admitted_ < admission_.max_concurrent_queries) {
+    ++admitted_;
+    return Status::OK();
+  }
+  if (queued_ >= admission_.max_queued) {
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(queued_) +
+        " queries already waiting)");
+  }
+  ++queued_;
+  // Never let a query burn more of its timeout budget queueing than it
+  // could spend executing: the wait deadline is the smaller of the policy
+  // bound and the remaining budget.
+  uint64_t deadline_ms = admission_.max_wait_ms;
+  if (budget_ms < deadline_ms) deadline_ms = budget_ms;
+  Timer wait_timer;
+  Status result = Status::OK();
+  while (true) {
+    if (admitted_ < admission_.max_concurrent_queries) {
+      ++admitted_;
+      break;
+    }
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      result = Status::Cancelled("query cancelled while queued");
+      break;
+    }
+    if (wait_timer.ElapsedMillis() >= static_cast<double>(deadline_ms)) {
+      result = Status::ResourceExhausted(
+          "admission wait exceeded " + std::to_string(deadline_ms) + " ms");
+      break;
+    }
+    // Short slices so a cancel flag flipped mid-wait is observed promptly
+    // even if no ReleaseQuery ever notifies.
+    admit_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+  --queued_;
+  return result;
+}
+
+void TaskScheduler::ReleaseQuery() {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    if (admitted_ > 0) --admitted_;
+  }
+  admit_cv_.notify_all();
 }
 
 void TaskScheduler::EnsureWorkersLocked(int wanted) {

@@ -32,6 +32,23 @@ struct SchedulerMetrics {
   obs::Histogram* job_wait_ms = nullptr;
 };
 
+/// Admission control for the shared pool: a cap on concurrently admitted
+/// *queries* (not jobs — one query runs many pipeline jobs) plus a bounded
+/// wait queue for the overflow. Zero cap disables admission entirely:
+/// AdmitQuery then always succeeds immediately, which is the default so
+/// standalone pools and existing callers are unaffected.
+struct AdmissionOptions {
+  /// Queries allowed to execute concurrently; 0 = unlimited (disabled).
+  int max_concurrent_queries = 0;
+  /// Queries allowed to wait for a slot beyond the cap; arrivals past
+  /// this are rejected immediately with ResourceExhausted.
+  int max_queued = 4;
+  /// Longest a queued query waits for a slot before ResourceExhausted.
+  /// The effective deadline is min(max_wait_ms, the query's remaining
+  /// timeout budget) — a query must never burn its whole timeout queueing.
+  uint64_t max_wait_ms = 100;
+};
+
 /// A morsel-driven worker pool (Leis et al., "Morsel-Driven Parallelism").
 ///
 /// One scheduler is a *process-wide* pool shared by every concurrent query
@@ -88,6 +105,24 @@ class TaskScheduler {
   /// standalone pools simply never call it.
   void SetMetrics(const SchedulerMetrics& metrics) { metrics_ = metrics; }
 
+  /// Replaces the admission policy. Takes effect for the next AdmitQuery;
+  /// queries already admitted or queued are not re-evaluated.
+  void SetAdmission(const AdmissionOptions& options);
+  AdmissionOptions admission() const;
+
+  /// Blocks until the query may execute, subject to the admission policy.
+  /// `budget_ms` is the query's remaining timeout budget (caps the queue
+  /// wait); `cancel` (optional) aborts the wait with kCancelled when it
+  /// flips true. Returns kResourceExhausted when the queue is full or the
+  /// wait deadline expires. On OK the caller MUST pair with ReleaseQuery.
+  Status AdmitQuery(uint64_t budget_ms, const std::atomic<bool>* cancel);
+  /// Releases an AdmitQuery slot and wakes the longest-waiting query.
+  void ReleaseQuery();
+
+  /// Queries currently admitted / waiting for admission (diagnostics).
+  int admitted_queries() const;
+  int queued_queries() const;
+
  private:
   /// Per-query (per-pipeline) job handle: all mutable scheduling state of
   /// one Run() call. Lives on the submitting thread's stack; the owner
@@ -117,6 +152,16 @@ class TaskScheduler {
   void EnsureWorkersLocked(int wanted);
 
   SchedulerMetrics metrics_;  // wired pre-concurrency; null hooks = no-op
+
+  /// Admission state lives under its own mutex: AdmitQuery may block for
+  /// milliseconds and must never contend with the morsel hot path on mu_.
+  mutable std::mutex admission_mu_;
+  std::condition_variable admit_cv_;  // waiters poll cancel in short slices
+  AdmissionOptions admission_;
+  int admitted_ = 0;  ///< queries holding a slot (also counted when
+                      ///< admission is disabled, for diagnostics)
+  int queued_ = 0;    ///< queries blocked inside AdmitQuery
+
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // pool threads wait for claimable jobs
   std::vector<std::thread> workers_;

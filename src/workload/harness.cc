@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/rng.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
@@ -159,7 +160,7 @@ std::vector<RunMeasurement> Harness::RunAdaptiveGrid(
 
 ConcurrentMeasurement Harness::RunConcurrent(
     const std::vector<WorkloadQuery>& mix, optimizer::OptimizerMode mode,
-    int clients, int queries_per_client) const {
+    int clients, int queries_per_client, const ChaosOptions& chaos) const {
   ConcurrentMeasurement m;
   m.mode = optimizer::ModeName(mode);
   m.clients = std::max(clients, 1);
@@ -168,6 +169,7 @@ ConcurrentMeasurement Harness::RunConcurrent(
 
   exec::ScanCache::Stats before = db_->scan_cache().stats();
   std::atomic<uint64_t> ok{0}, failed{0};
+  std::atomic<uint64_t> cancelled{0}, rejected{0}, timed_out{0};
   // Per-client latency samples (no sharing during the storm — each client
   // appends to its own vector); merged and sorted once after the join.
   std::vector<std::vector<double>> client_latencies(
@@ -177,17 +179,58 @@ ConcurrentMeasurement Harness::RunConcurrent(
   threads.reserve(m.clients);
   for (int c = 0; c < m.clients; ++c) {
     threads.emplace_back([&, c] {
+      // Per-client stream: which iterations get a mid-flight cancel is a
+      // pure function of (seed, client), so storms replay exactly.
+      Rng rng(chaos.seed + static_cast<uint64_t>(c) * 0x9E3779B97F4A7C15ull);
       std::vector<double>& latencies = client_latencies[c];
       latencies.reserve(m.queries_per_client);
       for (int i = 0; i < m.queries_per_client; ++i) {
         const WorkloadQuery& wq = mix[(c + i) % mix.size()];
+        bool chaos_cancel = chaos.cancel_fraction > 0.0 &&
+                            rng.Chance(chaos.cancel_fraction);
+        exec::ExecutionOptions options = exec_options_;
+        std::atomic<uint64_t> query_id{0};
+        std::atomic<bool> query_done{false};
+        std::thread canceller;
+        if (chaos_cancel) {
+          options.query_id_out = &query_id;
+          // The controller: waits for the database to export the query id
+          // (which happens right before execution starts), then cancels.
+          // `query_done` unblocks it when the query never reaches
+          // execution (optimizer error, admission rejection).
+          canceller = std::thread([&] {
+            uint64_t id = 0;
+            while ((id = query_id.load(std::memory_order_acquire)) == 0) {
+              if (query_done.load(std::memory_order_acquire)) return;
+              std::this_thread::yield();
+            }
+            db_->CancelQuery(id);
+          });
+        }
         Timer query_timer;
-        auto result = db_->Run(wq.query, mode, exec_options_);
+        auto result = db_->Run(wq.query, mode, options);
+        if (chaos_cancel) {
+          query_done.store(true, std::memory_order_release);
+          canceller.join();
+        }
         if (result.ok()) {
           latencies.push_back(query_timer.ElapsedMillis());
           ok.fetch_add(1, std::memory_order_relaxed);
         } else {
           failed.fetch_add(1, std::memory_order_relaxed);
+          switch (result.status().code()) {
+            case StatusCode::kCancelled:
+              cancelled.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case StatusCode::kResourceExhausted:
+              rejected.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case StatusCode::kTimeout:
+              timed_out.fetch_add(1, std::memory_order_relaxed);
+              break;
+            default:
+              break;
+          }
         }
       }
     });
@@ -196,6 +239,9 @@ ConcurrentMeasurement Harness::RunConcurrent(
   m.wall_ms = timer.ElapsedMillis();
   m.queries_ok = ok.load();
   m.queries_failed = failed.load();
+  m.queries_cancelled = cancelled.load();
+  m.queries_rejected = rejected.load();
+  m.queries_timeout = timed_out.load();
   if (m.wall_ms > 0.0) m.qps = m.queries_ok * 1000.0 / m.wall_ms;
 
   std::vector<double> latencies;

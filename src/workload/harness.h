@@ -75,6 +75,23 @@ struct ConcurrentMeasurement {
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+  /// Lifecycle breakdown of the failed queries (chaos storms and
+  /// admission-capped runs; all zero in plain throughput runs):
+  /// cancelled mid-flight, shed by admission control, timed out.
+  uint64_t queries_cancelled = 0;
+  uint64_t queries_rejected = 0;
+  uint64_t queries_timeout = 0;
+};
+
+/// Chaos knob for Harness::RunConcurrent: deterministically cancels a
+/// fraction of the storm's queries mid-flight (per-query controller
+/// threads spin on ExecutionOptions::query_id_out, then call
+/// Database::CancelQuery), exercising the cooperative-cancellation path
+/// under real concurrency. Which queries are targeted is a pure function
+/// of (seed, client, iteration), so a storm is reproducible.
+struct ChaosOptions {
+  double cancel_fraction = 0.0;  ///< [0,1] share of queries to cancel
+  uint64_t seed = 42;            ///< picks the targeted queries
 };
 
 /// Benchmark harness mirroring the paper's protocol: warm-up run, then
@@ -125,7 +142,8 @@ class Harness {
   ConcurrentMeasurement RunConcurrent(const std::vector<WorkloadQuery>& mix,
                                       optimizer::OptimizerMode mode,
                                       int clients,
-                                      int queries_per_client) const;
+                                      int queries_per_client,
+                                      const ChaosOptions& chaos = {}) const;
 
   /// Renders a fixed-width table: one row per query, one column per mode,
   /// values as milliseconds (end-to-end when `end_to_end`).

@@ -637,5 +637,68 @@ TEST_F(ObsTest, ConcurrentStormWithMetricsAndTracingOn) {
   EXPECT_TRUE(checker.Valid());
 }
 
+TEST_F(ObsTest, AdmissionRejectionsUnderStormAreCounted) {
+  // Deterministic shed-load storm: the test holds the database's only
+  // admission slot with a zero-length wait queue, so admission control
+  // must reject every storm query — and each rejection is classified
+  // exactly once into relgo_queries_rejected_total and recorded in the
+  // slow-query log with a non-ok status= field. The TSan CI job runs
+  // this suite, so the admission/metrics paths are also proven race-free.
+  obs::MetricsSnapshot before = db_.metrics().Snapshot();
+  db_.slow_query_log().Clear();
+  exec::pipeline::AdmissionOptions admission;
+  admission.max_concurrent_queries = 1;
+  admission.max_queued = 0;
+  admission.max_wait_ms = 10;
+  db_.worker_pool().SetAdmission(admission);
+  ASSERT_TRUE(db_.worker_pool().AdmitQuery(1000, nullptr).ok())
+      << "test occupies the only slot";
+
+  constexpr int kClients = 4;
+  constexpr int kIters = 4;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      exec::ExecutionOptions options =
+          Options(c % 2 == 0 ? exec::EngineKind::kPipeline
+                             : exec::EngineKind::kMaterialize,
+                  2);
+      options.slow_query_ms = 1e-6;  // log every query
+      for (int i = 0; i < kIters; ++i) {
+        auto result =
+            db_.Run(TriangleQuery(), OptimizerMode::kRelGo, options);
+        if (result.ok() || result.status().code() !=
+                               StatusCode::kResourceExhausted) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  db_.worker_pool().ReleaseQuery();
+  db_.worker_pool().SetAdmission({});
+  EXPECT_EQ(bad.load(), 0) << "every storm query must be shed";
+
+  obs::MetricsSnapshot after = db_.metrics().Snapshot();
+  constexpr uint64_t kTotal = kClients * kIters;
+  EXPECT_EQ(after.CounterValue("relgo_queries_rejected_total") -
+                before.CounterValue("relgo_queries_rejected_total"),
+            kTotal);
+  EXPECT_EQ(after.CounterValue("relgo_query_failures_total") -
+                before.CounterValue("relgo_query_failures_total"),
+            kTotal);
+  // Rejections carry their terminal status into the slow-query log.
+  std::vector<std::string> records = db_.slow_query_log().records();
+  ASSERT_EQ(db_.slow_query_log().total(), kTotal);
+  for (const std::string& line : records) {
+    EXPECT_NE(line.find("status="), std::string::npos) << line;
+    EXPECT_EQ(line.find("status=ok"), std::string::npos) << line;
+  }
+  db_.slow_query_log().Clear();
+  // Once the cap is lifted the same query is served normally again.
+  EXPECT_TRUE(db_.Run(TriangleQuery(), OptimizerMode::kRelGo).ok());
+}
+
 }  // namespace
 }  // namespace relgo
