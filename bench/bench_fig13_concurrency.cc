@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
   exec::ExecutionOptions options = bench::EngineOptions(
       bench::BenchExecOptions(), exec::EngineKind::kPipeline, args.threads);
   // This bench measures cache amortization, so it opts back into the
-  // scan cache that BenchExecOptions disables for the figure benches.
+  // scan cache and plan cache that BenchExecOptions disables for the
+  // figure benches.
   options.scan_cache = true;
+  options.plan_cache = true;
   workload::Harness harness(db, options, args.reps);
 
   const int kQueriesPerClient = 2 * static_cast<int>(mix.size());
@@ -85,6 +87,39 @@ int main(int argc, char** argv) {
         exec::EngineKind::kPipeline, args.threads);
   }
   db->worker_pool().SetAdmission({});  // restore: admission off
+
+  // Hot-template sweep: the parameterized-query steady state. Every
+  // interactive template runs once cold (plan cache cleared), then warm
+  // rounds replay the set — with the cache on, warm optimization_ms
+  // collapses to a lookup + rebind while execution stays bit-identical.
+  // A cache-off sweep records the re-optimization baseline next to it.
+  std::printf("\nhot templates (%zu templates, cold + %d warm rounds):\n",
+              mix.size(), 3);
+  std::printf("%12s %10s %12s %12s %10s %10s\n", "plan cache", "ok",
+              "cold opt ms", "warm opt ms", "hits", "hit rate");
+  for (bool cache_on : {false, true}) {
+    exec::ExecutionOptions sweep_options = options;
+    sweep_options.plan_cache = cache_on;
+    workload::Harness sweep(db, sweep_options, args.reps);
+    auto m = sweep.RunHotTemplates(mix, OptimizerMode::kRelGo, 3);
+    std::printf("%12s %10llu %12.3f %12.3f %10llu %9.1f%%\n",
+                cache_on ? "on" : "off",
+                static_cast<unsigned long long>(m.queries_ok),
+                m.cold_optimization_ms, m.warm_optimization_ms,
+                static_cast<unsigned long long>(m.plan_cache_hits),
+                100.0 * m.plan_cache_hit_rate);
+    if (m.queries_failed != 0) {
+      std::printf("  (%llu queries failed)\n",
+                  static_cast<unsigned long long>(m.queries_failed));
+    }
+    const std::string tag = cache_on ? "fig13_plan_cache" : "fig13_reopt";
+    bench::BenchJson::Global().AddHotTemplates(
+        tag, "ldbc", args.scale, m, exec::EngineKind::kPipeline,
+        args.threads, "cold");
+    bench::BenchJson::Global().AddHotTemplates(
+        tag, "ldbc", args.scale, m, exec::EngineKind::kPipeline,
+        args.threads, "warm");
+  }
 
   std::printf("\nshared pool threads spawned: %d\n",
               db->worker_pool().pool_threads());

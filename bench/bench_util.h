@@ -116,6 +116,14 @@ struct BenchRecord {
   uint64_t queries_cancelled = 0;
   uint64_t queries_rejected = 0;
   uint64_t queries_timeout = 0;
+  /// Cross-query plan-cache activity (fig13 storm and hot-template
+  /// records; 0 on the rest — the per-query figure benches run with
+  /// BenchExecOptions' plan_cache off). On hot-template records,
+  /// optimization_ms holds the warm mean and execution_ms the warm mean
+  /// execution time, so a warm record with hits ~100% shows
+  /// optimization_ms collapsing toward 0.
+  uint64_t plan_cache_hits = 0;
+  double plan_cache_hit_rate = 0.0;
 };
 
 /// Process-wide collector; call Write() once at the end of main(). Every
@@ -189,12 +197,45 @@ class BenchJson {
     rec.queries_cancelled = m.queries_cancelled;
     rec.queries_rejected = m.queries_rejected;
     rec.queries_timeout = m.queries_timeout;
+    rec.plan_cache_hits = m.plan_cache_hits;
+    rec.plan_cache_hit_rate = m.plan_cache_hit_rate;
     // A storm whose only failures are deliberately shed load (cancelled /
     // rejected / timed out) is a healthy serving-tier record, not an ERR.
     if (m.queries_failed > 0 &&
         m.queries_cancelled + m.queries_rejected + m.queries_timeout ==
             m.queries_failed) {
       rec.status = "shed";
+    }
+    Add(std::move(rec));
+  }
+
+  /// Tags and records one hot-template sweep (Harness::RunHotTemplates)
+  /// under one engine configuration. `phase` is "cold" or "warm": the
+  /// cold record carries the cold mean optimization time, the warm record
+  /// the warm means plus the sweep's plan-cache hit counters.
+  void AddHotTemplates(const std::string& bench, const std::string& workload,
+                       double scale,
+                       const relgo::workload::HotTemplateMeasurement& m,
+                       exec::EngineKind engine, int threads,
+                       const std::string& phase) {
+    BenchRecord rec;
+    rec.bench = bench;
+    rec.workload = workload;
+    rec.scale = scale;
+    rec.query = "hot_templates_" + phase;
+    rec.mode = m.mode;
+    rec.engine = EngineLabel(engine);
+    rec.threads = engine == exec::EngineKind::kPipeline ? threads : 1;
+    rec.rows = m.queries_ok;
+    rec.status = m.queries_failed == 0 ? "ok" : "ERR";
+    rec.qps = m.qps;
+    if (phase == "cold") {
+      rec.optimization_ms = m.cold_optimization_ms;
+    } else {
+      rec.optimization_ms = m.warm_optimization_ms;
+      rec.execution_ms = m.warm_execution_ms;
+      rec.plan_cache_hits = m.plan_cache_hits;
+      rec.plan_cache_hit_rate = m.plan_cache_hit_rate;
     }
     Add(std::move(rec));
   }
@@ -255,7 +296,8 @@ class BenchJson {
           "\"cache_hit_rate\": %.4f, \"latency_p50_ms\": %.3f, "
           "\"latency_p95_ms\": %.3f, \"latency_p99_ms\": %.3f, "
           "\"queries_cancelled\": %llu, \"queries_rejected\": %llu, "
-          "\"queries_timeout\": %llu}%s\n",
+          "\"queries_timeout\": %llu, \"plan_cache_hits\": %llu, "
+          "\"plan_cache_hit_rate\": %.4f}%s\n",
           static_cast<long long>(run_ts_), r.bench.c_str(),
           r.workload.c_str(), r.scale, r.query.c_str(), r.mode.c_str(),
           r.engine.c_str(), r.threads, r.optimization_ms, r.execution_ms,
@@ -268,7 +310,8 @@ class BenchJson {
           static_cast<unsigned long long>(r.queries_cancelled),
           static_cast<unsigned long long>(r.queries_rejected),
           static_cast<unsigned long long>(r.queries_timeout),
-          i + 1 < records_.size() ? "," : "");
+          static_cast<unsigned long long>(r.plan_cache_hits),
+          r.plan_cache_hit_rate, i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
@@ -339,15 +382,17 @@ inline Database* MakeImdb(double scale) {
 
 /// Bench-wide execution limits: a 30s per-query timeout (the paper used 10
 /// minutes at server scale; timeouts are reported as OT) and the default
-/// row budget. The cross-query scan cache is OFF here so every figure
-/// bench's execution_ms keeps measuring real filter evaluation — the
-/// accumulated BENCH_pipeline.json trajectory stays comparable across
-/// PRs, and cache amortization is measured by the one bench built for it
+/// row budget. The cross-query scan cache and the plan cache are OFF here
+/// so every figure bench's execution_ms / optimization_ms keeps measuring
+/// real filter evaluation and real optimization — the accumulated
+/// BENCH_pipeline.json trajectory stays comparable across PRs, and cache
+/// amortization is measured by the one bench built for it
 /// (bench_fig13_concurrency, which opts back in).
 inline exec::ExecutionOptions BenchExecOptions() {
   exec::ExecutionOptions options;
   options.timeout_ms = 30'000.0;
   options.scan_cache = false;
+  options.plan_cache = false;
   return options;
 }
 

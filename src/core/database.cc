@@ -1,11 +1,13 @@
 #include "core/database.h"
 
 #include <memory>
+#include <unordered_map>
 #include <utility>
 
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "exec/pipeline/engine.h"
+#include "plan/plan_clone.h"
 
 namespace relgo {
 
@@ -58,6 +60,21 @@ Database::Database() : table_stats_(&catalog_) {
     out->gauges["relgo_scan_cache_bytes"] +=
         static_cast<int64_t>(cache->bytes());
   });
+
+  // Same pull-collector pattern for the plan cache: its lifetime Stats are
+  // the single source of truth; the registry reads them at snapshot time.
+  optimizer::PlanCache* plans = &plan_cache_;
+  metrics_.AddCollector([plans](obs::MetricsSnapshot* out) {
+    optimizer::PlanCache::Stats s = plans->stats();
+    out->counters["relgo_plan_cache_hits_total"] += s.hits;
+    out->counters["relgo_plan_cache_misses_total"] += s.misses;
+    out->counters["relgo_plan_cache_insertions_total"] += s.insertions;
+    out->counters["relgo_plan_cache_evictions_total"] += s.evictions;
+    out->counters["relgo_plan_cache_invalidations_total"] +=
+        s.invalidations;
+    out->gauges["relgo_plan_cache_entries"] +=
+        static_cast<int64_t>(plans->entries());
+  });
 }
 
 Database::~Database() { Shutdown(ShutdownMode::kCancel); }
@@ -108,15 +125,87 @@ Result<pattern::PatternGraph> Database::ParsePattern(
 }
 
 Result<optimizer::OptimizeResult> Database::OptimizeInternal(
-    const plan::SpjmQuery& query, optimizer::OptimizerMode mode) const {
+    const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
+    uint64_t* epoch_out) const {
   if (!finalized_) {
     return Status::InvalidArgument("call Finalize() before Optimize()");
   }
   // Shared against the adaptive-statistics push-down, which refines
   // GLogue counts in place: any number of optimizations may overlap, but
-  // none overlaps a refinement.
+  // none overlaps a refinement. The epoch is read under the same lock
+  // (the push-down bumps it while holding it exclusively), so the value
+  // names exactly the statistics state this optimization consulted.
   std::shared_lock<std::shared_mutex> lock(stats_mu_);
+  if (epoch_out != nullptr) {
+    *epoch_out = stats_epoch_.load(std::memory_order_acquire);
+  }
   return optimizer_->Optimize(query, mode);
+}
+
+uint64_t Database::CatalogDataVersion() const {
+  uint64_t version = 0;
+  for (const std::string& name : catalog_.ListTables()) {
+    auto table = catalog_.GetTable(name);
+    if (table.ok()) version += (*table)->version();
+  }
+  return version;
+}
+
+Result<Database::PlannedQuery> Database::PlanQuery(
+    const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
+    const exec::ExecutionOptions& options) const {
+  PlannedQuery out;
+  // Adaptive runs bypass the cache: their purpose is refining statistics,
+  // so they must re-plan against the current estimator state every time.
+  bool use_cache = options.plan_cache && !options.adaptive_stats && finalized_;
+  if (!use_cache) {
+    RELGO_ASSIGN_OR_RETURN(auto optimized, OptimizeInternal(query, mode));
+    out.plan = std::move(optimized.plan);
+    out.optimization_ms = optimized.optimization_ms;
+    return out;
+  }
+
+  Timer timer;
+  out.cache_key = optimizer::TemplateSignature(query, mode);
+  out.cache_data_version = CatalogDataVersion();
+  uint64_t epoch = stats_epoch_.load(std::memory_order_acquire);
+  std::shared_ptr<const plan::PhysicalOp> cached =
+      plan_cache_.Get(out.cache_key, epoch, out.cache_data_version);
+  if (cached != nullptr) {
+    // Hit: re-bind the cached template plan against this call's constants
+    // (clone-before-Bind — the cached tree is shared and never mutated).
+    // For an unparameterized query the slot map is empty and this is a
+    // plain deep copy.
+    std::unordered_map<int, Value> params =
+        optimizer::CollectBoundParams(query);
+    out.plan = plan::ClonePlan(
+        *cached, [&params](const storage::ExprPtr& e) {
+          return optimizer::RebindExpr(e, params);
+        });
+    out.optimization_ms = timer.ElapsedMillis();
+    out.cache_status = exec::QueryProfile::PlanCacheStatus::kHit;
+    out.cache_epoch = epoch;
+    return out;
+  }
+
+  uint64_t planned_epoch = 0;
+  auto optimized = OptimizeInternal(query, mode, &planned_epoch);
+  if (!optimized.ok()) return optimized.status();
+  out.plan = std::move(optimized->plan);
+  out.optimization_ms = optimized->optimization_ms;
+  out.cache_status = exec::QueryProfile::PlanCacheStatus::kMiss;
+  out.cache_epoch = planned_epoch;
+  return out;
+}
+
+void Database::PublishPlan(
+    const PlannedQuery& planned,
+    std::shared_ptr<const plan::PhysicalOp> plan) const {
+  if (planned.cache_status != exec::QueryProfile::PlanCacheStatus::kMiss) {
+    return;
+  }
+  plan_cache_.Put(planned.cache_key, planned.cache_epoch,
+                  planned.cache_data_version, std::move(plan));
 }
 
 Result<optimizer::OptimizeResult> Database::Optimize(
@@ -270,6 +359,18 @@ std::string TraceLabel(const plan::SpjmQuery& query,
   return name + " [" + optimizer::ModeName(mode) + "]";
 }
 
+const char* PlanCacheStatusName(exec::QueryProfile::PlanCacheStatus s) {
+  switch (s) {
+    case exec::QueryProfile::PlanCacheStatus::kOff:
+      return "off";
+    case exec::QueryProfile::PlanCacheStatus::kMiss:
+      return "miss";
+    case exec::QueryProfile::PlanCacheStatus::kHit:
+      return "hit";
+  }
+  return "off";
+}
+
 }  // namespace
 
 Result<QueryRunResult> Database::Run(const plan::SpjmQuery& query,
@@ -283,27 +384,29 @@ Result<QueryRunResult> Database::Run(const plan::SpjmQuery& query,
   QueryRunResult result;
 
   double opt_start = trace.recorder() != nullptr ? obs::TraceNowMs() : 0.0;
-  auto optimized = OptimizeInternal(query, mode);
+  auto planned = PlanQuery(query, mode, options);
   if (trace.recorder() != nullptr) {
     trace.recorder()->Record(
         "optimize", "query", opt_start,
         {{"mode", optimizer::ModeName(mode)},
-         {"status",
-          optimized.ok() ? "ok" : optimized.status().ToString()}});
+         {"plan_cache",
+          planned.ok() ? PlanCacheStatusName(planned->cache_status) : "off"},
+         {"status", planned.ok() ? "ok" : planned.status().ToString()}});
   }
-  if (!optimized.ok()) {
-    obs.status = optimized.status();
+  if (!planned.ok()) {
+    obs.status = planned.status();
     ObserveQuery(query, mode, options, obs);
-    return optimized.status();
+    return planned.status();
   }
-  obs.optimization_ms = result.optimization_ms = optimized->optimization_ms;
+  obs.optimization_ms = result.optimization_ms = planned->optimization_ms;
+  result.plan_cache = planned->cache_status;
 
   exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
   ctx.SetQueryId(query_id);
   ctx.SetTrace(trace.recorder());
   double exec_start = trace.recorder() != nullptr ? obs::TraceNowMs() : 0.0;
   Timer timer;
-  auto table = ExecuteWithContext(*optimized->plan, &ctx, label);
+  auto table = ExecuteWithContext(*planned->plan, &ctx, label);
   obs.execution_ms = result.execution_ms = timer.ElapsedMillis();
   obs.scan_cache_hits = result.scan_cache_hits = ctx.scan_cache_hits();
   if (table.ok()) obs.rows = (*table)->num_rows();
@@ -322,6 +425,11 @@ Result<QueryRunResult> Database::Run(const plan::SpjmQuery& query,
     ObserveQuery(query, mode, options, obs);
     return table.status();
   }
+  // Publish only now — after the plan executed to completion — so a
+  // cancelled, timed-out, or faulted query never seeds the plan cache
+  // (the scan cache's commit-on-success chokepoint, applied to plans).
+  PublishPlan(*planned, std::shared_ptr<const plan::PhysicalOp>(
+                            std::move(planned->plan)));
   ObserveQuery(query, mode, options, obs);
   result.table = std::move(table).value();
   return result;
@@ -344,21 +452,23 @@ Result<ProfiledRunResult> Database::RunProfiled(
   ProfiledRunResult result;
 
   double opt_start = trace.recorder() != nullptr ? obs::TraceNowMs() : 0.0;
-  auto optimized = OptimizeInternal(query, mode);
+  auto planned = PlanQuery(query, mode, options);
   if (trace.recorder() != nullptr) {
     trace.recorder()->Record(
         "optimize", "query", opt_start,
         {{"mode", optimizer::ModeName(mode)},
-         {"status",
-          optimized.ok() ? "ok" : optimized.status().ToString()}});
+         {"plan_cache",
+          planned.ok() ? PlanCacheStatusName(planned->cache_status) : "off"},
+         {"status", planned.ok() ? "ok" : planned.status().ToString()}});
   }
-  if (!optimized.ok()) {
-    obs.status = optimized.status();
+  if (!planned.ok()) {
+    obs.status = planned.status();
     ObserveQuery(query, mode, options, obs);
-    return optimized.status();
+    return planned.status();
   }
-  obs.optimization_ms = result.optimization_ms = optimized->optimization_ms;
-  result.plan = std::move(optimized->plan);
+  obs.optimization_ms = result.optimization_ms = planned->optimization_ms;
+  result.plan = std::move(planned->plan);
+  result.profile.SetPlanCacheStatus(planned->cache_status);
 
   exec::ExecutionContext ctx(&catalog_, &mapping_, &index_, options);
   ctx.SetQueryId(query_id);
@@ -387,6 +497,12 @@ Result<ProfiledRunResult> Database::RunProfiled(
   }
   result.table = std::move(table).value();
   result.profile.SetScanCacheHits(ctx.scan_cache_hits());
+  // Publish after successful execution. The caller keeps result.plan, so
+  // the cache stores its own deep copy (cloned only on an actual miss).
+  if (planned->cache_status == exec::QueryProfile::PlanCacheStatus::kMiss) {
+    PublishPlan(*planned, std::shared_ptr<const plan::PhysicalOp>(
+                              plan::ClonePlan(*result.plan)));
+  }
   if (options.adaptive_stats) {
     // The adaptive loop: hand the profile's per-operator actuals back to
     // the statistics sink, then migrate structural (predicate-free)
@@ -402,6 +518,13 @@ Result<ProfiledRunResult> Database::RunProfiled(
     {
       std::unique_lock<std::shared_mutex> lock(stats_mu_);
       refined = feedback_.PushIntoGlogue(&glogue_);
+      // The plan cache's invalidation clock: advance exactly when the
+      // estimator learned something (keyed corrections absorbed and/or
+      // GLogue counts refined), under the exclusive lock so no
+      // optimization can capture an epoch that misses these corrections.
+      if (result.feedback_observations > 0 || refined > 0) {
+        stats_epoch_.fetch_add(1, std::memory_order_acq_rel);
+      }
     }
     if (options.metrics) {
       query_metrics_.feedback_observations->Add(

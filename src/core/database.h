@@ -1,6 +1,7 @@
 #ifndef RELGO_CORE_DATABASE_H_
 #define RELGO_CORE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -14,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "optimizer/plan_cache.h"
 #include "optimizer/query_optimizer.h"
 #include "pattern/parser.h"
 
@@ -28,6 +30,11 @@ struct QueryRunResult {
   /// Filtered scans replayed from the cross-query scan cache (0 when the
   /// cache is off, cold, or the plan has no filtered scans).
   uint64_t scan_cache_hits = 0;
+  /// Whether the plan came from the cross-query plan cache (kHit:
+  /// optimization skipped), was freshly optimized with the cache consulted
+  /// (kMiss), or ran with the cache off / bypassed (kOff).
+  exec::QueryProfile::PlanCacheStatus plan_cache =
+      exec::QueryProfile::PlanCacheStatus::kOff;
 };
 
 /// Result of Database::RunProfiled — one profiled execution: the result
@@ -141,6 +148,25 @@ class Database {
   /// Empties the cache (A/B measurement, tests). `const` like
   /// ResetAdaptiveStats: the cache is derived state, not content.
   void ClearScanCache() const { scan_cache_.Clear(); }
+
+  /// The cross-query plan cache (ROADMAP "Serving tier"): optimized
+  /// physical plans keyed by template signature × optimizer mode,
+  /// validated against stats_epoch() and the catalog's table versions.
+  /// Consulted by Run/RunProfiled/ExplainAnalyze unless
+  /// ExecutionOptions::plan_cache is off or the run is adaptive.
+  const optimizer::PlanCache& plan_cache() const { return plan_cache_; }
+  /// Empties the plan cache (A/B measurement, tests). `const` like
+  /// ClearScanCache: cached plans are derived state, not content.
+  void ClearPlanCache() const { plan_cache_.Clear(); }
+
+  /// Statistics epoch: bumped exactly when an adaptive profiled run
+  /// pushed corrections into the estimator (StatsFeedback absorption
+  /// and/or GLogue refinement) — the plan cache's invalidation clock.
+  /// Never advances on a timer; a database that never absorbs feedback
+  /// stays at epoch 0 forever.
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_acquire);
+  }
 
   /// The process-wide worker pool all concurrent pipeline queries share;
   /// exposed for diagnostics (pool size) and scheduler-level tests.
@@ -279,8 +305,45 @@ class Database {
   /// Optimize without the public entry point's metrics recording —
   /// Run/RunProfiled charge optimization time through ObserveQuery
   /// instead, so a query never lands twice in the same histogram.
+  /// `epoch_out` (optional) receives the stats epoch captured under the
+  /// same shared statistics lock the optimization ran under, so a plan
+  /// published to the plan cache is tagged with exactly the statistics
+  /// state it was derived from.
   Result<optimizer::OptimizeResult> OptimizeInternal(
-      const plan::SpjmQuery& query, optimizer::OptimizerMode mode) const;
+      const plan::SpjmQuery& query, optimizer::OptimizerMode mode,
+      uint64_t* epoch_out = nullptr) const;
+
+  /// What PlanQuery hands the execution entry points: a plan ready to
+  /// execute plus the plan-cache bookkeeping needed to report the outcome
+  /// and publish the plan after a successful run.
+  struct PlannedQuery {
+    plan::PhysicalOpPtr plan;
+    double optimization_ms = 0.0;
+    exec::QueryProfile::PlanCacheStatus cache_status =
+        exec::QueryProfile::PlanCacheStatus::kOff;
+    std::string cache_key;          ///< empty when the cache was bypassed
+    uint64_t cache_epoch = 0;       ///< stats epoch the plan was derived at
+    uint64_t cache_data_version = 0;  ///< catalog version it was derived at
+  };
+
+  /// The plan-acquisition chokepoint of Run/RunProfiled: consults the
+  /// plan cache (unless off, adaptive, or pre-Finalize), re-binding a hit
+  /// against the call's constants via ClonePlan, or falls through to a
+  /// fresh optimization whose plan the caller publishes after successful
+  /// execution (PublishPlan).
+  Result<PlannedQuery> PlanQuery(const plan::SpjmQuery& query,
+                                 optimizer::OptimizerMode mode,
+                                 const exec::ExecutionOptions& options) const;
+
+  /// Publishes a freshly optimized plan to the plan cache — called only
+  /// after the plan executed successfully, the same no-publish-on-failure
+  /// chokepoint the scan cache uses. No-op for hits and bypassed runs.
+  void PublishPlan(const PlannedQuery& planned,
+                   std::shared_ptr<const plan::PhysicalOp> plan) const;
+
+  /// Sum of all base tables' version counters: the data component of
+  /// plan-cache validation. Any append to any table changes it.
+  uint64_t CatalogDataVersion() const;
 
   /// Records one finished query: registry counters/histograms (when
   /// `options.metrics`) and the slow-query log (when the
@@ -324,6 +387,11 @@ class Database {
   /// cache fills — both internally synchronized.
   mutable exec::pipeline::TaskScheduler pool_;
   mutable exec::ScanCache scan_cache_;
+  /// Cross-query plan cache (internally synchronized) and its
+  /// invalidation clock. Mutable like the scan cache: caching plans while
+  /// serving is logically const.
+  mutable optimizer::PlanCache plan_cache_;
+  mutable std::atomic<uint64_t> stats_epoch_{0};
   /// Observability state (mutable for the same reason as the pool:
   /// serving and observing are logically const). Declared before use:
   /// the constructor wires the pool's SchedulerMetrics and the scan-cache

@@ -97,6 +97,21 @@ struct ExecutionOptions {
   /// this is on by default; the off switch exists for A/B measurement and
   /// the parity test suite.
   bool scan_cache = true;
+  /// Consult the owning Database's cross-query plan cache (ROADMAP
+  /// "Serving tier"): optimized physical plans are cached by template
+  /// signature (query shape with parameter slots in place of constants,
+  /// per optimizer mode) and validated against the Database's stats epoch
+  /// and catalog data version — so a hit skips optimization entirely and
+  /// an entry is invalidated exactly when adaptive feedback taught the
+  /// estimator something or a table changed. The cached plan is re-bound
+  /// against the call's constants via clone-before-Bind, and
+  /// parameterized predicates are estimated value-insensitively, so
+  /// cached and fresh runs are bit-identical; on by default, with the off
+  /// switch for A/B measurement and the differential suite
+  /// (plan_cache_test). Adaptive (RunProfiled with adaptive_stats) runs
+  /// bypass the cache: they exist to refine statistics, not to reuse
+  /// stale estimates.
+  bool plan_cache = true;
   /// Opt-in adaptive statistics (ROADMAP "Adaptive feedback"): after a
   /// profiled run (Database::RunProfiled / ExplainAnalyze), per-operator
   /// actual cardinalities are fed back into the optimizer's statistics

@@ -121,6 +121,21 @@ std::string ScanCacheFooter(const QueryProfile& profile) {
   return buf;
 }
 
+/// Footer line reporting whether the plan came from the cross-query plan
+/// cache; empty when the cache was off or bypassed, so cache-free
+/// renderings are byte-identical to older builds.
+std::string PlanCacheFooter(const QueryProfile& profile) {
+  switch (profile.plan_cache_status()) {
+    case QueryProfile::PlanCacheStatus::kOff:
+      return "";
+    case QueryProfile::PlanCacheStatus::kMiss:
+      return "plan cache: miss\n";
+    case QueryProfile::PlanCacheStatus::kHit:
+      return "plan cache: hit\n";
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string RenderAnalyzedTree(const plan::PhysicalOp& root,
@@ -128,6 +143,7 @@ std::string RenderAnalyzedTree(const plan::PhysicalOp& root,
   std::string out;
   RenderTree(root, profile, 0, &out);
   out += ScanCacheFooter(profile);
+  out += PlanCacheFooter(profile);
   out += RenderQErrorFooter(root, profile);
   return out;
 }
@@ -178,6 +194,7 @@ std::string RenderAnalyzedPipelines(const plan::PhysicalOp& root,
     out += buf;
   }
   out += ScanCacheFooter(profile);
+  out += PlanCacheFooter(profile);
   out += RenderQErrorFooter(root, profile);
   return out;
 }

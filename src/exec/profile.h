@@ -101,6 +101,14 @@ class QueryProfile {
   void SetScanCacheHits(uint64_t hits) { scan_cache_hits_ = hits; }
   uint64_t scan_cache_hits() const { return scan_cache_hits_; }
 
+  /// Whether this execution's plan came from the Database's cross-query
+  /// plan cache (kHit: optimization skipped, cached template plan re-bound
+  /// to this call's constants), was freshly optimized with the cache
+  /// consulted (kMiss), or ran with the cache off / bypassed (kOff).
+  enum class PlanCacheStatus { kOff, kMiss, kHit };
+  void SetPlanCacheStatus(PlanCacheStatus s) { plan_cache_status_ = s; }
+  PlanCacheStatus plan_cache_status() const { return plan_cache_status_; }
+
   const std::vector<PipelineTrace>& pipelines() const { return pipelines_; }
   size_t num_profiled_ops() const { return ops_.size(); }
 
@@ -110,6 +118,7 @@ class QueryProfile {
   double build_ms_ = 0.0;
   double sort_ms_ = 0.0;
   uint64_t scan_cache_hits_ = 0;
+  PlanCacheStatus plan_cache_status_ = PlanCacheStatus::kOff;
 };
 
 /// One estimate-vs-actual pair extracted from a profiled run for a plan

@@ -113,7 +113,7 @@ std::string ConstraintSignature(const pattern::PatternGraph& induced) {
     if (pv.predicate) {
       parts.push_back("v" + std::to_string(v) + "L" +
                       std::to_string(pv.label) + ":" +
-                      pv.predicate->ToString());
+                      pv.predicate->ToTemplateString());
     }
   }
   for (int e = 0; e < induced.num_edges(); ++e) {
@@ -121,7 +121,7 @@ std::string ConstraintSignature(const pattern::PatternGraph& induced) {
     if (pe.predicate) {
       parts.push_back("e" + std::to_string(e) + "L" +
                       std::to_string(pe.label) + ":" +
-                      pe.predicate->ToString());
+                      pe.predicate->ToTemplateString());
     }
   }
   for (const auto& [a, b] : induced.distinct_pairs()) {
@@ -179,8 +179,12 @@ std::string PatternFeedbackKey(const pattern::PatternGraph& induced) {
 
 std::string ScanFeedbackKey(const std::string& table,
                             const storage::ExprPtr& filter, bool sampled) {
+  // Template rendering ($<slot> instead of the bound constant) keys the
+  // correction by predicate shape: all bindings of one parameterized
+  // template share — and are corrected by — one feedback entry, matching
+  // the value-insensitive estimate they share.
   return std::string(sampled ? "scan|s|" : "scan|h|") + table + "|" +
-         (filter ? filter->ToString() : "");
+         (filter ? filter->ToTemplateString() : "");
 }
 
 }  // namespace optimizer

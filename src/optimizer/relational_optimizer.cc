@@ -297,11 +297,11 @@ class JoinPlanner {
       const RelNode& n = nodes_[i];
       if (n.kind == RelNode::Kind::kTableScan) {
         leaves.push_back("t:" + n.table + ":" +
-                         (n.filter ? n.filter->ToString() : ""));
+                         (n.filter ? n.filter->ToTemplateString() : ""));
       } else {
         leaves.push_back(
             "g:" + n.graph_signature + ":" +
-            (n.post_filter ? n.post_filter->ToString() : ""));
+            (n.post_filter ? n.post_filter->ToTemplateString() : ""));
       }
     }
     for (const auto& e : edges_) {

@@ -117,6 +117,11 @@ double TableStats::SampledSelectivity(const storage::Table& table,
                                       const storage::ExprPtr& filter,
                                       size_t sample_size) const {
   if (!filter) return 1.0;
+  // Parameterized predicates are estimated value-insensitively: sampling
+  // would make the estimate (and hence the plan) depend on the bound
+  // constant, breaking the plan cache's generic-plan contract that every
+  // binding of one template plans identically.
+  if (filter->HasParam()) return HeuristicSelectivity(table, filter);
   if (table.num_rows() == 0) return 1.0;
   if (!filter->BindsTo(table.schema())) return 0.5;
   storage::ExprPtr bound = filter->Clone();

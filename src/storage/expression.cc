@@ -19,6 +19,13 @@ ExprPtr Expr::Constant(Value v) {
   return e;
 }
 
+ExprPtr Expr::Param(int slot, Value v) {
+  auto e = ExprPtr(new Expr(Kind::kConstant));
+  e->value_ = std::move(v);
+  e->param_slot_ = slot;
+  return e;
+}
+
 ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
   auto e = ExprPtr(new Expr(Kind::kCompare));
   e->compare_op_ = op;
@@ -223,10 +230,19 @@ void Expr::CollectColumns(std::vector<std::string>* out) const {
   for (const auto& child : children_) child->CollectColumns(out);
 }
 
+bool Expr::HasParam() const {
+  if (param_slot_ >= 0) return true;
+  for (const auto& child : children_) {
+    if (child->HasParam()) return true;
+  }
+  return false;
+}
+
 ExprPtr Expr::Clone() const {
   auto e = ExprPtr(new Expr(kind_));
   e->name_ = name_;
   e->value_ = value_;
+  e->param_slot_ = param_slot_;
   e->compare_op_ = compare_op_;
   e->string_arg_ = string_arg_;
   e->in_list_ = in_list_;
@@ -243,6 +259,7 @@ ExprPtr Expr::CloneRenamed(
     if (it != rename.end()) e->name_ = it->second;
   }
   e->value_ = value_;
+  e->param_slot_ = param_slot_;
   e->compare_op_ = compare_op_;
   e->string_arg_ = string_arg_;
   e->in_list_ = in_list_;
@@ -262,11 +279,18 @@ void Expr::SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
   out->push_back(expr);
 }
 
-std::string Expr::ToString() const {
+std::string Expr::ToString() const { return ToStringImpl(false); }
+
+std::string Expr::ToTemplateString() const { return ToStringImpl(true); }
+
+std::string Expr::ToStringImpl(bool template_mode) const {
   switch (kind_) {
     case Kind::kColumnRef:
       return name_;
     case Kind::kConstant:
+      if (template_mode && param_slot_ >= 0) {
+        return "$" + std::to_string(param_slot_);
+      }
       return value_.type() == LogicalType::kString
                  ? "'" + value_.ToString() + "'"
                  : value_.ToString();
@@ -292,23 +316,25 @@ std::string Expr::ToString() const {
           op = ">=";
           break;
       }
-      return children_[0]->ToString() + " " + op + " " +
-             children_[1]->ToString();
+      return children_[0]->ToStringImpl(template_mode) + " " + op + " " +
+             children_[1]->ToStringImpl(template_mode);
     }
     case Kind::kAnd:
-      return "(" + children_[0]->ToString() + " AND " +
-             children_[1]->ToString() + ")";
+      return "(" + children_[0]->ToStringImpl(template_mode) + " AND " +
+             children_[1]->ToStringImpl(template_mode) + ")";
     case Kind::kOr:
-      return "(" + children_[0]->ToString() + " OR " +
-             children_[1]->ToString() + ")";
+      return "(" + children_[0]->ToStringImpl(template_mode) + " OR " +
+             children_[1]->ToStringImpl(template_mode) + ")";
     case Kind::kNot:
-      return "NOT (" + children_[0]->ToString() + ")";
+      return "NOT (" + children_[0]->ToStringImpl(template_mode) + ")";
     case Kind::kStartsWith:
-      return children_[0]->ToString() + " STARTS WITH '" + string_arg_ + "'";
+      return children_[0]->ToStringImpl(template_mode) + " STARTS WITH '" +
+             string_arg_ + "'";
     case Kind::kContains:
-      return children_[0]->ToString() + " CONTAINS '" + string_arg_ + "'";
+      return children_[0]->ToStringImpl(template_mode) + " CONTAINS '" +
+             string_arg_ + "'";
     case Kind::kInList: {
-      std::string out = children_[0]->ToString() + " IN (";
+      std::string out = children_[0]->ToStringImpl(template_mode) + " IN (";
       for (size_t i = 0; i < in_list_.size(); ++i) {
         if (i) out += ", ";
         out += in_list_[i].ToString();
@@ -316,7 +342,7 @@ std::string Expr::ToString() const {
       return out + ")";
     }
     case Kind::kIsNull:
-      return children_[0]->ToString() + " IS NULL";
+      return children_[0]->ToStringImpl(template_mode) + " IS NULL";
   }
   return "?";
 }

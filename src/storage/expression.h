@@ -44,6 +44,12 @@ class Expr {
 
   static ExprPtr Column(std::string name);
   static ExprPtr Constant(Value v);
+  /// A constant annotated as parameter slot `slot` of a query template
+  /// (optimizer/plan_cache.h): evaluation treats it as an ordinary
+  /// constant holding the currently bound value, but the optimizer
+  /// estimates it value-insensitively and feedback keys render it as
+  /// "$<slot>", so every binding of one template plans identically.
+  static ExprPtr Param(int slot, Value v);
   static ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
   static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
   static ExprPtr And(std::vector<ExprPtr> conjuncts);
@@ -73,6 +79,14 @@ class Expr {
   const std::vector<ExprPtr>& children() const { return children_; }
   const std::string& string_arg() const { return string_arg_; }
   const std::vector<Value>& in_list() const { return in_list_; }
+
+  /// Parameter slot of a kConstant created via Param (-1 for plain
+  /// constants). Survives Clone/CloneRenamed so pushdown rewrites keep
+  /// the template annotation.
+  int param_slot() const { return param_slot_; }
+
+  /// True when any constant in the tree carries a parameter slot.
+  bool HasParam() const;
 
   /// Resolved column index after a successful Bind (-1 when unbound).
   /// Exposed so the vectorized lowerer (src/exec/vector/) can map a bound
@@ -118,8 +132,16 @@ class Expr {
 
   std::string ToString() const;
 
+  /// Like ToString, but renders parameter-slotted constants as "$<slot>"
+  /// instead of their currently bound value. Used for template signatures
+  /// and feedback keys so every binding of one template maps to the same
+  /// key; byte-identical to ToString for trees without parameters.
+  std::string ToTemplateString() const;
+
  private:
   explicit Expr(Kind kind) : kind_(kind) {}
+
+  std::string ToStringImpl(bool template_mode) const;
 
   /// Shared evaluation core; `Src::Get(row, index)` resolves a bound column
   /// reference. Instantiated for Table rows and loose column arrays.
@@ -130,6 +152,7 @@ class Expr {
   std::string name_;        // kColumnRef
   int bound_index_ = -1;    // kColumnRef after Bind
   Value value_;             // kConstant
+  int param_slot_ = -1;     // kConstant created via Param
   CompareOp compare_op_ = CompareOp::kEq;
   std::string string_arg_;  // kStartsWith / kContains
   std::vector<Value> in_list_;

@@ -168,6 +168,7 @@ ConcurrentMeasurement Harness::RunConcurrent(
   if (mix.empty() || m.queries_per_client == 0) return m;
 
   exec::ScanCache::Stats before = db_->scan_cache().stats();
+  optimizer::PlanCache::Stats pc_before = db_->plan_cache().stats();
   std::atomic<uint64_t> ok{0}, failed{0};
   std::atomic<uint64_t> cancelled{0}, rejected{0}, timed_out{0};
   // Per-client latency samples (no sharing during the storm — each client
@@ -259,6 +260,78 @@ ConcurrentMeasurement Harness::RunConcurrent(
   uint64_t lookups = m.scan_cache_hits + m.scan_cache_misses;
   if (lookups > 0) {
     m.cache_hit_rate = static_cast<double>(m.scan_cache_hits) / lookups;
+  }
+  optimizer::PlanCache::Stats pc_after = db_->plan_cache().stats();
+  m.plan_cache_hits = pc_after.hits - pc_before.hits;
+  m.plan_cache_misses = pc_after.misses - pc_before.misses;
+  uint64_t pc_lookups = m.plan_cache_hits + m.plan_cache_misses;
+  if (pc_lookups > 0) {
+    m.plan_cache_hit_rate =
+        static_cast<double>(m.plan_cache_hits) / pc_lookups;
+  }
+  return m;
+}
+
+HotTemplateMeasurement Harness::RunHotTemplates(
+    const std::vector<WorkloadQuery>& templates, optimizer::OptimizerMode mode,
+    int iterations) const {
+  HotTemplateMeasurement m;
+  m.mode = optimizer::ModeName(mode);
+  m.templates = static_cast<int>(templates.size());
+  m.iterations = std::max(iterations, 1);
+  if (templates.empty()) return m;
+
+  db_->ClearPlanCache();
+  Timer timer;
+  // Cold pass: every template plans from scratch (the cache was just
+  // cleared), charging cold_optimization_ms.
+  double cold_opt = 0.0;
+  int cold_runs = 0;
+  for (const auto& wq : templates) {
+    auto result = db_->Run(wq.query, mode, exec_options_);
+    if (!result.ok()) {
+      m.queries_failed++;
+      continue;
+    }
+    m.queries_ok++;
+    cold_opt += result->optimization_ms;
+    ++cold_runs;
+  }
+  // Warm rounds: steady-state traffic over the now-hot template set. The
+  // hit counters are deltas over the warm phase only, so
+  // plan_cache_hit_rate reads 100% when every warm run reuses its
+  // template's plan (the cold pass necessarily misses).
+  optimizer::PlanCache::Stats before = db_->plan_cache().stats();
+  double warm_opt = 0.0, warm_exec = 0.0;
+  int warm_runs = 0;
+  for (int round = 0; round < m.iterations; ++round) {
+    for (const auto& wq : templates) {
+      auto result = db_->Run(wq.query, mode, exec_options_);
+      if (!result.ok()) {
+        m.queries_failed++;
+        continue;
+      }
+      m.queries_ok++;
+      warm_opt += result->optimization_ms;
+      warm_exec += result->execution_ms;
+      ++warm_runs;
+    }
+  }
+  m.wall_ms = timer.ElapsedMillis();
+  if (cold_runs > 0) m.cold_optimization_ms = cold_opt / cold_runs;
+  if (warm_runs > 0) {
+    m.warm_optimization_ms = warm_opt / warm_runs;
+    m.warm_execution_ms = warm_exec / warm_runs;
+  }
+  if (m.wall_ms > 0.0) m.qps = m.queries_ok * 1000.0 / m.wall_ms;
+
+  optimizer::PlanCache::Stats after = db_->plan_cache().stats();
+  m.plan_cache_hits = after.hits - before.hits;
+  m.plan_cache_misses = after.misses - before.misses;
+  uint64_t lookups = m.plan_cache_hits + m.plan_cache_misses;
+  if (lookups > 0) {
+    m.plan_cache_hit_rate =
+        static_cast<double>(m.plan_cache_hits) / lookups;
   }
   return m;
 }

@@ -68,6 +68,11 @@ struct ConcurrentMeasurement {
   uint64_t scan_cache_hits = 0;
   uint64_t scan_cache_misses = 0;
   double cache_hit_rate = 0.0;  ///< hits / (hits + misses); 0 if no lookups
+  /// Plan-cache activity during this run (deltas, like the scan-cache
+  /// fields; all zero when ExecutionOptions::plan_cache is off).
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  double plan_cache_hit_rate = 0.0;
   /// Per-query end-to-end latency tail over every completed (ok) query of
   /// the storm — the serving-tier metric QPS alone hides (ROADMAP: report
   /// tail latency, not just QPS). Exact nearest-rank percentiles over the
@@ -81,6 +86,33 @@ struct ConcurrentMeasurement {
   uint64_t queries_cancelled = 0;
   uint64_t queries_rejected = 0;
   uint64_t queries_timeout = 0;
+};
+
+/// Outcome of Harness::RunHotTemplates: the serving-tier hot-template
+/// sweep. A small set of templates is run once cold (plan cache cleared,
+/// so every template optimizes) and then `iterations` more times each
+/// (the steady state production traffic looks like), splitting mean
+/// optimization time by phase — with the plan cache on, warm runs hit the
+/// cache and warm_optimization_ms collapses toward 0 while execution is
+/// bit-identical.
+struct HotTemplateMeasurement {
+  std::string mode;
+  int templates = 0;   ///< distinct templates in the sweep
+  int iterations = 0;  ///< warm repetitions per template
+  uint64_t queries_ok = 0;
+  uint64_t queries_failed = 0;
+  double cold_optimization_ms = 0.0;  ///< mean over the cold pass
+  double warm_optimization_ms = 0.0;  ///< mean over all warm runs
+  double warm_execution_ms = 0.0;     ///< mean over all ok warm runs
+  /// Plan-cache activity during the WARM phase only (deltas of the
+  /// database cache's lifetime counters taken around the warm rounds): the
+  /// cold pass necessarily misses, so including it would cap the rate at
+  /// iterations/(iterations+1) and hide warm-phase regressions.
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  double plan_cache_hit_rate = 0.0;
+  double wall_ms = 0.0;
+  double qps = 0.0;  ///< completed (ok) queries per second of wall time
 };
 
 /// Chaos knob for Harness::RunConcurrent: deterministically cancels a
@@ -144,6 +176,17 @@ class Harness {
                                       int clients,
                                       int queries_per_client,
                                       const ChaosOptions& chaos = {}) const;
+
+  /// Hot-template sweep (ROADMAP serving tier): clears the plan cache,
+  /// runs every template once cold, then `iterations` warm rounds over
+  /// the set, reporting cold vs warm mean optimization time and the
+  /// plan-cache hit/miss deltas. Honors this harness's ExecutionOptions —
+  /// with plan_cache off the sweep measures the re-optimization baseline
+  /// (the A/B the bench records). Run on an otherwise idle database, like
+  /// RunConcurrent.
+  HotTemplateMeasurement RunHotTemplates(
+      const std::vector<WorkloadQuery>& templates,
+      optimizer::OptimizerMode mode, int iterations) const;
 
   /// Renders a fixed-width table: one row per query, one column per mode,
   /// values as milliseconds (end-to-end when `end_to_end`).

@@ -60,7 +60,8 @@ std::string ShapeOf(const std::string& rendered) {
       i = close + 1;
     } else if (rendered.compare(i, 8, "q-error:") == 0 ||
                rendered.compare(i, 9, "breakers:") == 0 ||
-               rendered.compare(i, 11, "scan cache:") == 0) {
+               rendered.compare(i, 11, "scan cache:") == 0 ||
+               rendered.compare(i, 11, "plan cache:") == 0) {
       size_t nl = rendered.find('\n', i);
       if (nl == std::string::npos) break;
       i = nl + 1;
