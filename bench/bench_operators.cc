@@ -15,6 +15,7 @@
 #include "bench_util.h"
 #include "common/hash.h"
 #include "exec/executor.h"
+#include "exec/join_hash_table.h"
 #include "exec/naive_matcher.h"
 #include "exec/vector/compiled_expr.h"
 #include "exec/vector/typed_keys.h"
@@ -402,6 +403,177 @@ void BM_GroupKeyBuildEncoded(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupKeyBuildEncoded)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Dictionary-encoding microbenches (bench "operators_dict"): the same
+// operation on the same data, payload bytes vs int32 dictionary codes.
+// ---------------------------------------------------------------------------
+
+/// 1M-row table whose string column draws from 64 same-length values
+/// sharing a long common prefix (the worst case for byte-wise equality,
+/// the shape LDBC attribute columns actually have); dictionary built.
+const storage::Table& DictMicroTable() {
+  static storage::TablePtr table = [] {
+    std::mt19937 rng(23);
+    std::vector<std::string> pool;
+    for (int i = 0; i < 64; ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "category_value_%03d", i);
+      pool.push_back(buf);
+    }
+    auto t = std::make_shared<storage::Table>(
+        "dict_micro", storage::Schema({{"s", LogicalType::kString}}));
+    t->column(0).Reserve(kMicroRows);
+    for (uint64_t r = 0; r < kMicroRows; ++r) {
+      t->column(0).AppendString(pool[rng() % pool.size()]);
+    }
+    t->FinishBulkAppend();
+    t->column(0).BuildDictionary();
+    return t;
+  }();
+  return *table;
+}
+
+/// String-equality filter: payload byte-compare kernel vs the int32
+/// code-compare kernel (constant translated to a code at compile time).
+void DictFilterStringEq(benchmark::State& state, bool use_dictionaries) {
+  const storage::Table& t = DictMicroTable();
+  auto expr = storage::Expr::Compare(
+      storage::CompareOp::kEq, storage::Expr::Column("s"),
+      storage::Expr::Constant(Value::String("category_value_031")));
+  if (!expr->Bind(t.schema()).ok()) {
+    state.SkipWithError("bind failed");
+    return;
+  }
+  auto compiled = exec::vector::CompiledPredicate::Compile(
+      *expr, t.schema(), &t, use_dictionaries);
+  if (compiled == nullptr) {
+    state.SkipWithError("predicate did not lower");
+    return;
+  }
+  const storage::Column* cols[1] = {&t.column(0)};
+  std::vector<uint64_t> sel;
+  sel.reserve(kMicroRows);
+  for (auto _ : state) {
+    sel.clear();
+    compiled->FilterRange(cols, 0, kMicroRows, &sel);
+    benchmark::DoNotOptimize(sel.size());
+  }
+  state.counters["rows"] = static_cast<double>(sel.size());
+}
+void BM_DictFilterStringEqPayload(benchmark::State& state) {
+  DictFilterStringEq(state, false);
+}
+void BM_DictFilterStringEqDict(benchmark::State& state) {
+  DictFilterStringEq(state, true);
+}
+BENCHMARK(BM_DictFilterStringEqPayload)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DictFilterStringEqDict)->Unit(benchmark::kMillisecond);
+
+/// Build side (100K unique string keys, dictionary built) and a 1M-row
+/// probe side derived from it, so the probe column shares the build
+/// dictionary — the planner-join shape after a base-table scan.
+struct DictJoinData {
+  storage::TablePtr build;
+  storage::TablePtr probe;
+};
+
+const DictJoinData& DictJoinTables() {
+  static DictJoinData data = [] {
+    constexpr uint64_t kBuildRows = 100'000;
+    DictJoinData d;
+    d.build = std::make_shared<storage::Table>(
+        "dict_build", storage::Schema({{"k", LogicalType::kString}}));
+    d.build->column(0).Reserve(kBuildRows);
+    for (uint64_t r = 0; r < kBuildRows; ++r) {
+      // Email-shaped keys (shared prefix AND suffix): string join keys
+      // in the wild are long, and byte-wise hash + compare pays for
+      // every byte — exactly what code-valued keys sidestep.
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "person_email_%06llu@example.org",
+                    static_cast<unsigned long long>(r));
+      d.build->column(0).AppendString(buf);
+    }
+    d.build->FinishBulkAppend();
+    d.build->column(0).BuildDictionary();
+    d.probe = std::make_shared<storage::Table>(
+        "dict_probe", storage::Schema({{"k", LogicalType::kString}}));
+    std::mt19937 rng(29);
+    d.probe->column(0).Reserve(kMicroRows);
+    for (uint64_t r = 0; r < kMicroRows; ++r) {
+      d.probe->column(0).AppendFrom(d.build->column(0), rng() % kBuildRows);
+    }
+    d.probe->FinishBulkAppend();
+    return d;
+  }();
+  return data;
+}
+
+/// String join-key hash probe: byte hashing + memcmp on the payload path
+/// vs int64 code hashing + int32 compare on the dictionary path.
+void DictJoinProbeString(benchmark::State& state, bool use_dictionaries) {
+  const DictJoinData& d = DictJoinTables();
+  exec::JoinHashTable ht;
+  Status st = ht.Build(*d.build, {"k"}, use_dictionaries);
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  exec::JoinHashTable::ProbeView view;
+  st = ht.BindProbe(*d.probe, {0}, &view);
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  std::vector<uint64_t> matches;
+  for (auto _ : state) {
+    uint64_t hits = 0;
+    for (uint64_t r = 0; r < kMicroRows; ++r) {
+      matches.clear();
+      ht.Probe(view, r, &matches);
+      hits += matches.size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+void BM_DictJoinProbeStringPayload(benchmark::State& state) {
+  DictJoinProbeString(state, false);
+}
+void BM_DictJoinProbeStringDict(benchmark::State& state) {
+  DictJoinProbeString(state, true);
+}
+BENCHMARK(BM_DictJoinProbeStringPayload)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DictJoinProbeStringDict)->Unit(benchmark::kMillisecond);
+
+/// GROUP BY key build over a dictionary string column: length-prefixed
+/// byte append + byte hash vs fixed32 code append + int64 hash.
+void DictGroupKeyString(benchmark::State& state, bool use_dictionaries) {
+  const storage::Table& t = DictMicroTable();
+  auto encoder = exec::vector::KeyEncoder::Make({LogicalType::kString},
+                                                use_dictionaries);
+  if (encoder == nullptr) {
+    state.SkipWithError("encoder unavailable");
+    return;
+  }
+  const storage::Column* cols[1] = {&t.column(0)};
+  exec::vector::EncodedGroupKey key;
+  for (auto _ : state) {
+    size_t acc = 0;
+    for (uint64_t r = 0; r < kMicroRows; ++r) {
+      encoder->Encode(cols, r, &key);
+      acc ^= key.hash;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+void BM_DictGroupKeyStringPayload(benchmark::State& state) {
+  DictGroupKeyString(state, false);
+}
+void BM_DictGroupKeyStringDict(benchmark::State& state) {
+  DictGroupKeyString(state, true);
+}
+BENCHMARK(BM_DictGroupKeyStringPayload)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DictGroupKeyStringDict)->Unit(benchmark::kMillisecond);
+
 /// Forwards finished kernel-vs-row runs into BENCH_pipeline.json (bench
 /// "operators_kernel") and remembers per-benchmark timings so main() can
 /// print the row/kernel speedup table the acceptance bar reads.
@@ -411,7 +583,8 @@ class KernelJsonReporter : public benchmark::ConsoleReporter {
     ConsoleReporter::ReportRuns(runs);
     for (const Run& run : runs) {
       std::string name = run.benchmark_name();
-      if (name.rfind("BM_Filter", 0) != 0 &&
+      const bool dict_bench = name.rfind("BM_Dict", 0) == 0;
+      if (!dict_bench && name.rfind("BM_Filter", 0) != 0 &&
           name.rfind("BM_JoinKey", 0) != 0 &&
           name.rfind("BM_GroupKey", 0) != 0) {
         continue;
@@ -421,14 +594,19 @@ class KernelJsonReporter : public benchmark::ConsoleReporter {
           1e3;
       ms_by_name_[name] = ms;
       bench::BenchRecord rec;
-      rec.bench = "operators_kernel";
+      rec.bench = dict_bench ? "operators_dict" : "operators_kernel";
       rec.workload = "micro";
       rec.scale = 0.0;
       rec.query = name;
-      rec.mode = (name.find("RowLoop") != std::string::npos ||
-                  name.find("Boxed") != std::string::npos)
-                     ? "row"
-                     : "kernel";
+      if (dict_bench) {
+        rec.mode = name.find("Payload") != std::string::npos ? "payload"
+                                                             : "dict";
+      } else {
+        rec.mode = (name.find("RowLoop") != std::string::npos ||
+                    name.find("Boxed") != std::string::npos)
+                       ? "row"
+                       : "kernel";
+      }
       rec.engine = "materialize";
       rec.threads = 1;
       rec.execution_ms = ms;
@@ -448,6 +626,9 @@ class KernelJsonReporter : public benchmark::ConsoleReporter {
         {"BM_FilterStringRowLoop", "BM_FilterStringKernel"},
         {"BM_JoinKeyHashBoxed", "BM_JoinKeyHashTyped"},
         {"BM_GroupKeyBuildBoxed", "BM_GroupKeyBuildEncoded"},
+        {"BM_DictFilterStringEqPayload", "BM_DictFilterStringEqDict"},
+        {"BM_DictJoinProbeStringPayload", "BM_DictJoinProbeStringDict"},
+        {"BM_DictGroupKeyStringPayload", "BM_DictGroupKeyStringDict"},
     };
     std::printf("\nkernel-vs-row speedups (1M rows)\n");
     for (const auto& pair : pairs) {

@@ -91,6 +91,20 @@ void Database::Shutdown(ShutdownMode mode) const {
 }
 
 Status Database::Finalize(optimizer::GlogueOptions glogue_options) {
+  // Dictionary-encode every base-table string column (sorted-unique
+  // dictionary + int32 code vector, storage::StringDictionary). Built
+  // unconditionally: ExecutionOptions::dictionary_encoding gates only
+  // the *use* of codes, so dictionary-on/off A/B runs execute against
+  // identical storage.
+  for (const std::string& name : catalog_.ListTables()) {
+    auto table = catalog_.GetTable(name);
+    if (!table.ok()) continue;
+    for (size_t c = 0; c < (*table)->num_columns(); ++c) {
+      if ((*table)->column(c).type() == LogicalType::kString) {
+        (*table)->column(c).BuildDictionary();
+      }
+    }
+  }
   RELGO_RETURN_NOT_OK(mapping_.Validate(catalog_));
   RELGO_RETURN_NOT_OK(index_.Build(catalog_, mapping_));
   RELGO_RETURN_NOT_OK(graph_stats_.Build(catalog_, mapping_, index_));

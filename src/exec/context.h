@@ -148,6 +148,20 @@ struct ExecutionOptions {
   /// (vector_kernel_test pins the parity), so this is on by default;
   /// the off switch exists for A/B measurement and differential tests.
   bool vectorized_kernels = true;
+  /// Use the per-column string dictionaries built at Database::Finalize
+  /// (sorted-unique dictionary + int32 code vector, storage/column.h):
+  /// string =, !=, IN and — on sorted dictionaries — range predicates
+  /// lower to int32 code kernels with compile-time constant
+  /// translation, StartsWith/Contains probe a per-distinct-value pass
+  /// bitmap, hash-join string keys and GROUP BY string keys hash codes
+  /// instead of bytes, and ORDER BY / TopK compare codes when both
+  /// slots share a sorted dictionary. Every code path re-checks the
+  /// dictionary pointer per batch and falls back to the string payload
+  /// when a derived column dropped or never had one, and results are
+  /// byte-identical on/off (dictionary_test pins the parity), so this
+  /// is on by default; the off switch exists for A/B measurement and
+  /// differential tests.
+  bool dictionary_encoding = true;
   /// When set, the Database stores the query id it minted for this run
   /// (the same id that keys traces, the slow-query log, and the
   /// cancellation registry) before execution starts — the handle a

@@ -38,7 +38,9 @@ Result<SharedBitmap> FilterBitmap(const storage::TablePtr& table,
   auto bitmap = std::make_shared<std::vector<uint8_t>>();
   std::unique_ptr<vector::CompiledPredicate> compiled;
   if (ctx == nullptr || ctx->options().vectorized_kernels) {
-    compiled = vector::CompiledPredicate::Compile(*bound, table->schema());
+    compiled = vector::CompiledPredicate::Compile(
+        *bound, table->schema(), table.get(),
+        ctx == nullptr || ctx->options().dictionary_encoding);
   }
   if (compiled != nullptr) {
     std::vector<const storage::Column*> columns;

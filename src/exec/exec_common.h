@@ -134,12 +134,15 @@ inline Result<storage::TablePtr> SortTableByKeys(
   std::iota(sel.begin(), sel.end(), 0);
   if (ctx->options().vectorized_kernels) {
     // Typed comparator: payload-span reads instead of boxing two Values
-    // per comparison; sign-identical (vector::TypedColumnCompare).
+    // per comparison; sign-identical (vector::TypedColumnCompare). With
+    // dictionary encoding on, string keys sharing a sorted dictionary
+    // compare int32 codes instead of bytes.
+    const bool use_dict = ctx->options().dictionary_encoding;
     std::vector<const storage::Column*> kc;
     for (size_t idx : key_cols) kc.push_back(&child->column(idx));
     std::stable_sort(sel.begin(), sel.end(), [&](uint64_t a, uint64_t b) {
       for (size_t i = 0; i < keys.size(); ++i) {
-        int c = vector::TypedColumnCompare(*kc[i], a, *kc[i], b);
+        int c = vector::TypedColumnCompare(*kc[i], a, *kc[i], b, use_dict);
         if (c != 0) return keys[i].ascending ? c < 0 : c > 0;
       }
       return false;

@@ -63,8 +63,9 @@ Result<ScanCache::SelectionPtr> FilteredSelection(
   // trees outside the lowerable subset or with the option off.
   std::unique_ptr<vector::CompiledPredicate> compiled;
   if (bound_filter != nullptr && ctx->options().vectorized_kernels) {
-    compiled =
-        vector::CompiledPredicate::Compile(*bound_filter, table->schema());
+    compiled = vector::CompiledPredicate::Compile(
+        *bound_filter, table->schema(), table.get(),
+        ctx->options().dictionary_encoding);
   }
   if (compiled != nullptr) {
     compiled->FilterTable(*table, 0, table->num_rows(), sel.get());
@@ -129,7 +130,9 @@ Result<TablePtr> ExecFilter(const plan::PhysFilter& op, TablePtr child,
   std::vector<uint64_t> sel;
   std::unique_ptr<vector::CompiledPredicate> compiled;
   if (ctx->options().vectorized_kernels) {
-    compiled = vector::CompiledPredicate::Compile(*predicate, child->schema());
+    compiled = vector::CompiledPredicate::Compile(
+        *predicate, child->schema(), child.get(),
+        ctx->options().dictionary_encoding);
   }
   if (compiled != nullptr) {
     compiled->FilterTable(*child, 0, child->num_rows(), &sel);
@@ -170,25 +173,37 @@ Result<TablePtr> HashJoinTables(const Table& left, const Table& right,
                                 ExecutionContext* ctx) {
   JoinHashTable ht;
   RELGO_RETURN_NOT_OK(fault::MaybeInject(fault::Site::kHashBuild));
-  RELGO_RETURN_NOT_OK(ht.Build(right, right_keys));
+  RELGO_RETURN_NOT_OK(
+      ht.Build(right, right_keys, ctx->options().dictionary_encoding));
   std::vector<size_t> probe_cols;
   for (const auto& k : left_keys) {
     RELGO_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(left, k));
     probe_cols.push_back(idx);
   }
   // Probe through payload spans hoisted once instead of Column::int_at
-  // per (row, key). Join keys are int64 binding columns (BeginBuild
-  // enforced the build side; the probe side joins against them).
+  // per (row, key). The planner's joins are int64 binding columns and
+  // take the typed-span path; string keys (dictionary codes or payload
+  // fallback) go through the bound ProbeView.
+  const bool string_keys = ht.has_string_keys();
+  JoinHashTable::ProbeView view;
   std::vector<const int64_t*> probe_keys;
-  for (size_t idx : probe_cols) {
-    probe_keys.push_back(left.column(idx).data_int64());
+  if (string_keys) {
+    RELGO_RETURN_NOT_OK(ht.BindProbe(left, probe_cols, &view));
+  } else {
+    for (size_t idx : probe_cols) {
+      probe_keys.push_back(left.column(idx).data_int64());
+    }
   }
 
   std::vector<uint64_t> left_sel, right_sel;
   std::vector<uint64_t> matches;
   for (uint64_t r = 0; r < left.num_rows(); ++r) {
     matches.clear();
-    ht.Probe(probe_keys.data(), r, &matches);
+    if (string_keys) {
+      ht.Probe(view, r, &matches);
+    } else {
+      ht.Probe(probe_keys.data(), r, &matches);
+    }
     for (uint64_t b : matches) {
       left_sel.push_back(r);
       right_sel.push_back(b);
@@ -402,7 +417,8 @@ Result<TablePtr> ExecHashAggregate(const plan::PhysHashAggregate& op,
     for (size_t c : group_cols) {
       key_types.push_back(child->schema().column(c).type);
     }
-    encoder = vector::KeyEncoder::Make(key_types);
+    encoder = vector::KeyEncoder::Make(key_types,
+                                       ctx->options().dictionary_encoding);
   }
 
   if (encoder != nullptr) {

@@ -55,26 +55,66 @@ class JoinHashTable {
     std::array<std::vector<Entry>, kNumPartitions> runs;
   };
 
+  /// One resolved build-side key column. int64 keys read the payload
+  /// span directly. String keys prefer dictionary codes — one int32
+  /// hash/compare per row — when `use_dictionaries` was set at
+  /// BeginBuild and the column carries a dictionary; otherwise they
+  /// hash and compare the payload bytes (the documented fallback). The
+  /// probe side resolves against the build mode, translating through
+  /// the build dictionary when its column carries a different or no
+  /// dictionary (see BindProbe).
+  struct BuildKey {
+    LogicalType type = LogicalType::kInt64;
+    const int64_t* ints = nullptr;
+    const std::string* strs = nullptr;
+    const int32_t* codes = nullptr;                   // dict mode only
+    const storage::StringDictionary* dict = nullptr;  // dict mode only
+  };
+
   /// Phase 1 of 3: resolves `keys` against the build table and preallocates
   /// the partition directory. The table must outlive the hash table.
+  /// Keys must be int64 or string columns; string keys use dictionary
+  /// codes when `use_dictionaries` is set and the column has one. Like
+  /// the int64 path's null => payload-0 convention, string nulls hash
+  /// and compare as their "" payload placeholder.
   Status BeginBuild(const storage::Table& table,
-                    const std::vector<std::string>& keys) {
+                    const std::vector<std::string>& keys,
+                    bool use_dictionaries = true) {
     table_ = &table;
     key_cols_.clear();
+    keyspans_.clear();
+    build_keys_.clear();
+    bool all_int64 = true;
     for (const auto& k : keys) {
       RELGO_ASSIGN_OR_RETURN(size_t idx, table.schema().GetColumnIndex(k));
-      if (table.schema().column(idx).type != LogicalType::kInt64) {
-        return Status::NotImplemented("hash join requires int64 keys, got " +
-                                      k);
+      const storage::Column& col = table.column(idx);
+      BuildKey bk;
+      bk.type = col.type();
+      if (bk.type == LogicalType::kInt64) {
+        bk.ints = col.data_int64();
+      } else if (bk.type == LogicalType::kString) {
+        all_int64 = false;
+        bk.strs = col.data_string();
+        if (use_dictionaries && col.dictionary() != nullptr) {
+          bk.codes = col.data_codes();
+          bk.dict = col.dictionary();
+        }
+      } else {
+        return Status::NotImplemented(
+            "hash join requires int64 or string keys, got " + k);
       }
       key_cols_.push_back(idx);
+      keyspans_.push_back(bk);
     }
-    // Hoist the key payload spans once: HashRow and the probe re-check
-    // then read raw int64 slots instead of going through Column per row.
-    // Safe after the type check above (int64 payload guaranteed).
-    build_keys_.clear();
-    for (size_t idx : key_cols_) {
-      build_keys_.push_back(table.column(idx).data_int64());
+    // Hoist the int64 payload spans once: the engines' typed-span Probe
+    // overload and its hash re-check read raw slots instead of going
+    // through Column per row. Only populated for all-int64 key sets —
+    // the planner's joins (binding columns) are exactly that; string
+    // keys go through BindProbe/ProbeView.
+    if (all_int64) {
+      for (size_t idx : key_cols_) {
+        build_keys_.push_back(table.column(idx).data_int64());
+      }
     }
     return Status::OK();
   }
@@ -115,8 +155,9 @@ class JoinHashTable {
 
   /// Serial convenience: the three phases on the calling thread.
   Status Build(const storage::Table& table,
-               const std::vector<std::string>& keys) {
-    RELGO_RETURN_NOT_OK(BeginBuild(table, keys));
+               const std::vector<std::string>& keys,
+               bool use_dictionaries = true) {
+    RELGO_RETURN_NOT_OK(BeginBuild(table, keys, use_dictionaries));
     std::vector<BuildPartial> partials(1);
     PartitionRows(0, table.num_rows(), &partials[0]);
     for (size_t p = 0; p < kNumPartitions; ++p) {
@@ -125,8 +166,102 @@ class JoinHashTable {
     return Status::OK();
   }
 
+  /// Per-probe-table resolved key spans: bind once per table / batch,
+  /// then Probe per row. For a string key, `shared` marks a probe
+  /// column carrying the exact build dictionary (codes compare
+  /// directly); otherwise the probe string translates through the build
+  /// dictionary per row — a miss proves no build row can match.
+  struct ProbeView {
+    struct Key {
+      const int64_t* ints = nullptr;
+      const std::string* strs = nullptr;
+      const int32_t* codes = nullptr;  // valid when shared
+      bool shared = false;
+    };
+    std::vector<Key> keys;
+  };
+
+  /// True when any build key is a string column — the engines then
+  /// probe through BindProbe/ProbeView instead of hoisted int64 spans.
+  bool has_string_keys() const {
+    for (const BuildKey& k : keyspans_) {
+      if (k.type == LogicalType::kString) return true;
+    }
+    return false;
+  }
+
+  /// Resolves `probe_cols` of `probe` against the build keys (types must
+  /// match pairwise). Templated over the row source: both engines'
+  /// probe sides (storage::Table, pipeline Batch) expose column(i).
+  template <typename Source>
+  Status BindProbe(const Source& probe,
+                   const std::vector<size_t>& probe_cols,
+                   ProbeView* view) const {
+    view->keys.clear();
+    for (size_t i = 0; i < probe_cols.size(); ++i) {
+      const storage::Column& col = probe.column(probe_cols[i]);
+      const BuildKey& bk = keyspans_[i];
+      if (col.type() != bk.type) {
+        return Status::InvalidArgument("probe/build join key type mismatch");
+      }
+      ProbeView::Key k;
+      if (bk.type == LogicalType::kInt64) {
+        k.ints = col.data_int64();
+      } else {
+        k.strs = col.data_string();
+        if (bk.dict != nullptr && col.dictionary() == bk.dict) {
+          k.codes = col.data_codes();
+          k.shared = true;
+        }
+      }
+      view->keys.push_back(k);
+    }
+    return Status::OK();
+  }
+
+  /// Appends matching build-side rows for probe row `row` of a bound
+  /// probe view into `out`.
+  void Probe(const ProbeView& view, uint64_t row,
+             std::vector<uint64_t>* out) const {
+    size_t h = kHashSeed;
+    for (size_t i = 0; i < keyspans_.size(); ++i) {
+      const BuildKey& bk = keyspans_[i];
+      const ProbeView::Key& pk = view.keys[i];
+      if (bk.type == LogicalType::kInt64) {
+        h = HashCombine(h, static_cast<size_t>(pk.ints[row]));
+      } else if (bk.dict != nullptr) {
+        int32_t code =
+            pk.shared ? pk.codes[row] : bk.dict->Find(pk.strs[row]);
+        if (code < 0) return;  // absent from the build dictionary
+        h = HashCombine(h, static_cast<size_t>(code));
+      } else {
+        h = HashCombine(h, TypedHash(pk.strs[row]));
+      }
+    }
+    const Shard& shard = shards_[PartitionOf(h)];
+    auto it = shard.find(h);
+    if (it == shard.end()) return;
+    for (uint64_t build_row : it->second) {
+      bool match = true;
+      for (size_t i = 0; i < keyspans_.size(); ++i) {
+        const BuildKey& bk = keyspans_[i];
+        const ProbeView::Key& pk = view.keys[i];
+        if (bk.type == LogicalType::kInt64) {
+          match = bk.ints[build_row] == pk.ints[row];
+        } else if (bk.dict != nullptr && pk.shared) {
+          match = bk.codes[build_row] == pk.codes[row];
+        } else {
+          match = bk.strs[build_row] == pk.strs[row];
+        }
+        if (!match) break;
+      }
+      if (match) out->push_back(build_row);
+    }
+  }
+
   /// Appends matching build-side rows for probe row (cols `probe_cols` of
-  /// `probe`) into `out`.
+  /// `probe`) into `out`. Per-row convenience over BindProbe for int64
+  /// keys (bit-identical to the typed-span overload below).
   void Probe(const storage::Table& probe,
              const std::vector<size_t>& probe_cols, uint64_t row,
              std::vector<uint64_t>* out) const {
@@ -181,15 +316,24 @@ class JoinHashTable {
 
   size_t HashRow(uint64_t r) const {
     size_t h = kHashSeed;
-    for (const int64_t* keys : build_keys_) {
-      h = HashCombine(h, static_cast<size_t>(keys[r]));
+    for (const BuildKey& k : keyspans_) {
+      if (k.type == LogicalType::kInt64) {
+        h = HashCombine(h, static_cast<size_t>(k.ints[r]));
+      } else if (k.dict != nullptr) {
+        h = HashCombine(h, static_cast<size_t>(k.codes[r]));
+      } else {
+        h = HashCombine(h, TypedHash(k.strs[r]));
+      }
     }
     return h;
   }
 
   const storage::Table* table_ = nullptr;
   std::vector<size_t> key_cols_;
-  std::vector<const int64_t*> build_keys_;  ///< payload spans of key_cols_
+  std::vector<BuildKey> keyspans_;  ///< resolved key spans, one per key
+  /// int64 payload spans, populated only for all-int64 key sets (the
+  /// planner's joins) — backs the typed-span Probe overload.
+  std::vector<const int64_t*> build_keys_;
   std::array<Shard, kNumPartitions> shards_;
 };
 

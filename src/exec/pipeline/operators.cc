@@ -53,6 +53,11 @@ Status FilterOp::Prepare(const Schema& input, ExecutionContext* ctx) {
   if (predicate_) RELGO_RETURN_NOT_OK(predicate_->Bind(input));
   // Lower once per execution; workers evaluate the compiled program
   // (bit-identical to EvaluateBool) instead of walking the tree per row.
+  // Schema-only compile: a mid-pipeline filter sees no stable source
+  // table at Prepare, so string leaves keep the payload kernels
+  // (dictionary lowering needs a compile-time column to fold constants
+  // against). Scan pushdown compiles against the base table and covers
+  // the hot string predicates; see compiled_expr.h.
   if (predicate_ && ctx->options().vectorized_kernels) {
     compiled_ = vector::CompiledPredicate::Compile(*predicate_, input);
   }
@@ -135,15 +140,28 @@ Status HashJoinProbeOp::Prepare(const Schema& input, ExecutionContext* ctx) {
 Status HashJoinProbeOp::Process(const Batch& in, Batch* out,
                                 ExecutionContext* ctx) const {
   // Hoist the probe-key payload spans once per batch; the per-row probe
-  // then touches raw int64 slots only (see JoinHashTable's span overload).
+  // then touches raw int64 slots only (see JoinHashTable's span
+  // overload). String keys bind a ProbeView instead: dictionary codes
+  // when the batch still carries the build dictionary, payload bytes
+  // (or per-row translation) otherwise.
+  const bool string_keys = ht_->has_string_keys();
+  exec::JoinHashTable::ProbeView view;
   std::vector<const int64_t*> keys;
-  keys.reserve(probe_cols_.size());
-  for (size_t c : probe_cols_) keys.push_back(in.column(c).data_int64());
+  if (string_keys) {
+    RELGO_RETURN_NOT_OK(ht_->BindProbe(in, probe_cols_, &view));
+  } else {
+    keys.reserve(probe_cols_.size());
+    for (size_t c : probe_cols_) keys.push_back(in.column(c).data_int64());
+  }
 
   std::vector<uint64_t> left_sel, right_sel, matches;
   for (uint64_t r = 0; r < in.num_rows(); ++r) {
     matches.clear();
-    ht_->Probe(keys.data(), r, &matches);
+    if (string_keys) {
+      ht_->Probe(view, r, &matches);
+    } else {
+      ht_->Probe(keys.data(), r, &matches);
+    }
     for (uint64_t b : matches) {
       left_sel.push_back(r);
       right_sel.push_back(b);
@@ -901,7 +919,8 @@ Result<TablePtr> HashBuildSink::Finish(
   Timer timer;
   RELGO_RETURN_NOT_OK(fault::MaybeInject(fault::Site::kHashBuild));
   ht_ = std::make_shared<JoinHashTable>();
-  RELGO_RETURN_NOT_OK(ht_->BeginBuild(*table, keys_));
+  RELGO_RETURN_NOT_OK(ht_->BeginBuild(*table, keys_,
+                                      ctx->options().dictionary_encoding));
 
   // Phase 1: morsel-parallel scatter into per-worker partition runs (no
   // ordering assumed; FinalizePartition sorts each partition by row id).
@@ -1034,7 +1053,8 @@ Status AggregateSink::Prepare(const Schema& input, ExecutionContext* ctx) {
   if (ctx->options().vectorized_kernels) {
     std::vector<LogicalType> key_types;
     for (size_t c : group_cols_) key_types.push_back(input.column(c).type);
-    encoder_ = vector::KeyEncoder::Make(key_types);
+    encoder_ = vector::KeyEncoder::Make(key_types,
+                                        ctx->options().dictionary_encoding);
   }
   return Status::OK();
 }
@@ -1261,6 +1281,7 @@ Status TopKSink::Prepare(const Schema& input, ExecutionContext* ctx) {
   // engine-invariant (profile_test's parity grids).
   early_exit_ = order_ == nullptr && limit_ >= 0 && ctx->profile() == nullptr;
   typed_cmp_ = ctx->options().vectorized_kernels;
+  dict_cmp_ = ctx->options().dictionary_encoding;
   frontier_next_ = 0;
   pending_.clear();
   prefix_rows_.store(0, std::memory_order_relaxed);
@@ -1417,7 +1438,7 @@ Result<TablePtr> TopKSink::Finish(
         for (size_t k = 0; k < order_->keys.size(); ++k) {
           c = vector::TypedColumnCompare(
               refs[i].batch->column(key_cols_[k]), refs[i].row,
-              refs[j].batch->column(key_cols_[k]), refs[j].row);
+              refs[j].batch->column(key_cols_[k]), refs[j].row, dict_cmp_);
           if (c != 0) {
             c = order_->keys[k].ascending ? c : -c;
             break;

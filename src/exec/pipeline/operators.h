@@ -475,6 +475,12 @@ class TopKSink : public Sink {
   /// TypedColumnCompare) instead of boxing a Value per comparison; same
   /// ordering, set from ExecutionOptions::vectorized_kernels in Prepare.
   bool typed_cmp_ = false;
+  /// Let TypedColumnCompare order string keys by int32 dictionary codes
+  /// when both rows share a sorted dictionary (sign-identical to the byte
+  /// comparison); set from ExecutionOptions::dictionary_encoding. The
+  /// heap fence keeps boxed Values (TypedColumnValueCompare) — a per-row
+  /// dictionary Find would cost as much as the one compare it saves.
+  bool dict_cmp_ = false;
 
   // Completed-morsel frontier (early-exit mode only): morsels [0,
   // frontier_next_) have all finished and contributed frontier-counted

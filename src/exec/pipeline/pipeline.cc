@@ -106,8 +106,9 @@ Status ScanTableSource::Prepare(ExecutionContext* ctx) {
     PrepareCache(ctx, ScanCache::Key("scan", op_.table, op_.filter),
                  table_->version(), table_->num_rows());
     if (ctx->options().vectorized_kernels) {
-      compiled_ = vector::CompiledPredicate::Compile(*filter_,
-                                                     table_->schema());
+      compiled_ = vector::CompiledPredicate::Compile(
+          *filter_, table_->schema(), table_.get(),
+          ctx->options().dictionary_encoding);
     }
   }
   raw_indexes_.clear();
@@ -170,8 +171,9 @@ Status ScanVertexSource::Prepare(ExecutionContext* ctx) {
     PrepareCache(ctx, ScanCache::Key("vscan", vtable_->name(), op_.filter),
                  vtable_->version(), vtable_->num_rows());
     if (ctx->options().vectorized_kernels) {
-      compiled_ = vector::CompiledPredicate::Compile(*filter_,
-                                                     vtable_->schema());
+      compiled_ = vector::CompiledPredicate::Compile(
+          *filter_, vtable_->schema(), vtable_.get(),
+          ctx->options().dictionary_encoding);
     }
   }
   output_schema_ = BindingSchema({op_.var});

@@ -131,6 +131,88 @@ void DispatchCmp(CompareOp op, F&& f) {
   }
 }
 
+/// Dictionary fast path of a string leaf: int32 code compares or
+/// one-byte bitmap probes instead of payload string compares. Entered
+/// only after RunLeaf verified the batch column(s) still carry the
+/// compile-time dictionary. Null rows carry the code of their ""
+/// payload placeholder, so the validity gate comes first exactly like
+/// the payload kernels.
+template <typename Scan>
+void RunDictLeaf(const CompiledKernel& k, const Column& a, const Column* b,
+                 Scan&& scan) {
+  const uint8_t* va = a.validity_data();
+  const int32_t* ca = a.data_codes();
+  switch (k.dict_mode) {
+    case CompiledKernel::DictMode::kCodeCmp: {
+      // Branch-free validity gate (`&`, not `&&`): codes are total, so
+      // the unconditional ca[r] load is safe, and the loop body carries
+      // no control flow — required for auto-vectorization of this
+      // widest kernel (see FilterBitmap's dense path).
+      const int32_t cst = k.code_const;
+      DispatchCmp(k.code_cmp, [&](auto cmp) {
+        if (!va) {
+          scan([&](uint64_t r) { return cmp(ca[r], cst); });
+        } else {
+          scan([&](uint64_t r) {
+            return bool((va[r] != 0) & cmp(ca[r], cst));
+          });
+        }
+      });
+      return;
+    }
+    case CompiledKernel::DictMode::kCodeCols: {
+      const uint8_t* vb = b->validity_data();
+      const int32_t* cb = b->data_codes();
+      DispatchCmp(k.code_cmp, [&](auto cmp) {
+        if (!va && !vb) {
+          scan([&](uint64_t r) { return cmp(ca[r], cb[r]); });
+        } else if (va != nullptr && vb != nullptr) {
+          scan([&](uint64_t r) {
+            return bool(((va[r] & vb[r]) != 0) & cmp(ca[r], cb[r]));
+          });
+        } else {
+          const uint8_t* v = va != nullptr ? va : vb;
+          scan([&](uint64_t r) {
+            return bool((v[r] != 0) & cmp(ca[r], cb[r]));
+          });
+        }
+      });
+      return;
+    }
+    case CompiledKernel::DictMode::kCodeBits: {
+      // The bits[ca[r]] gather defeats baseline x86-64 vectorization
+      // (no hardware gather below AVX2), but the branch-free gate still
+      // keeps the scalar loop tight: one byte load per row, no
+      // per-distinct-value string work.
+      const uint8_t* bits = k.code_bits.data();
+      if (!va) {
+        scan([&](uint64_t r) { return bits[ca[r]] != 0; });
+      } else {
+        scan([&](uint64_t r) {
+          return bool((va[r] != 0) & (bits[ca[r]] != 0));
+        });
+      }
+      return;
+    }
+    case CompiledKernel::DictMode::kNone:
+      return;
+  }
+}
+
+/// True when the dictionary lowering of `k` may run against this batch:
+/// every referenced column must still carry the compile-time dictionary
+/// (derived columns drop it when fed foreign strings; the fold-free
+/// payload fields then take over).
+inline bool DictUsable(const CompiledKernel& k, const Column* const* cols) {
+  if (k.dict_mode == CompiledKernel::DictMode::kNone) return false;
+  if (cols[k.col]->dictionary() != k.dict) return false;
+  if (k.dict_mode == CompiledKernel::DictMode::kCodeCols &&
+      cols[k.col2]->dictionary() != k.dict) {
+    return false;
+  }
+  return true;
+}
+
 /// Runs leaf kernel `k` through `scan`, a callable that applies a
 /// row-predicate over some row source (dense range or selection) and
 /// collects passing rows. Instantiated once for each source shape.
@@ -142,13 +224,18 @@ void RunLeaf(const CompiledKernel& k, const Column* const* cols,
       const Column& c = *cols[k.col];
       const uint8_t* vd = c.validity_data();
       const double cst = k.num_const;
+      // Validity gates use bitwise `&` so the loop body stays free of
+      // control flow (payload slots of null rows hold 0.0/0 and are
+      // safe to load); short-circuit `&&` here blocks vectorization.
       DispatchCmp(k.cmp, [&](auto cmp) {
         if (c.type() == LogicalType::kDouble) {
           const double* d = c.data_double();
           if (!vd) {
             scan([&](uint64_t r) { return cmp(d[r], cst); });
           } else {
-            scan([&](uint64_t r) { return vd[r] && cmp(d[r], cst); });
+            scan([&](uint64_t r) {
+              return bool((vd[r] != 0) & cmp(d[r], cst));
+            });
           }
         } else {
           const int64_t* d = c.data_int64();
@@ -158,7 +245,8 @@ void RunLeaf(const CompiledKernel& k, const Column* const* cols,
             });
           } else {
             scan([&](uint64_t r) {
-              return vd[r] && cmp(static_cast<double>(d[r]), cst);
+              return bool((vd[r] != 0) &
+                          cmp(static_cast<double>(d[r]), cst));
             });
           }
         }
@@ -167,6 +255,10 @@ void RunLeaf(const CompiledKernel& k, const Column* const* cols,
     }
     case CompiledKernel::Op::kCmpStrConst: {
       const Column& c = *cols[k.col];
+      if (DictUsable(k, cols)) {
+        RunDictLeaf(k, c, nullptr, scan);
+        return;
+      }
       const uint8_t* vd = c.validity_data();
       const std::string* d = c.data_string();
       const std::string& cst = k.str_const;
@@ -188,10 +280,14 @@ void RunLeaf(const CompiledKernel& k, const Column* const* cols,
         DispatchCmp(k.cmp, [&](auto cmp) {
           if (!va && !vb) {
             scan([&](uint64_t r) { return cmp(geta(r), getb(r)); });
-          } else {
+          } else if (va != nullptr && vb != nullptr) {
             scan([&](uint64_t r) {
-              return (!va || va[r]) && (!vb || vb[r]) &&
-                     cmp(geta(r), getb(r));
+              return bool(((va[r] & vb[r]) != 0) & cmp(geta(r), getb(r)));
+            });
+          } else {
+            const uint8_t* v = va != nullptr ? va : vb;
+            scan([&](uint64_t r) {
+              return bool((v[r] != 0) & cmp(geta(r), getb(r)));
             });
           }
         });
@@ -224,6 +320,10 @@ void RunLeaf(const CompiledKernel& k, const Column* const* cols,
     case CompiledKernel::Op::kCmpStrCols: {
       const Column& a = *cols[k.col];
       const Column& b = *cols[k.col2];
+      if (DictUsable(k, cols)) {
+        RunDictLeaf(k, a, &b, scan);
+        return;
+      }
       const uint8_t* va = a.validity_data();
       const uint8_t* vb = b.validity_data();
       const std::string* da = a.data_string();
@@ -264,6 +364,10 @@ void RunLeaf(const CompiledKernel& k, const Column* const* cols,
     }
     case CompiledKernel::Op::kInListStr: {
       const Column& c = *cols[k.col];
+      if (DictUsable(k, cols)) {
+        RunDictLeaf(k, c, nullptr, scan);
+        return;
+      }
       const uint8_t* vd = c.validity_data();
       const std::string* d = c.data_string();
       const bool neg = k.negate;
@@ -276,6 +380,10 @@ void RunLeaf(const CompiledKernel& k, const Column* const* cols,
     }
     case CompiledKernel::Op::kStartsWith: {
       const Column& c = *cols[k.col];
+      if (DictUsable(k, cols)) {
+        RunDictLeaf(k, c, nullptr, scan);
+        return;
+      }
       const uint8_t* vd = c.validity_data();
       const std::string* d = c.data_string();
       const bool neg = k.negate;
@@ -287,6 +395,10 @@ void RunLeaf(const CompiledKernel& k, const Column* const* cols,
     }
     case CompiledKernel::Op::kContains: {
       const Column& c = *cols[k.col];
+      if (DictUsable(k, cols)) {
+        RunDictLeaf(k, c, nullptr, scan);
+        return;
+      }
       const uint8_t* vd = c.validity_data();
       const std::string* d = c.data_string();
       const bool neg = k.negate;
@@ -352,6 +464,15 @@ int CompiledPredicate::Lower(const Expr& expr, const Schema& schema,
     return idx;
   };
   auto col_type = [&](int idx) { return schema.column(idx).type; };
+  // Dictionary of a string column, when the table-aware Compile was used
+  // and the flag is on; nullptr otherwise (payload lowering only).
+  auto col_dict = [&](int idx) -> const storage::StringDictionary* {
+    if (!use_dict_ || table_ == nullptr) return nullptr;
+    if (idx >= static_cast<int>(table_->num_columns())) return nullptr;
+    const Column& c = table_->column(idx);
+    if (c.type() != LogicalType::kString) return nullptr;
+    return c.dictionary();
+  };
   auto make_const = [&](bool pass) {
     CompiledKernel k;
     k.op = pass ? CompiledKernel::Op::kAllRows : CompiledKernel::Op::kNoRows;
@@ -411,6 +532,72 @@ int CompiledPredicate::Lower(const Expr& expr, const Schema& schema,
                    cv.type() == LogicalType::kString) {
           k.op = CompiledKernel::Op::kCmpStrConst;
           k.str_const = cv.string_value();
+          if (const storage::StringDictionary* dict = col_dict(ci)) {
+            // Dictionary lowering: translate the constant to a code at
+            // compile time. The dictionary covers every string of the
+            // compile-time column (null placeholders included), so an
+            // absent constant folds: no row can equal it.
+            if (op == CompareOp::kEq || op == CompareOp::kNe) {
+              int32_t code = dict->Find(k.str_const);
+              if (code < 0) {
+                if (op == CompareOp::kEq) return make_const(false);
+                CompiledKernel e;
+                e.op = CompiledKernel::Op::kIsNotNull;
+                e.col = ci;
+                return AddLeaf(std::move(e));
+              }
+              k.dict_mode = CompiledKernel::DictMode::kCodeCmp;
+              k.dict = dict;
+              k.code_cmp = op;
+              k.code_const = code;
+            } else if (dict->sorted) {
+              // Sorted dictionary: code order == lexicographic order,
+              // so a range becomes an integer compare against the
+              // constant's insertion position. With pos =
+              // lower_bound(const) and ub = pos + (const present):
+              // s < c <=> code < pos, s <= c <=> code < ub, and the
+              // complements for >= / >.
+              auto lb = std::lower_bound(dict->values.begin(),
+                                         dict->values.end(), k.str_const);
+              auto pos = static_cast<int32_t>(lb - dict->values.begin());
+              int32_t ub =
+                  pos + (lb != dict->values.end() && *lb == k.str_const);
+              k.dict_mode = CompiledKernel::DictMode::kCodeCmp;
+              k.dict = dict;
+              switch (op) {
+                case CompareOp::kLt:
+                  k.code_cmp = CompareOp::kLt;
+                  k.code_const = pos;
+                  break;
+                case CompareOp::kGe:
+                  k.code_cmp = CompareOp::kGe;
+                  k.code_const = pos;
+                  break;
+                case CompareOp::kLe:
+                  k.code_cmp = CompareOp::kLt;
+                  k.code_const = ub;
+                  break;
+                case CompareOp::kGt:
+                  k.code_cmp = CompareOp::kGe;
+                  k.code_const = ub;
+                  break;
+                default:
+                  break;  // unreachable: kEq/kNe handled above
+              }
+            } else {
+              // Unsorted (post-append) dictionary: evaluate the range
+              // once per distinct value into a pass bitmap — O(distinct)
+              // at compile, one byte load per row.
+              k.dict_mode = CompiledKernel::DictMode::kCodeBits;
+              k.dict = dict;
+              k.code_bits.resize(dict->values.size());
+              DispatchCmp(op, [&](auto cmpf) {
+                for (size_t c = 0; c < dict->values.size(); ++c) {
+                  k.code_bits[c] = cmpf(dict->values[c], k.str_const);
+                }
+              });
+            }
+          }
         } else if (ct == LogicalType::kNull) {
           return -1;
         } else {
@@ -434,6 +621,17 @@ int CompiledPredicate::Lower(const Expr& expr, const Schema& schema,
         k.op = CompiledKernel::Op::kCmpNumCols;
       } else if (ct == LogicalType::kString && ct2 == LogicalType::kString) {
         k.op = CompiledKernel::Op::kCmpStrCols;
+        const storage::StringDictionary* dict = col_dict(ci);
+        if (dict != nullptr && dict == col_dict(ci2)) {
+          // Same shared dictionary on both sides: equal strings <=>
+          // equal codes; a sorted dictionary carries the full ordering.
+          if (op == CompareOp::kEq || op == CompareOp::kNe ||
+              dict->sorted) {
+            k.dict_mode = CompiledKernel::DictMode::kCodeCols;
+            k.dict = dict;
+            k.code_cmp = op;
+          }
+        }
       } else if (ct == LogicalType::kNull || ct2 == LogicalType::kNull) {
         return -1;
       } else {
@@ -468,6 +666,20 @@ int CompiledPredicate::Lower(const Expr& expr, const Schema& schema,
       k.col = ci;
       k.str_const = expr.string_arg();
       k.negate = negated;
+      if (const storage::StringDictionary* dict = col_dict(ci)) {
+        // Substring scans hit every row; against a dictionary the match
+        // runs once per distinct value into a pass bitmap (negation
+        // baked in), one byte load per row after that.
+        k.dict_mode = CompiledKernel::DictMode::kCodeBits;
+        k.dict = dict;
+        k.code_bits.resize(dict->values.size());
+        for (size_t c = 0; c < dict->values.size(); ++c) {
+          bool m = expr.kind() == Kind::kStartsWith
+                       ? relgo::StartsWith(dict->values[c], k.str_const)
+                       : relgo::Contains(dict->values[c], k.str_const);
+          k.code_bits[c] = m != k.negate;
+        }
+      }
       return AddLeaf(std::move(k));
     }
     case Kind::kInList: {
@@ -522,6 +734,18 @@ int CompiledPredicate::Lower(const Expr& expr, const Schema& schema,
           return AddLeaf(std::move(e));
         }
         k.op = CompiledKernel::Op::kInListStr;
+        if (const storage::StringDictionary* dict = col_dict(ci)) {
+          // Probe set -> per-code pass bitmap: the sorted-list binary
+          // search runs once per distinct value instead of once per row.
+          k.dict_mode = CompiledKernel::DictMode::kCodeBits;
+          k.dict = dict;
+          k.code_bits.resize(dict->values.size());
+          for (size_t c = 0; c < dict->values.size(); ++c) {
+            bool in = std::binary_search(k.str_list.begin(),
+                                         k.str_list.end(), dict->values[c]);
+            k.code_bits[c] = in != k.negate;
+          }
+        }
       } else {
         return -1;
       }
@@ -568,7 +792,16 @@ int CompiledPredicate::Lower(const Expr& expr, const Schema& schema,
 
 std::unique_ptr<CompiledPredicate> CompiledPredicate::Compile(
     const Expr& expr, const Schema& schema) {
+  return Compile(expr, schema, /*table=*/nullptr,
+                 /*use_dictionaries=*/false);
+}
+
+std::unique_ptr<CompiledPredicate> CompiledPredicate::Compile(
+    const Expr& expr, const Schema& schema, const storage::Table* table,
+    bool use_dictionaries) {
   std::unique_ptr<CompiledPredicate> p(new CompiledPredicate());
+  p->table_ = table;
+  p->use_dict_ = use_dictionaries;
   p->root_ = p->Lower(expr, schema, /*negated=*/false);
   if (p->root_ < 0) return nullptr;
   return p;
@@ -669,6 +902,27 @@ void CompiledPredicate::FilterBitmap(const Column* const* columns,
                                      uint64_t num_rows,
                                      std::vector<uint8_t>* out) const {
   out->assign(num_rows, 0);
+  if (nodes_[root_].kind == Node::Kind::kLeaf) {
+    // Single-leaf programs write the bitmap densely: `out[r] = pred(r)`
+    // has no data-dependent store position, so the widest compare
+    // kernels auto-vectorize where the selection-building ScanRange
+    // (push_back) cannot (verified with -fopt-info-vec; see
+    // docs/ARCHITECTURE.md "Dictionary-encoded strings").
+    // By-value captures and __restrict__ matter: the uint8_t stores
+    // would otherwise alias the validity bytes (char-typed under TBAA)
+    // and the by-reference loop bound, forcing reloads per iteration.
+    uint8_t* const o = out->data();
+    const uint64_t n = num_rows;
+    RunLeaf(nodes_[root_].leaf, columns, [o, n](auto pred) {
+      // Copy the closure fields to true locals: the closure lives in
+      // the caller's frame, and the char-typed ro[r] stores would
+      // otherwise be assumed to clobber the bound each iteration.
+      uint8_t* __restrict__ ro = o;
+      const uint64_t nn = n;
+      for (uint64_t r = 0; r < nn; ++r) ro[r] = pred(r) ? 1 : 0;
+    });
+    return;
+  }
   std::vector<uint64_t> sel;
   FilterRange(columns, 0, num_rows, &sel);
   for (uint64_t r : sel) (*out)[r] = 1;

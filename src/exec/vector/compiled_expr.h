@@ -47,6 +47,24 @@ struct CompiledKernel {
   std::string str_const;
   std::vector<double> num_list;       // sorted, deduplicated
   std::vector<std::string> str_list;  // sorted, deduplicated
+
+  /// Dictionary lowering of the string ops (set when compiled against a
+  /// table whose column carries a storage::StringDictionary and
+  /// ExecutionOptions::dictionary_encoding is on). The payload fields
+  /// above stay fully populated: the kernel runner re-checks `dict`
+  /// against each batch column and falls back to the payload compare
+  /// when a derived column dropped the dictionary.
+  enum class DictMode : uint8_t {
+    kNone,      ///< no dictionary lowering; payload kernel only
+    kCodeCmp,   ///< codes[r] `code_cmp` code_const (validity-gated)
+    kCodeCols,  ///< codes[r] `code_cmp` codes2[r] (same shared dict)
+    kCodeBits,  ///< code_bits[codes[r]] (negation pre-baked into bits)
+  };
+  DictMode dict_mode = DictMode::kNone;
+  const storage::StringDictionary* dict = nullptr;
+  storage::CompareOp code_cmp = storage::CompareOp::kEq;
+  int32_t code_const = 0;
+  std::vector<uint8_t> code_bits;  ///< indexed by code; 1 == row passes
 };
 
 /// A bound predicate tree lowered to a flat program of typed kernels.
@@ -69,6 +87,17 @@ class CompiledPredicate {
   /// the tree is outside the lowerable subset.
   static std::unique_ptr<CompiledPredicate> Compile(
       const storage::Expr& expr, const storage::Schema& schema);
+
+  /// As above, additionally lowering string predicates onto int32
+  /// dictionary codes where `table`'s columns carry dictionaries and
+  /// `use_dictionaries` (ExecutionOptions::dictionary_encoding) is set.
+  /// `table` must be the table the predicate filters — or the ancestor
+  /// every filtered batch derives from: the constant-not-in-dictionary
+  /// folds assume filtered rows draw their strings from the
+  /// compile-time column's value set.
+  static std::unique_ptr<CompiledPredicate> Compile(
+      const storage::Expr& expr, const storage::Schema& schema,
+      const storage::Table* table, bool use_dictionaries);
 
   /// Appends the passing rows of [begin, end) to `*out_sel` (ascending).
   /// `columns[i]` must match the compile-time schema layout.
@@ -114,6 +143,9 @@ class CompiledPredicate {
 
   std::vector<Node> nodes_;
   int root_ = -1;
+  /// Compile-time dictionary context (see the table-aware Compile).
+  const storage::Table* table_ = nullptr;
+  bool use_dict_ = false;
 };
 
 }  // namespace vector

@@ -10,6 +10,10 @@ namespace {
 
 constexpr char kTagNull = 0;
 constexpr char kTagValue = 1;
+/// Dictionary-coded string value: 4-byte int32 code into the pinned
+/// dictionary. Disjoint from kTagValue, so a coded string can never
+/// byte-collide with a payload-encoded one.
+constexpr char kTagCode = 2;
 
 void AppendFixed64(std::string* out, int64_t v) {
   char buf[8];
@@ -35,10 +39,34 @@ uint32_t ReadLength(const char* p) {
   return n;
 }
 
+void AppendFixed32(std::string* out, int32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(buf));
+  out->append(buf, sizeof(buf));
+}
+
+int32_t ReadFixed32(const char* p) {
+  int32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
 }  // namespace
 
+KeyEncoder::KeyEncoder(std::vector<LogicalType> types, bool use_dictionaries)
+    : types_(std::move(types)), use_dict_(use_dictionaries) {
+  if (!use_dict_) return;
+  pinned_.assign(types_.size(), nullptr);
+  pin_once_.resize(types_.size());
+  for (size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i] == LogicalType::kString) {
+      pin_once_[i] = std::make_unique<std::once_flag>();
+    }
+  }
+}
+
 std::unique_ptr<KeyEncoder> KeyEncoder::Make(
-    const std::vector<LogicalType>& types) {
+    const std::vector<LogicalType>& types, bool use_dictionaries) {
   for (LogicalType t : types) {
     switch (t) {
       case LogicalType::kBool:
@@ -55,7 +83,8 @@ std::unique_ptr<KeyEncoder> KeyEncoder::Make(
         return nullptr;
     }
   }
-  return std::unique_ptr<KeyEncoder>(new KeyEncoder(types));
+  return std::unique_ptr<KeyEncoder>(
+      new KeyEncoder(types, use_dictionaries));
 }
 
 void KeyEncoder::Encode(const storage::Column* const* cols, uint64_t row,
@@ -93,6 +122,24 @@ void KeyEncoder::Encode(const storage::Column* const* cols, uint64_t row,
       }
       case LogicalType::kString: {
         const std::string& s = col.string_at(row);
+        if (use_dict_) {
+          std::call_once(*pin_once_[i],
+                         [&] { pinned_[i] = col.dictionary(); });
+          const storage::StringDictionary* dict = pinned_[i];
+          if (dict != nullptr) {
+            // Same dictionary: read the row's code straight off the
+            // column; foreign/no dictionary: translate through the
+            // pinned one (absent strings keep the byte encoding below).
+            int32_t code = col.dictionary() == dict ? col.code_at(row)
+                                                    : dict->Find(s);
+            if (code >= 0) {
+              key->bytes.back() = kTagCode;
+              AppendFixed32(&key->bytes, code);
+              h = HashCombine(h, TypedHash(static_cast<int64_t>(code)));
+              break;
+            }
+          }
+        }
         AppendLength(&key->bytes, static_cast<uint32_t>(s.size()));
         key->bytes.append(s);
         h = HashCombine(h, TypedHash(s));
@@ -110,9 +157,19 @@ void KeyEncoder::Decode(const EncodedGroupKey& key,
   out->clear();
   out->reserve(types_.size());
   const char* p = key.bytes.data();
-  for (LogicalType t : types_) {
-    if (*p++ == kTagNull) {
+  for (size_t i = 0; i < types_.size(); ++i) {
+    LogicalType t = types_[i];
+    char tag = *p++;
+    if (tag == kTagNull) {
       out->push_back(Value::Null());
+      continue;
+    }
+    if (tag == kTagCode) {
+      // Dictionary-coded string: resolve against the pinned dictionary
+      // (the encoder that produced this key pinned it before encoding).
+      int32_t code = ReadFixed32(p);
+      p += 4;
+      out->push_back(Value::String(pinned_[i]->values[code]));
       continue;
     }
     switch (t) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,8 +54,20 @@ class KeyEncoder {
  public:
   /// `types[i]` is the logical type of the i-th key column. Returns
   /// nullptr when some type cannot preserve Value equality byte-for-byte.
+  ///
+  /// With `use_dictionaries` (ExecutionOptions::dictionary_encoding) a
+  /// string key column encodes through its dictionary where possible:
+  /// the first row encoded pins the column's dictionary (call_once, so
+  /// concurrent pipeline workers agree), and every string present in
+  /// the pinned dictionary encodes as a fixed 4-byte code under its own
+  /// tag — constant-size bytes and an int32 hash instead of
+  /// length-prefixed payload bytes. Strings outside the pinned
+  /// dictionary (foreign batch, dropped encoding) keep the byte
+  /// encoding; the two tag spaces are disjoint, so byte equality still
+  /// coincides with string equality and Decode reconstructs the exact
+  /// GetValue boxing either way.
   static std::unique_ptr<KeyEncoder> Make(
-      const std::vector<LogicalType>& types);
+      const std::vector<LogicalType>& types, bool use_dictionaries = false);
 
   size_t num_cols() const { return types_.size(); }
 
@@ -69,10 +82,16 @@ class KeyEncoder {
   void Decode(const EncodedGroupKey& key, std::vector<Value>* out) const;
 
  private:
-  explicit KeyEncoder(std::vector<LogicalType> types)
-      : types_(std::move(types)) {}
+  KeyEncoder(std::vector<LogicalType> types, bool use_dictionaries);
 
   std::vector<LogicalType> types_;
+  bool use_dict_ = false;
+  /// Per key column: the dictionary pinned by the first Encode of that
+  /// column (nullptr until pinned, or when the column has none).
+  /// Encoding is a pure function of (pinned dictionary, string), so
+  /// whichever worker pins first, every row encodes consistently.
+  mutable std::vector<const storage::StringDictionary*> pinned_;
+  mutable std::vector<std::unique_ptr<std::once_flag>> pin_once_;
 };
 
 // ---------------------------------------------------------------------------
@@ -202,10 +221,23 @@ class AggColumnView {
 /// NULLs order first, numerics promote through double (so NaN is "equal"
 /// to every double and never establishes an order), strings compare
 /// lexicographically.
+/// `use_dictionaries` (ExecutionOptions::dictionary_encoding) enables
+/// the string fast path: when both slots share the same *sorted*
+/// dictionary, code order coincides with lexicographic order, so one
+/// int32 compare replaces the byte compare — sign-identical by
+/// construction. Any other dictionary state falls back to the payload.
 inline int TypedColumnCompare(const storage::Column& a, uint64_t ar,
-                              const storage::Column& b, uint64_t br) {
+                              const storage::Column& b, uint64_t br,
+                              bool use_dictionaries = false) {
   bool an = !a.is_valid(ar), bn = !b.is_valid(br);
   if (an || bn) return an == bn ? 0 : (an ? -1 : 1);
+  if (use_dictionaries && a.type() == LogicalType::kString) {
+    const storage::StringDictionary* d = a.dictionary();
+    if (d != nullptr && d == b.dictionary() && d->sorted) {
+      int32_t ac = a.code_at(ar), bc = b.code_at(br);
+      return ac < bc ? -1 : (bc < ac ? 1 : 0);
+    }
+  }
   switch (a.type()) {
     case LogicalType::kInt64: {
       auto ad = static_cast<double>(a.int_at(ar));

@@ -1,5 +1,8 @@
 #include "storage/column.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace relgo {
 namespace storage {
 
@@ -11,6 +14,10 @@ void Column::AppendNull() {
       break;
     case LogicalType::kString:
       strings_.emplace_back();
+      // Codes are total: the null row carries the code of its ""
+      // placeholder (consumers gate on validity first, so the code is
+      // never interpreted as a value).
+      if (dict_ != nullptr) AppendCodeFor(strings_.back());
       break;
     default:
       ints_.push_back(0);
@@ -18,6 +25,30 @@ void Column::AppendNull() {
   }
   validity_.push_back(0);
   ++size_;
+}
+
+void Column::BuildDictionary() {
+  if (type_ != LogicalType::kString) return;
+  auto dict = std::make_shared<StringDictionary>();
+  dict->values.assign(strings_.begin(), strings_.end());
+  std::sort(dict->values.begin(), dict->values.end());
+  dict->values.erase(std::unique(dict->values.begin(), dict->values.end()),
+                     dict->values.end());
+  if (dict->values.size() >
+      static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+    return;  // int32 code space exhausted; stay payload-only
+  }
+  dict->index.reserve(dict->values.size());
+  for (int32_t c = 0; c < dict->size(); ++c) {
+    dict->index.emplace(dict->values[c], c);
+  }
+  codes_.clear();
+  codes_.reserve(strings_.size());
+  for (const std::string& s : strings_) {
+    codes_.push_back(dict->index.find(s)->second);
+  }
+  dict_ = std::move(dict);
+  dict_owner_ = true;
 }
 
 void Column::AppendInts(const int64_t* data, uint64_t count) {
@@ -88,6 +119,7 @@ Value Column::GetValue(uint64_t i) const {
 
 Column Column::Gather(const std::vector<uint64_t>& indices) const {
   Column out(type_);
+  out.AdoptDictionary(*this);
   out.Reserve(indices.size());
   if (validity_.empty()) {
     // All-valid fast path: one type dispatch for the whole gather instead
@@ -97,7 +129,16 @@ Column Column::Gather(const std::vector<uint64_t>& indices) const {
         for (uint64_t idx : indices) out.doubles_.push_back(doubles_[idx]);
         break;
       case LogicalType::kString:
-        for (uint64_t idx : indices) out.strings_.push_back(strings_[idx]);
+        if (dict_ != nullptr) {
+          // Codes travel with the payload so derived batches keep the
+          // shared dictionary without re-hashing a single string.
+          for (uint64_t idx : indices) {
+            out.strings_.push_back(strings_[idx]);
+            out.codes_.push_back(codes_[idx]);
+          }
+        } else {
+          for (uint64_t idx : indices) out.strings_.push_back(strings_[idx]);
+        }
         break;
       default:
         for (uint64_t idx : indices) out.ints_.push_back(ints_[idx]);
@@ -119,6 +160,7 @@ Column Column::Slice(uint64_t begin, uint64_t count) const {
 void Column::AppendRange(const Column& other, uint64_t begin,
                          uint64_t count) {
   if (count == 0) return;
+  AdoptDictionary(other);
   uint64_t end = begin + count;
   // Validity: materialize our vector first if the incoming range carries
   // nulls and we were in the allocation-free all-valid state.
@@ -140,6 +182,18 @@ void Column::AppendRange(const Column& other, uint64_t begin,
     case LogicalType::kString:
       strings_.insert(strings_.end(), other.strings_.begin() + begin,
                       other.strings_.begin() + end);
+      if (dict_ != nullptr) {
+        if (dict_.get() == other.dict_.get()) {
+          codes_.insert(codes_.end(), other.codes_.begin() + begin,
+                        other.codes_.begin() + end);
+        } else {
+          // Foreign (or no) source dictionary: re-code row by row; a
+          // miss on a non-owner drops our encoding and ends the loop.
+          for (uint64_t i = begin; i < end && dict_ != nullptr; ++i) {
+            AppendCodeFor(other.strings_[i]);
+          }
+        }
+      }
       break;
     default:
       ints_.insert(ints_.end(), other.ints_.begin() + begin,
@@ -150,6 +204,7 @@ void Column::AppendRange(const Column& other, uint64_t begin,
 }
 
 void Column::AppendFrom(const Column& other, uint64_t row) {
+  AdoptDictionary(other);
   if (!other.is_valid(row)) {
     AppendNull();
     return;
@@ -159,7 +214,15 @@ void Column::AppendFrom(const Column& other, uint64_t row) {
       AppendDouble(other.doubles_[row]);
       break;
     case LogicalType::kString:
-      AppendString(other.strings_[row]);
+      if (dict_ != nullptr && dict_.get() == other.dict_.get()) {
+        // Shared dictionary: copy the code instead of re-hashing.
+        codes_.push_back(other.codes_[row]);
+        strings_.push_back(other.strings_[row]);
+        if (!validity_.empty()) validity_.push_back(1);
+        ++size_;
+      } else {
+        AppendString(other.strings_[row]);
+      }
       break;
     default:
       AppendInt(other.ints_[row]);
@@ -174,6 +237,7 @@ void Column::Reserve(uint64_t n) {
       break;
     case LogicalType::kString:
       strings_.reserve(n);
+      if (dict_ != nullptr) codes_.reserve(n);
       break;
     default:
       ints_.reserve(n);

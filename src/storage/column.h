@@ -3,7 +3,9 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -11,6 +13,43 @@
 
 namespace relgo {
 namespace storage {
+
+/// A shared per-column string dictionary: `values[code]` is the string of
+/// `code`, `index` inverts it. `sorted` is true while `values` is strictly
+/// ascending — then code order coincides with lexicographic order, which
+/// the kernel/sort layers exploit (BuildDictionary always produces a
+/// sorted dictionary; incremental appends of novel strings go to the end
+/// and may clear the flag, never invalidating existing codes).
+///
+/// The dictionary is shared (via shared_ptr) between a base column and
+/// every batch column derived from it through Gather/Slice/AppendRange/
+/// AppendFrom. Only the owning base column may add entries (see
+/// Column::AppendString); all other sharers treat it as immutable, so a
+/// reader never meets a code it cannot resolve.
+struct StringDictionary {
+  std::vector<std::string> values;
+  std::unordered_map<std::string, int32_t> index;
+  bool sorted = true;
+
+  int32_t size() const { return static_cast<int32_t>(values.size()); }
+
+  /// Code of `s`, or -1 when absent.
+  int32_t Find(const std::string& s) const {
+    auto it = index.find(s);
+    return it == index.end() ? -1 : it->second;
+  }
+
+  /// Code of `s`, appending a new entry when absent (owner-only path).
+  int32_t GetOrAdd(const std::string& s) {
+    auto it = index.find(s);
+    if (it != index.end()) return it->second;
+    int32_t code = size();
+    if (sorted && code > 0 && !(values.back() < s)) sorted = false;
+    values.push_back(s);
+    index.emplace(s, code);
+    return code;
+  }
+};
 
 /// A typed, append-only column vector.
 ///
@@ -40,6 +79,7 @@ class Column {
     ++size_;
   }
   void AppendString(std::string v) {
+    if (dict_ != nullptr) AppendCodeFor(v);
     strings_.push_back(std::move(v));
     if (!validity_.empty()) validity_.push_back(1);
     ++size_;
@@ -85,6 +125,39 @@ class Column {
     return validity_.empty() ? nullptr : validity_.data();
   }
 
+  /// Builds (or rebuilds) a sorted-unique dictionary over the current
+  /// string payload — null rows included via their "" placeholder — and
+  /// codes every row. No-op for non-string columns. Called by
+  /// Database::Finalize for every base-table string column; this column
+  /// becomes the dictionary's owner, so later appends of novel strings
+  /// extend the shared dictionary in place (existing codes never move).
+  /// Not safe concurrently with queries — the standard mutation contract.
+  void BuildDictionary();
+
+  /// Drops dictionary + codes; the string payload stays authoritative.
+  /// Batch columns use this when fed strings outside their shared
+  /// dictionary — every dictionary consumer falls back to payloads.
+  void DropDictionary() {
+    dict_.reset();
+    codes_.clear();
+    dict_owner_ = false;
+  }
+
+  /// The shared dictionary, or nullptr when this column is not encoded.
+  /// Kernel-layer consumers compare this pointer against the one they
+  /// captured at compile time before trusting any code.
+  const StringDictionary* dictionary() const { return dict_.get(); }
+
+  /// Dictionary codes aligned with size(). Null rows carry the code of
+  /// their "" payload placeholder, so consumers must still consult
+  /// `validity_data()` — exactly like the payload spans. Only valid
+  /// while dictionary() != nullptr.
+  const int32_t* data_codes() const {
+    assert(dict_ != nullptr);
+    return codes_.data();
+  }
+  int32_t code_at(uint64_t i) const { return codes_[i]; }
+
   /// Boxed accessor used by expression evaluation and result rendering.
   Value GetValue(uint64_t i) const;
 
@@ -105,12 +178,42 @@ class Column {
   void Reserve(uint64_t n);
 
  private:
+  /// Pushes the code of `v` (invariant: dict_ != nullptr). The owner
+  /// extends the dictionary for novel strings; sharers drop encoding
+  /// instead — they must never mutate the shared dictionary.
+  void AppendCodeFor(const std::string& v) {
+    if (dict_owner_) {
+      codes_.push_back(dict_->GetOrAdd(v));
+      return;
+    }
+    int32_t code = dict_->Find(v);
+    if (code < 0) {
+      DropDictionary();
+      return;
+    }
+    codes_.push_back(code);
+  }
+
+  /// Shares `src`'s dictionary (read-only) when this column is still
+  /// empty and unencoded — the batch-materialization entry point.
+  void AdoptDictionary(const Column& src) {
+    if (src.dict_ != nullptr && dict_ == nullptr && size_ == 0) {
+      dict_ = src.dict_;
+      dict_owner_ = false;
+    }
+  }
+
   LogicalType type_;
   uint64_t size_ = 0;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
   std::vector<uint8_t> validity_;  // empty == all valid
+  /// Dictionary encoding (kString only): while dict_ is set, codes_ is
+  /// aligned with size_ and dict_->values[codes_[i]] == strings_[i].
+  std::shared_ptr<StringDictionary> dict_;
+  std::vector<int32_t> codes_;
+  bool dict_owner_ = false;  // only the owner may extend dict_
 };
 
 }  // namespace storage
